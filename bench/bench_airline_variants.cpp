@@ -1,0 +1,75 @@
+// Experiment C2 — §III-A: the three Airline-delay implementations from
+// Lin's "Monoidify!": plain, combiner with a custom value class, and
+// in-mapper combining ("global memory on each node ... without implementing
+// a combiner class"). Reports the quantities the lab compares: runtime,
+// map-output records, shuffle bytes, and peak in-mapper memory.
+
+#include <cstdio>
+
+#include "mh/apps/airline.h"
+#include "mh/common/strings.h"
+#include "mh/data/airline.h"
+#include "mh/mr/mini_mr_cluster.h"
+
+int main() {
+  mh::Config conf;
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 256 * 1024);
+  mh::mr::MiniMrCluster cluster({.num_nodes = 3, .conf = conf});
+
+  mh::data::AirlineGenerator generator(
+      {.seed = 2009, .rows = 120'000, .num_carriers = 14});
+  cluster.client().writeFile("/data/ontime.csv", generator.generateCsv());
+
+  std::printf("=== C2: three airline-delay implementations (120k rows, 14 "
+              "carriers, 3-node cluster) ===\n\n");
+  std::printf("%-26s %10s %14s %14s %12s\n", "variant", "time",
+              "map-out recs", "shuffle bytes", "heap peak B");
+
+  using mh::apps::AirlineVariant;
+  std::map<std::string, double> reference;
+  for (const auto variant :
+       {AirlineVariant::kPlain, AirlineVariant::kCombiner,
+        AirlineVariant::kInMapper}) {
+    const std::string out =
+        std::string("/out/") + mh::apps::airlineVariantName(variant);
+    const auto result = cluster.runJob(mh::apps::makeAirlineDelayJob(
+        variant, {"/data/ontime.csv"}, out, 2));
+    if (!result.succeeded()) {
+      std::printf("job failed: %s\n", result.error.c_str());
+      return 1;
+    }
+    using namespace mh::mr::counters;
+    // Peak charged heap across trackers approximates the in-mapper table.
+    int64_t heap_peak = 0;
+    for (const auto& host : cluster.trackerHosts()) {
+      heap_peak = std::max(heap_peak, cluster.taskTracker(host).heapPeak());
+    }
+    std::printf("%-26s %10s %14lld %14lld %12lld\n",
+                mh::apps::airlineVariantName(variant),
+                mh::formatMillis(result.elapsed_millis).c_str(),
+                static_cast<long long>(
+                    result.counters.value(kTaskGroup, kMapOutputRecords)),
+                static_cast<long long>(
+                    result.counters.value(kShuffleGroup, kShuffleBytes)),
+                static_cast<long long>(heap_peak));
+
+    mh::mr::HdfsFs fs(cluster.client());
+    const auto means = mh::apps::parseAirlineOutput(fs, out);
+    if (reference.empty()) {
+      reference = means;
+    } else if (means != reference) {
+      std::printf("VARIANT DISAGREEMENT — correctness bug\n");
+      return 1;
+    }
+  }
+
+  std::printf("\nall three variants produce identical per-carrier means "
+              "(verified); worst carrier by generator truth: %s.\n",
+              generator.truth().worst_carrier.c_str());
+  std::printf("shape reproduced: emit-per-record maximizes traffic; the "
+              "custom-value combiner collapses it per spill; in-mapper "
+              "combining collapses it per task at the cost of task-lifetime "
+              "memory.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Engine micro-benchmarks (google-benchmark): the hot paths under every
+// experiment — CRC32C checksumming, record serde, the map-side sort/spill,
+// KV-run encode/decode, and block-store writes. Useful for spotting
+// regressions in the substrate the table/figure benches sit on.
+
+#include <benchmark/benchmark.h>
+
+#include "mh/common/crc32.h"
+#include "mh/common/rng.h"
+#include "mh/common/serde.h"
+#include "mh/hdfs/block_store.h"
+#include "mh/mr/kv_stream.h"
+
+namespace {
+
+using namespace mh;
+
+void BM_Crc32c(benchmark::State& state) {
+  const Bytes data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(512)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<int64_t> values(1024);
+  for (auto& v : values) v = static_cast<int64_t>(rng.next());
+  for (auto _ : state) {
+    Bytes buf;
+    ByteWriter writer(buf);
+    for (const int64_t v : values) writer.writeVarI64(v);
+    ByteReader reader(buf);
+    int64_t sum = 0;
+    for (size_t i = 0; i < values.size(); ++i) sum += reader.readVarI64();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+void BM_KvRunEncodeDecode(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<mh::mr::KeyValue> records;
+  for (int i = 0; i < 1000; ++i) {
+    records.push_back({"key" + std::to_string(rng.uniform(100)),
+                       Bytes(32, static_cast<char>(rng.uniform(256)))});
+  }
+  for (auto _ : state) {
+    const Bytes run = mh::mr::encodeKvRun(records);
+    benchmark::DoNotOptimize(mh::mr::decodeKvRun(run));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_KvRunEncodeDecode);
+
+void BM_MapSideSort(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<mh::mr::KeyValue> base;
+  const auto n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) {
+    base.push_back({"k" + std::to_string(rng.uniform(n / 4 + 1)), "1"});
+  }
+  for (auto _ : state) {
+    auto records = base;
+    std::stable_sort(records.begin(), records.end(),
+                     [](const auto& a, const auto& b) { return a.key < b.key; });
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MapSideSort)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_MemBlockStoreWriteRead(benchmark::State& state) {
+  mh::hdfs::MemBlockStore store;
+  const Bytes payload(static_cast<size_t>(state.range(0)), 'b');
+  mh::hdfs::BlockId id = 1;
+  for (auto _ : state) {
+    store.writeBlock(id, payload);
+    benchmark::DoNotOptimize(store.readBlock(id));
+    store.deleteBlock(id);
+    ++id;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          state.range(0));
+}
+BENCHMARK(BM_MemBlockStoreWriteRead)->Arg(64 << 10)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Experiment T2 — Table II: "Time to Complete" (1: <30 min, 2: 30 min–2 h,
+// 3: 2–4 h, 4: >4 h). Regenerated from calibrated synthetic responses.
+
+#include <cstdio>
+
+#include "mh/survey/paper_tables.h"
+
+int main() {
+  using namespace mh::survey;
+  std::printf("=== Table II: Time to Complete (banded 1..4), N=%zu ===\n",
+              kRespondents);
+  const LikertSpec scale{1, 4, 1};
+  std::vector<RegeneratedRow> rows;
+  uint64_t seed = 20;
+  for (const auto& row : paperTable2()) {
+    rows.push_back(regenerateRow(row, scale, seed++));
+  }
+  std::printf("%s", renderRegeneratedTable("Table II", rows).c_str());
+  std::printf("\npaper observations reproduced:\n");
+  std::printf("  * assignment 1 ~ 4 hours despite being half the length of "
+              "assignment 2 (%.1f vs %.1f)\n", rows[0].regen_mean,
+              rows[1].regen_mean);
+  std::printf("  * cluster setup within ~2 hours — most students finished "
+              "it inside the in-class lab (%.1f)\n", rows[2].regen_mean);
+  bool ok = true;
+  for (const auto& row : rows) {
+    if (std::abs(row.regen_mean - row.paper_mean) > 0.05 ||
+        std::abs(row.regen_std - row.paper_std) > 0.12) {
+      ok = false;
+    }
+  }
+  std::printf("regeneration within tolerance: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// The §III-A lab: average arrival delay per airline over the on-time
+// dataset, implemented three ways — plain, combiner with a custom value
+// class, and in-mapper combining — to expose the trade-off between map-side
+// work/memory and shuffle traffic that the course teaches via the
+// JobTracker web interface and the final job report.
+//
+//   ./airline_analysis [rows]     (default 60000)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mh/apps/airline.h"
+#include "mh/common/log.h"
+#include "mh/common/strings.h"
+#include "mh/data/airline.h"
+#include "mh/mr/mini_mr_cluster.h"
+
+int main(int argc, char** argv) {
+  mh::setLogLevel(mh::LogLevel::kWarn);
+  const uint64_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                 : 60'000;
+
+  mh::data::AirlineGenerator generator(
+      {.seed = 2008, .rows = rows, .num_carriers = 10});
+  const mh::Bytes csv = generator.generateCsv();
+  std::printf("generated %s of on-time data (%llu rows, 10 carriers)\n\n",
+              mh::formatBytes(csv.size()).c_str(),
+              static_cast<unsigned long long>(rows));
+
+  mh::Config conf;
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 256 * 1024);
+  mh::mr::MiniMrCluster cluster({.num_nodes = 3, .conf = conf});
+  cluster.client().writeFile("/data/ontime.csv", csv);
+
+  using mh::apps::AirlineVariant;
+  std::printf("%-26s %10s %12s %14s\n", "variant", "time", "map-out recs",
+              "shuffle bytes");
+  std::map<std::string, double> first_means;
+  for (const auto variant :
+       {AirlineVariant::kPlain, AirlineVariant::kCombiner,
+        AirlineVariant::kInMapper}) {
+    const std::string out =
+        std::string("/out/") + mh::apps::airlineVariantName(variant);
+    const auto result = cluster.runJob(
+        mh::apps::makeAirlineDelayJob(variant, {"/data/ontime.csv"}, out, 2));
+    if (!result.succeeded()) {
+      std::printf("job failed: %s\n", result.error.c_str());
+      return 1;
+    }
+    using namespace mh::mr::counters;
+    std::printf("%-26s %10s %12lld %14lld\n",
+                mh::apps::airlineVariantName(variant),
+                mh::formatMillis(result.elapsed_millis).c_str(),
+                static_cast<long long>(
+                    result.counters.value(kTaskGroup, kMapOutputRecords)),
+                static_cast<long long>(
+                    result.counters.value(kShuffleGroup, kShuffleBytes)));
+    mh::mr::HdfsFs fs(cluster.client());
+    const auto means = mh::apps::parseAirlineOutput(fs, out);
+    if (first_means.empty()) {
+      first_means = means;
+    } else if (means != first_means) {
+      std::printf("variant disagreement — BUG\n");
+      return 1;
+    }
+  }
+
+  std::printf("\ncarrier mean arrival delays (all variants agree):\n");
+  const auto& truth = generator.truth().mean_arr_delay;
+  for (const auto& [carrier, mean] : first_means) {
+    std::printf("  %s  %7.3f min (generator truth %7.3f)\n", carrier.c_str(),
+                mean, truth.at(carrier));
+  }
+  std::printf("\nworst on-time performance: %s\n",
+              generator.truth().worst_carrier.c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The HDFS in-class lab (assignment 2 part 1): run the shell commands the
+// students record, then watch HDFS's failure behaviors live — kill a
+// DataNode and observe re-replication, corrupt a replica and watch the
+// scanner + repair path, restart the NameNode and watch safe mode.
+//
+//   ./hdfs_lab
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "mh/common/log.h"
+#include "mh/data/text_corpus.h"
+#include "mh/hdfs/fs_shell.h"
+#include "mh/hdfs/mini_cluster.h"
+
+namespace {
+
+void shell(mh::hdfs::FsShell& sh, const std::vector<std::string>& args) {
+  std::string cmdline = "hadoop fs";
+  for (const auto& a : args) cmdline += " " + a;
+  const auto result = sh.run(args);
+  std::printf("$ %s\n%s", cmdline.c_str(), result.output.c_str());
+  if (result.code != 0) std::printf("(exit %d)\n", result.code);
+}
+
+}  // namespace
+
+int main() {
+  mh::setLogLevel(mh::LogLevel::kWarn);
+
+  mh::Config conf;
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 32 * 1024);
+  conf.setInt("dfs.heartbeat.interval.ms", 50);
+  conf.setInt("dfs.namenode.heartbeat.expiry.ms", 500);
+  conf.setInt("dfs.namenode.monitor.interval.ms", 50);
+  mh::hdfs::MiniDfsCluster cluster({.num_datanodes = 4, .conf = conf});
+  auto client = cluster.client();
+  mh::hdfs::FsShell sh(client);
+
+  std::printf("== Step 1: load data and observe how HDFS stores it ==\n");
+  mh::data::TextCorpusGenerator generator({.seed = 7, .target_bytes = 256 * 1024});
+  client.writeFile("/user/student/shakespeare.txt", generator.generate());
+  shell(sh, {"-ls", "/user/student"});
+  shell(sh, {"-fsck"});
+
+  const auto located = client.getBlockLocations("/user/student/shakespeare.txt");
+  std::printf("the file became %zu blocks; block %llu's replicas live on: ",
+              located.size(),
+              static_cast<unsigned long long>(located[0].block.id));
+  for (const auto& host : located[0].hosts) std::printf("%s ", host.c_str());
+  std::printf("\n\n");
+
+  std::printf("== Step 2: kill a DataNode; the NameNode re-replicates ==\n");
+  const std::string victim = located[0].hosts[0];
+  std::printf("crashing %s ...\n", victim.c_str());
+  cluster.killDataNode(victim);
+  // Wait for heartbeat expiry to declare the node dead, then for healing.
+  while (cluster.nameNode().liveDataNodes() == 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const bool healed = cluster.waitHealthy(15'000);
+  shell(sh, {"-report"});
+  std::printf("cluster healed without %s: %s\n\n", victim.c_str(),
+              healed ? "YES" : "NO");
+
+  std::printf("== Step 3: corrupt a replica; the scanner finds it ==\n");
+  const auto after = client.getBlockLocations("/user/student/shakespeare.txt");
+  const std::string holder = after[0].hosts[0];
+  cluster.dataNode(holder).store().corruptBlock(after[0].block.id, 123);
+  const auto bad = cluster.dataNode(holder).runBlockScanner();
+  std::printf("block scanner on %s reported %zu corrupt replica(s)\n",
+              holder.c_str(), bad.size());
+  cluster.waitHealthy(15'000);
+  shell(sh, {"-fsck"});
+
+  std::printf("== Step 4: restart the NameNode; safe mode until reports ==\n");
+  cluster.restartNameNode();
+  shell(sh, {"-safemode", "get"});
+  const bool left = cluster.waitOutOfSafeMode(15'000);
+  std::printf("DataNodes re-registered and re-reported: safe mode %s\n",
+              left ? "lifted" : "STUCK");
+  shell(sh, {"-safemode", "get"});
+  const auto roundtrip =
+      client.readFile("/user/student/shakespeare.txt").size();
+  std::printf("file still fully readable: %zu bytes\n", roundtrip);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Quickstart: the classic WordCount, twice — first serially on the local
+// file system (the course's assignment-1 mode: "MapReduce is just a
+// programming model"), then on an in-process HDFS + MapReduce cluster (the
+// assignment-2 mode: "and here is the infrastructure that scales it").
+//
+//   ./quickstart
+//
+// No arguments, no external data: a synthetic Zipfian corpus stands in for
+// the Shakespeare collection.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "mh/apps/select_max.h"
+#include "mh/apps/wordcount.h"
+#include "mh/common/log.h"
+#include "mh/common/strings.h"
+#include "mh/data/text_corpus.h"
+#include "mh/mr/local_runner.h"
+#include "mh/mr/mini_mr_cluster.h"
+
+namespace {
+
+void printJobReport(const char* label, const mh::mr::JobResult& result) {
+  using namespace mh::mr::counters;
+  std::printf("%s: %s in %s\n", label,
+              mh::mr::jobStateName(result.state),
+              mh::formatMillis(result.elapsed_millis).c_str());
+  std::printf("  map input records:  %lld\n",
+              static_cast<long long>(
+                  result.counters.value(kTaskGroup, kMapInputRecords)));
+  std::printf("  map output records: %lld\n",
+              static_cast<long long>(
+                  result.counters.value(kTaskGroup, kMapOutputRecords)));
+  std::printf("  shuffle bytes:      %lld\n",
+              static_cast<long long>(
+                  result.counters.value(kShuffleGroup, kShuffleBytes)));
+  std::printf("  reduce groups:      %lld\n",
+              static_cast<long long>(
+                  result.counters.value(kTaskGroup, kReduceInputGroups)));
+}
+
+}  // namespace
+
+int main() {
+  mh::setLogLevel(mh::LogLevel::kWarn);
+  namespace fs = std::filesystem;
+
+  // A ~1 MiB synthetic "Shakespeare" with Zipfian word frequencies.
+  mh::data::TextCorpusGenerator generator(
+      {.seed = 2014, .vocabulary_size = 4000, .target_bytes = 1 << 20});
+  const mh::Bytes corpus = generator.generate();
+  const auto [true_top, true_count] = generator.topWord();
+  std::printf("generated %s of text; true top word: '%s' x %llu\n\n",
+              mh::formatBytes(corpus.size()).c_str(), true_top.c_str(),
+              static_cast<unsigned long long>(true_count));
+
+  // ---- Part 1: serial, no HDFS (assignment-1 style) ----------------------
+  const fs::path tmp = fs::temp_directory_path() / "mh_quickstart";
+  fs::remove_all(tmp);
+  mh::mr::LocalFs local(64 * 1024);
+  local.writeFile((tmp / "corpus.txt").string(), corpus);
+
+  mh::mr::LocalJobRunner runner(local);
+  const auto serial = runner.run(mh::apps::makeWordCountJob(
+      {(tmp / "corpus.txt").string()}, (tmp / "counts").string()));
+  printJobReport("serial wordcount (LocalJobRunner)", serial);
+
+  // ---- Part 2: the same jar on a 3-node HDFS/MapReduce cluster ------------
+  mh::Config conf;
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 64 * 1024);
+  mh::mr::MiniMrCluster cluster({.num_nodes = 3, .conf = conf});
+  cluster.client().writeFile("/user/student/corpus.txt", corpus);
+
+  const auto distributed = cluster.runJob(
+      mh::apps::makeWordCountJob({"/user/student"}, "/user/student/counts",
+                                 /*with_combiner=*/true, /*reducers=*/2));
+  std::printf("\n");
+  printJobReport("distributed wordcount (3-node mini cluster)", distributed);
+  using namespace mh::mr::counters;
+  std::printf("  data-local maps:    %lld of %lld\n",
+              static_cast<long long>(
+                  distributed.counters.value(kJobGroup, kDataLocalMaps)),
+              static_cast<long long>(
+                  distributed.counters.value(kJobGroup, kLaunchedMaps)));
+
+  // ---- Part 3: chain a second job to answer the assignment question -------
+  const auto top = cluster.runJob(mh::apps::makeSelectMaxJob(
+      {"/user/student/counts"}, "/user/student/top"));
+  const mh::Bytes answer = cluster.client().readFile(
+      "/user/student/top/part-00000");
+  std::printf("\nword with the highest count (via select-max job): %s",
+              answer.c_str());
+  std::printf("quickstart %s.\n",
+              serial.succeeded() && distributed.succeeded() &&
+                      top.succeeded() &&
+                      answer.substr(0, answer.find('\t')) == true_top
+                  ? "PASSED"
+                  : "FAILED");
+  fs::remove_all(tmp);
+  return 0;
+}

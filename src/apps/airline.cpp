@@ -1,0 +1,195 @@
+#include "mh/apps/airline.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "mh/common/csv.h"
+#include "mh/common/error.h"
+#include "mh/common/strings.h"
+
+namespace mh::apps {
+
+namespace {
+
+std::string formatMean(double mean) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", mean);
+  return buf;
+}
+
+// Column indices in the on-time CSV.
+constexpr size_t kCarrierCol = 5;
+constexpr size_t kArrDelayCol = 9;
+constexpr size_t kCancelledCol = 12;
+
+}  // namespace
+
+const char* airlineVariantName(AirlineVariant variant) {
+  switch (variant) {
+    case AirlineVariant::kPlain: return "plain";
+    case AirlineVariant::kCombiner: return "combiner+custom-value";
+    case AirlineVariant::kInMapper: return "in-mapper-combining";
+  }
+  return "?";
+}
+
+bool parseAirlineRow(std::string_view line, std::string& carrier,
+                     double& delay) {
+  if (line.empty() || line.starts_with("Year")) return false;  // header
+  const auto fields = parseCsvLine(line);
+  if (fields.size() <= kCancelledCol) return false;
+  if (fields[kCancelledCol] == "1") return false;  // cancelled
+  const std::string& raw_delay = fields[kArrDelayCol];
+  if (raw_delay.empty() || raw_delay == "NA") return false;
+  try {
+    delay = std::stod(raw_delay);
+  } catch (const std::exception&) {
+    return false;
+  }
+  carrier = fields[kCarrierCol];
+  return !carrier.empty();
+}
+
+namespace {
+
+// ------------------------------------------------------------ V1: plain
+
+class PlainDelayMapper : public mr::Mapper {
+ public:
+  void map(std::string_view, std::string_view value,
+           mr::TaskContext& ctx) override {
+    std::string carrier;
+    double delay = 0;
+    if (parseAirlineRow(value, carrier, delay)) {
+      ctx.emitTyped<std::string, double>(carrier, delay);
+    }
+  }
+};
+
+class PlainAverageReducer : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValuesIterator& values,
+              mr::TaskContext& ctx) override {
+    DelaySum agg;
+    while (const auto v = values.nextTyped<double>()) agg.add(*v);
+    ctx.emitTyped<std::string, std::string>(std::string(key),
+                                            formatMean(agg.mean()));
+  }
+};
+
+// --------------------------------------- V2: combiner + custom value class
+
+class SumDelayMapper : public mr::Mapper {
+ public:
+  void map(std::string_view, std::string_view value,
+           mr::TaskContext& ctx) override {
+    std::string carrier;
+    double delay = 0;
+    if (parseAirlineRow(value, carrier, delay)) {
+      DelaySum one;
+      one.add(delay);
+      ctx.emitTyped<std::string, DelaySum>(carrier, one);
+    }
+  }
+};
+
+class DelaySumCombiner : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValuesIterator& values,
+              mr::TaskContext& ctx) override {
+    DelaySum agg;
+    while (const auto v = values.nextTyped<DelaySum>()) agg.merge(*v);
+    ctx.emitTyped<std::string, DelaySum>(std::string(key), agg);
+  }
+};
+
+class DelaySumReducer : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValuesIterator& values,
+              mr::TaskContext& ctx) override {
+    DelaySum agg;
+    while (const auto v = values.nextTyped<DelaySum>()) agg.merge(*v);
+    ctx.emitTyped<std::string, std::string>(std::string(key),
+                                            formatMean(agg.mean()));
+  }
+};
+
+// --------------------------------------------- V3: in-mapper combining
+
+class InMapperDelayMapper : public mr::Mapper {
+ public:
+  void map(std::string_view, std::string_view value,
+           mr::TaskContext& ctx) override {
+    std::string carrier;
+    double delay = 0;
+    if (!parseAirlineRow(value, carrier, delay)) return;
+    auto [it, inserted] = table_.try_emplace(std::move(carrier));
+    it->second.add(delay);
+    if (inserted) {
+      // Charge the in-memory table against the tracker's heap budget —
+      // this is exactly the memory the variant trades for traffic.
+      ctx.allocateHeap(kEntryBytes);
+    }
+  }
+
+  void cleanup(mr::TaskContext& ctx) override {
+    for (const auto& [carrier, agg] : table_) {
+      ctx.emitTyped<std::string, DelaySum>(carrier, agg);
+    }
+    ctx.allocateHeap(-kEntryBytes * static_cast<int64_t>(table_.size()));
+    table_.clear();
+  }
+
+ private:
+  static constexpr int64_t kEntryBytes = 64;  // approx per-entry footprint
+
+  std::map<std::string, DelaySum> table_;
+};
+
+}  // namespace
+
+mr::JobSpec makeAirlineDelayJob(AirlineVariant variant,
+                                std::vector<std::string> inputs,
+                                std::string output, uint32_t num_reducers) {
+  mr::JobSpec spec;
+  spec.name = std::string("airline-delay-") + airlineVariantName(variant);
+  spec.input_paths = std::move(inputs);
+  spec.output_dir = std::move(output);
+  spec.num_reducers = num_reducers;
+  switch (variant) {
+    case AirlineVariant::kPlain:
+      spec.mapper = [] { return std::make_unique<PlainDelayMapper>(); };
+      spec.reducer = [] { return std::make_unique<PlainAverageReducer>(); };
+      break;
+    case AirlineVariant::kCombiner:
+      spec.mapper = [] { return std::make_unique<SumDelayMapper>(); };
+      spec.combiner = [] { return std::make_unique<DelaySumCombiner>(); };
+      spec.reducer = [] { return std::make_unique<DelaySumReducer>(); };
+      break;
+    case AirlineVariant::kInMapper:
+      spec.mapper = [] { return std::make_unique<InMapperDelayMapper>(); };
+      spec.reducer = [] { return std::make_unique<DelaySumReducer>(); };
+      break;
+  }
+  return spec;
+}
+
+std::map<std::string, double> parseAirlineOutput(mr::FileSystemView& fs,
+                                                 const std::string& dir) {
+  std::map<std::string, double> means;
+  for (const auto& file : fs.listFiles(dir)) {
+    const auto slash = file.find_last_of('/');
+    if (file.substr(slash + 1).rfind("part-", 0) != 0) continue;
+    const Bytes body = fs.readRange(file, 0, fs.fileLength(file));
+    std::istringstream lines{body};
+    std::string line;
+    while (std::getline(lines, line)) {
+      const auto tab = line.find('\t');
+      if (tab == std::string::npos) continue;
+      means[line.substr(0, tab)] = std::stod(line.substr(tab + 1));
+    }
+  }
+  return means;
+}
+
+}  // namespace mh::apps

@@ -1,0 +1,68 @@
+#include "mh/apps/gtrace.h"
+
+#include <set>
+
+#include "mh/common/strings.h"
+
+namespace mh::apps {
+
+bool parseSubmitEvent(std::string_view line, uint64_t& job, uint64_t& task) {
+  const auto fields = splitString(line, ',');
+  if (fields.size() < 6) return false;
+  if (fields[4] != "SUBMIT") return false;
+  if (!isDigits(fields[1]) || !isDigits(fields[2])) return false;
+  job = std::stoull(fields[1]);
+  task = std::stoull(fields[2]);
+  return true;
+}
+
+namespace {
+
+class SubmitMapper : public mr::Mapper {
+ public:
+  void map(std::string_view, std::string_view value,
+           mr::TaskContext& ctx) override {
+    uint64_t job = 0;
+    uint64_t task = 0;
+    if (parseSubmitEvent(value, job, task)) {
+      ctx.emitTyped<std::string, int64_t>(std::to_string(job),
+                                          static_cast<int64_t>(task));
+    }
+  }
+};
+
+/// resubmissions = submits − distinct tasks. Needs the raw task indices,
+/// so no combiner (a set-union monoid would work but the course version
+/// keeps it simple).
+class ResubmissionReducer : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValuesIterator& values,
+              mr::TaskContext& ctx) override {
+    int64_t submits = 0;
+    std::set<int64_t> tasks;
+    while (const auto v = values.nextTyped<int64_t>()) {
+      ++submits;
+      tasks.insert(*v);
+    }
+    const int64_t resubmissions =
+        submits - static_cast<int64_t>(tasks.size());
+    ctx.emitTyped<std::string, std::string>(std::string(key),
+                                            std::to_string(resubmissions));
+  }
+};
+
+}  // namespace
+
+mr::JobSpec makeResubmissionJob(std::vector<std::string> inputs,
+                                std::string output, uint32_t num_reducers) {
+  mr::JobSpec spec;
+  spec.name = "gtrace-resubmissions";
+  spec.input_paths = std::move(inputs);
+  spec.output_dir = std::move(output);
+  spec.num_reducers = num_reducers;
+  spec.mapper = [] { return std::make_unique<SubmitMapper>(); };
+  spec.reducer = [] { return std::make_unique<ResubmissionReducer>(); };
+  return spec;
+}
+
+}  // namespace mh::apps

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mh/mr/job.h"
+
+/// \file airline.h
+/// The §III-A lab: average arrival delay per airline, implemented three
+/// ways following Lin's "Monoidify!" progression the course teaches:
+///
+///  V1 kPlain          — mapper emits (carrier, delay); one reducer call
+///                       averages. No combiner is possible: the mean is not
+///                       associative, which is the first lesson.
+///  V2 kCombiner       — mapper emits (carrier, DelaySum{sum,count}); the
+///                       monoid combines map-side. Requires the custom
+///                       value class (a hand-written Serde, Hadoop's custom
+///                       Writable exercise).
+///  V3 kInMapper       — in-mapper combining: a hash map inside the mapper
+///                       aggregates across *all* records of the split and
+///                       flushes at cleanup(). Least traffic, most task
+///                       memory — the memory/network trade-off, made
+///                       visible through TaskContext::allocateHeap.
+
+namespace mh::apps {
+
+/// The custom "Writable": an associative partial aggregate of delays.
+struct DelaySum {
+  double sum = 0.0;
+  int64_t count = 0;
+
+  void add(double delay) {
+    sum += delay;
+    ++count;
+  }
+  void merge(const DelaySum& other) {
+    sum += other.sum;
+    count += other.count;
+  }
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  bool operator==(const DelaySum&) const = default;
+};
+
+enum class AirlineVariant { kPlain = 1, kCombiner = 2, kInMapper = 3 };
+
+const char* airlineVariantName(AirlineVariant variant);
+
+/// Parses one on-time CSV row; returns false for the header, cancelled
+/// flights ("NA" delay), or malformed rows. On success sets carrier/delay.
+bool parseAirlineRow(std::string_view line, std::string& carrier,
+                     double& delay);
+
+/// Builds the job for the chosen variant. Output lines: "CARRIER<TAB>mean"
+/// with mean printed to 3 decimals.
+mr::JobSpec makeAirlineDelayJob(AirlineVariant variant,
+                                std::vector<std::string> inputs,
+                                std::string output,
+                                uint32_t num_reducers = 1);
+
+/// Parses the job's output part files into carrier -> mean.
+std::map<std::string, double> parseAirlineOutput(mr::FileSystemView& fs,
+                                                 const std::string& dir);
+
+}  // namespace mh::apps
+
+namespace mh {
+
+/// The hand-written Serde that makes DelaySum a legal MapReduce value —
+/// this is the "customized Hadoop Value class" students implement.
+template <>
+struct Serde<apps::DelaySum> {
+  static void encode(ByteWriter& w, const apps::DelaySum& v) {
+    w.writeDouble(v.sum);
+    w.writeVarI64(v.count);
+  }
+  static apps::DelaySum decode(ByteReader& r) {
+    apps::DelaySum v;
+    v.sum = r.readDouble();
+    v.count = r.readVarI64();
+    return v;
+  }
+};
+
+}  // namespace mh

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mh/mr/job.h"
+
+/// \file gtrace.h
+/// The Fall-2012 second assignment: over Google-cluster-trace task events,
+/// count task resubmissions per job. A task's SUBMIT appears once per
+/// attempt, so resubmissions(job) = #SUBMIT rows − #distinct task indices.
+/// Chain makeSelectMaxJob over this job's output for "the computing job
+/// with the largest number of task resubmissions".
+
+namespace mh::apps {
+
+/// Parses "timestamp,jobId,taskIndex,machineId,eventType,priority"; true
+/// only for SUBMIT events (sets job and task).
+bool parseSubmitEvent(std::string_view line, uint64_t& job, uint64_t& task);
+
+/// Output: "jobId<TAB>resubmissions", one line per job.
+mr::JobSpec makeResubmissionJob(std::vector<std::string> inputs,
+                                std::string output,
+                                uint32_t num_reducers = 1);
+
+}  // namespace mh::apps

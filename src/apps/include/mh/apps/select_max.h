@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mh/mr/job.h"
+
+/// \file select_max.h
+/// Generic second-stage job: given "key<TAB>numeric-value" lines (the
+/// output shape of TextOutputFormat), select the key with the largest
+/// value. Chained after WordCount it answers the Fall-2012 assignment
+/// ("the word with highest count in the complete Shakespeare collection");
+/// after the resubmission counter it answers "the job with the largest
+/// number of task resubmissions".
+
+namespace mh::apps {
+
+/// Parses "key\tvalue" and re-keys everything to a single bucket so one
+/// reducer sees all candidates. The map-side combiner keeps only each map's
+/// local maximum, so the shuffle carries one record per split.
+class MaxCandidateMapper : public mr::Mapper {
+ public:
+  void map(std::string_view key, std::string_view value,
+           mr::TaskContext& ctx) override;
+};
+
+/// Keeps the max (by value, ties broken by smaller key); emits
+/// "key<TAB>value". Works as both combiner and reducer.
+class MaxSelectReducer : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValuesIterator& values,
+              mr::TaskContext& ctx) override;
+};
+
+/// num_reducers is forced to 1 (global maximum needs a single group).
+mr::JobSpec makeSelectMaxJob(std::vector<std::string> inputs,
+                             std::string output);
+
+}  // namespace mh::apps

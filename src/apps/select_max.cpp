@@ -1,0 +1,101 @@
+#include "mh/apps/select_max.h"
+
+#include "mh/common/strings.h"
+
+namespace mh::apps {
+
+namespace {
+
+/// (key, value) candidate, serialized as a pair.
+using Candidate = std::pair<std::string, double>;
+
+bool parseLine(std::string_view line, Candidate& out) {
+  const auto tab = line.find('\t');
+  if (tab == std::string_view::npos) return false;
+  const std::string_view key = line.substr(0, tab);
+  const std::string_view value = trim(line.substr(tab + 1));
+  double parsed = 0;
+  try {
+    parsed = std::stod(std::string(value));
+  } catch (const std::exception&) {
+    return false;
+  }
+  out = {std::string(key), parsed};
+  return true;
+}
+
+}  // namespace
+
+void MaxCandidateMapper::map(std::string_view, std::string_view value,
+                             mr::TaskContext& ctx) {
+  Candidate candidate;
+  if (parseLine(value, candidate)) {
+    ctx.emitTyped<std::string, Candidate>("max", candidate);
+  }
+}
+
+void MaxSelectReducer::reduce(std::string_view key,
+                              mr::ValuesIterator& values,
+                              mr::TaskContext& ctx) {
+  bool have = false;
+  Candidate best;
+  while (const auto v = values.nextTyped<Candidate>()) {
+    if (!have || v->second > best.second ||
+        (v->second == best.second && v->first < best.first)) {
+      best = *v;
+      have = true;
+    }
+  }
+  if (have) {
+    // Emits the binary candidate so further combine/reduce rounds can keep
+    // folding; MaxFinalReducer renders the terminal text form.
+    ctx.emitTyped<std::string, Candidate>(std::string(key), best);
+  }
+}
+
+namespace {
+
+/// Final reducer: selects the max then emits readable text.
+class MaxFinalReducer : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValuesIterator& values,
+              mr::TaskContext& ctx) override {
+    (void)key;
+    bool have = false;
+    Candidate best;
+    while (const auto v = values.nextTyped<Candidate>()) {
+      if (!have || v->second > best.second ||
+          (v->second == best.second && v->first < best.first)) {
+        best = *v;
+        have = true;
+      }
+    }
+    if (have) {
+      // Integral values print without a trailing ".000000".
+      std::string value_text;
+      if (best.second == static_cast<double>(static_cast<int64_t>(best.second))) {
+        value_text = std::to_string(static_cast<int64_t>(best.second));
+      } else {
+        value_text = std::to_string(best.second);
+      }
+      ctx.emitTyped<std::string, std::string>(best.first, value_text);
+    }
+  }
+};
+
+}  // namespace
+
+mr::JobSpec makeSelectMaxJob(std::vector<std::string> inputs,
+                             std::string output) {
+  mr::JobSpec spec;
+  spec.name = "select-max";
+  spec.input_paths = std::move(inputs);
+  spec.output_dir = std::move(output);
+  spec.num_reducers = 1;
+  spec.mapper = [] { return std::make_unique<MaxCandidateMapper>(); };
+  spec.combiner = [] { return std::make_unique<MaxSelectReducer>(); };
+  spec.reducer = [] { return std::make_unique<MaxFinalReducer>(); };
+  return spec;
+}
+
+}  // namespace mh::apps

@@ -1,0 +1,67 @@
+#include "mh/apps/wordcount.h"
+
+#include <cctype>
+
+#include "mh/common/strings.h"
+
+namespace mh::apps {
+
+namespace {
+
+std::string normalizeToken(std::string_view token) {
+  size_t begin = 0;
+  size_t end = token.size();
+  const auto is_word_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '\'';
+  };
+  while (begin < end && !is_word_char(token[begin])) ++begin;
+  while (end > begin && !is_word_char(token[end - 1])) --end;
+  return toLowerAscii(token.substr(begin, end - begin));
+}
+
+}  // namespace
+
+void WordCountMapper::map(std::string_view, std::string_view value,
+                          mr::TaskContext& ctx) {
+  for (const auto& token : splitWhitespace(value)) {
+    const std::string word = normalizeToken(token);
+    if (!word.empty()) {
+      ctx.emitTyped<std::string, int64_t>(word, 1);
+    }
+  }
+}
+
+void WordCountCombiner::reduce(std::string_view key,
+                               mr::ValuesIterator& values,
+                               mr::TaskContext& ctx) {
+  int64_t sum = 0;
+  while (const auto v = values.nextTyped<int64_t>()) sum += *v;
+  ctx.emitTyped<std::string, int64_t>(std::string(key), sum);
+}
+
+void WordCountReducer::reduce(std::string_view key,
+                              mr::ValuesIterator& values,
+                              mr::TaskContext& ctx) {
+  int64_t sum = 0;
+  while (const auto v = values.nextTyped<int64_t>()) sum += *v;
+  ctx.emitTyped<std::string, std::string>(std::string(key),
+                                          std::to_string(sum));
+}
+
+mr::JobSpec makeWordCountJob(std::vector<std::string> inputs,
+                             std::string output, bool with_combiner,
+                             uint32_t num_reducers) {
+  mr::JobSpec spec;
+  spec.name = with_combiner ? "wordcount+combiner" : "wordcount";
+  spec.input_paths = std::move(inputs);
+  spec.output_dir = std::move(output);
+  spec.num_reducers = num_reducers;
+  spec.mapper = [] { return std::make_unique<WordCountMapper>(); };
+  spec.reducer = [] { return std::make_unique<WordCountReducer>(); };
+  if (with_combiner) {
+    spec.combiner = [] { return std::make_unique<WordCountCombiner>(); };
+  }
+  return spec;
+}
+
+}  // namespace mh::apps

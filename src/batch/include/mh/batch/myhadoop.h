@@ -1,0 +1,88 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mh/hdfs/datanode.h"
+#include "mh/hdfs/dfs_client.h"
+#include "mh/hdfs/namenode.h"
+#include "mh/mr/job_tracker.h"
+#include "mh/mr/task_tracker.h"
+#include "mh/net/network.h"
+
+/// \file myhadoop.h
+/// The myHadoop pattern from the San Diego Supercomputer Center scripts the
+/// course settled on (§II-B): provision a *personal, transient* Hadoop
+/// cluster on a set of nodes allocated by the shared batch scheduler, run
+/// the assignment's jobs, export the output, and tear everything down when
+/// the reservation ends.
+///
+/// The first allocated host runs the NameNode and JobTracker; every host
+/// runs a DataNode and TaskTracker, all on the standard ports — which is
+/// exactly why a previous student's abandoned ("ghost") daemons on the same
+/// nodes make start() fail with AlreadyExistsError.
+
+namespace mh::batch {
+
+class MyHadoopSession {
+ public:
+  /// `hosts` is the batch allocation (>= 1). Daemons are not started yet.
+  MyHadoopSession(Config conf, std::shared_ptr<net::Network> network,
+                  std::vector<std::string> hosts, std::string user);
+  ~MyHadoopSession();
+  MyHadoopSession(const MyHadoopSession&) = delete;
+  MyHadoopSession& operator=(const MyHadoopSession&) = delete;
+
+  /// Boots NameNode + JobTracker on hosts[0] and DataNode + TaskTracker on
+  /// every host. Throws AlreadyExistsError when a ghost daemon holds a
+  /// port; partially started daemons are rolled back.
+  void start();
+
+  /// Clean teardown (the well-behaved student): all ports released.
+  void stop();
+
+  /// Walks away without stopping Hadoop (the paper's failure mode): daemon
+  /// threads die with the session object but every port stays bound until
+  /// the batch epilogue scrubs the node.
+  void abandon();
+
+  bool running() const { return running_; }
+  const std::vector<std::string>& hosts() const { return hosts_; }
+
+  /// HDFS client from the session's login host.
+  hdfs::DfsClient client();
+  mr::JobTracker& jobTracker();
+  const std::shared_ptr<mr::JobRegistry>& registry() const {
+    return registry_;
+  }
+
+  /// Submit-and-wait convenience mirroring `hadoop jar`.
+  mr::JobResult runJob(mr::JobSpec spec);
+
+  /// Stages local bytes into the session's HDFS (`hadoop fs -put` step of
+  /// the submission script).
+  void stageIn(const std::string& dfs_path, std::string_view data);
+
+  /// Copies a DFS file back out (`hadoop fs -copyToLocal` step).
+  Bytes stageOut(const std::string& dfs_path);
+
+ private:
+  void rollback();
+
+  Config conf_;
+  std::shared_ptr<net::Network> network_;
+  std::vector<std::string> hosts_;
+  std::string user_;
+  bool running_ = false;
+
+  std::unique_ptr<hdfs::NameNode> namenode_;
+  std::shared_ptr<mr::JobRegistry> registry_;
+  std::unique_ptr<mr::JobTracker> job_tracker_;
+  std::map<std::string, std::shared_ptr<hdfs::BlockStore>> stores_;
+  std::map<std::string, std::unique_ptr<hdfs::DataNode>> datanodes_;
+  std::map<std::string, std::unique_ptr<mr::TaskTracker>> task_trackers_;
+};
+
+}  // namespace mh::batch

@@ -1,0 +1,82 @@
+#include "mh/common/config.h"
+
+#include <charconv>
+
+#include "mh/common/error.h"
+#include "mh/common/strings.h"
+
+namespace mh {
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+void Config::setInt(std::string key, int64_t value) {
+  set(std::move(key), std::to_string(value));
+}
+
+void Config::setDouble(std::string key, double value) {
+  set(std::move(key), std::to_string(value));
+}
+
+void Config::setBool(std::string key, bool value) {
+  set(std::move(key), value ? "true" : "false");
+}
+
+std::optional<std::string> Config::getRaw(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get(std::string_view key, std::string_view def) const {
+  const auto raw = getRaw(key);
+  return raw ? *raw : std::string(def);
+}
+
+int64_t Config::getInt(std::string_view key, int64_t def) const {
+  const auto raw = getRaw(key);
+  if (!raw) return def;
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), value);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+    throw InvalidArgumentError("config key '" + std::string(key) +
+                               "' is not an integer: " + *raw);
+  }
+  return value;
+}
+
+double Config::getDouble(std::string_view key, double def) const {
+  const auto raw = getRaw(key);
+  if (!raw) return def;
+  try {
+    size_t consumed = 0;
+    const double value = std::stod(*raw, &consumed);
+    if (consumed != raw->size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgumentError("config key '" + std::string(key) +
+                               "' is not a double: " + *raw);
+  }
+}
+
+bool Config::getBool(std::string_view key, bool def) const {
+  const auto raw = getRaw(key);
+  if (!raw) return def;
+  const std::string v = toLowerAscii(*raw);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw InvalidArgumentError("config key '" + std::string(key) +
+                             "' is not a bool: " + *raw);
+}
+
+bool Config::contains(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.entries_) entries_[k] = v;
+}
+
+}  // namespace mh

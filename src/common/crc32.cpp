@@ -1,0 +1,34 @@
+#include "mh/common/crc32.h"
+
+#include <array>
+
+namespace mh {
+
+namespace {
+
+// Table-driven CRC-32C, reflected polynomial 0x82F63B78.
+std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256> kTable = makeTable();
+
+}  // namespace
+
+uint32_t crc32c(std::string_view data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(c)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace mh

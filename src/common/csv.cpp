@@ -1,0 +1,61 @@
+#include "mh/common/csv.h"
+
+#include "mh/common/error.h"
+
+namespace mh {
+
+std::vector<std::string> parseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  if (in_quotes) throw InvalidArgumentError("unbalanced quote in CSV record");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string formatCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& f = fields[i];
+    const bool needs_quote =
+        f.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote) {
+      out.append(f);
+      continue;
+    }
+    out.push_back('"');
+    for (const char c : f) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+}  // namespace mh

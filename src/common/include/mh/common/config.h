@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+/// \file config.h
+/// Hadoop-style string-keyed configuration ("dfs.replication",
+/// "mapred.tasktracker.map.tasks.maximum", ...). Typed getters parse on
+/// access and fall back to a caller-supplied default, mirroring
+/// org.apache.hadoop.conf.Configuration.
+
+namespace mh {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Sets a key; later sets win.
+  void set(std::string key, std::string value);
+  void setInt(std::string key, int64_t value);
+  void setDouble(std::string key, double value);
+  void setBool(std::string key, bool value);
+
+  /// Raw access; nullopt if absent.
+  std::optional<std::string> getRaw(std::string_view key) const;
+
+  std::string get(std::string_view key, std::string_view def = "") const;
+  /// Throws InvalidArgumentError when the stored value does not parse.
+  int64_t getInt(std::string_view key, int64_t def) const;
+  double getDouble(std::string_view key, double def) const;
+  /// Accepts true/false/1/0/yes/no (case-insensitive).
+  bool getBool(std::string_view key, bool def) const;
+
+  bool contains(std::string_view key) const;
+
+  /// Copies every entry of `other` over this config.
+  void merge(const Config& other);
+
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace mh

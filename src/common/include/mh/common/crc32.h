@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file crc32.h
+/// CRC-32C (Castagnoli) — the checksum HDFS uses for block data integrity.
+/// DataNodes store one CRC per 512-byte chunk in each block's .meta sidecar
+/// and re-verify on every read and during periodic block scans.
+
+namespace mh {
+
+/// Computes CRC-32C over `data`, continuing from `seed` (0 for a fresh CRC).
+uint32_t crc32c(std::string_view data, uint32_t seed = 0);
+
+}  // namespace mh

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file csv.h
+/// RFC-4180-ish CSV encode/decode for the synthetic datasets (airline
+/// on-time, movie ratings, music ratings, cluster trace). Handles quoted
+/// fields with embedded commas/quotes/newlines; no header inference.
+
+namespace mh {
+
+/// Parses a single CSV record. Throws InvalidArgumentError on an unbalanced
+/// quote. Embedded newlines are supported only via parseCsvStream.
+std::vector<std::string> parseCsvLine(std::string_view line);
+
+/// Encodes fields as one CSV record (no trailing newline).
+std::string formatCsvLine(const std::vector<std::string>& fields);
+
+}  // namespace mh

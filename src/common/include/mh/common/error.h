@@ -1,0 +1,70 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.h
+/// Exception hierarchy used across the minihadoop library.
+///
+/// Errors that a correct program cannot recover from locally are thrown;
+/// expected conditions (file-not-found on user-supplied paths in the shell,
+/// etc.) are surfaced as status codes at the CLI boundary.
+
+namespace mh {
+
+/// Base class of all minihadoop exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Disk or block-store I/O failure.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("IoError: " + what) {}
+};
+
+/// A path, block, job, or node that does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what)
+      : Error("NotFoundError: " + what) {}
+};
+
+/// Creating something that already exists (file, directory, endpoint).
+class AlreadyExistsError : public Error {
+ public:
+  explicit AlreadyExistsError(const std::string& what)
+      : Error("AlreadyExistsError: " + what) {}
+};
+
+/// An operation attempted in a state that forbids it
+/// (e.g. writes while the NameNode is in safe mode).
+class IllegalStateError : public Error {
+ public:
+  explicit IllegalStateError(const std::string& what)
+      : Error("IllegalStateError: " + what) {}
+};
+
+/// Malformed user input: paths, CSV rows, serialized records.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what)
+      : Error("InvalidArgumentError: " + what) {}
+};
+
+/// Simulated-network failures: unreachable host, port in use, closed bus.
+class NetworkError : public Error {
+ public:
+  explicit NetworkError(const std::string& what)
+      : Error("NetworkError: " + what) {}
+};
+
+/// Checksum mismatch while reading a block replica.
+class ChecksumError : public IoError {
+ public:
+  explicit ChecksumError(const std::string& what)
+      : IoError("checksum mismatch: " + what) {}
+};
+
+}  // namespace mh

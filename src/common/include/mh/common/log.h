@@ -1,0 +1,68 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file log.h
+/// Minimal thread-safe leveled logger.
+///
+/// Daemons (NameNode, DataNode, JobTracker, TaskTracker) tag records with a
+/// component name so interleaved mini-cluster output stays readable, much
+/// like Hadoop's log4j layout. The default level is kWarn so tests and
+/// benchmarks stay quiet; examples raise it to kInfo to narrate behaviour.
+
+namespace mh {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; records below it are dropped.
+void setLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel logLevel();
+
+/// Emits one record to stderr: "HH:MM:SS.mmm LEVEL component: message".
+void logRecord(LogLevel level, const std::string& component,
+               const std::string& message);
+
+namespace detail {
+
+/// Stream-style log statement builder; flushes on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= logLevel()) logRecord(level_, component_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= logLevel()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine logDebug(std::string component) {
+  return {LogLevel::kDebug, std::move(component)};
+}
+inline detail::LogLine logInfo(std::string component) {
+  return {LogLevel::kInfo, std::move(component)};
+}
+inline detail::LogLine logWarn(std::string component) {
+  return {LogLevel::kWarn, std::move(component)};
+}
+inline detail::LogLine logError(std::string component) {
+  return {LogLevel::kError, std::move(component)};
+}
+
+}  // namespace mh

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file stats.h
+/// Summary statistics used by the survey reproduction (Tables I–IV) and by
+/// benchmark reporting: single-pass mean/stddev, histograms, percentiles.
+
+namespace mh {
+
+/// Welford's online mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator), 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Population standard deviation (n denominator).
+  double stddevPopulation() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStat& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void add(double x);
+  int64_t bucketCount(size_t i) const { return counts_.at(i); }
+  size_t buckets() const { return counts_.size(); }
+  int64_t total() const { return total_; }
+  double bucketLow(size_t i) const;
+  double bucketHigh(size_t i) const;
+
+  /// Renders a terminal bar chart, one line per bucket.
+  std::string render(size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Returns the p-th percentile (0..100) of the sample by linear
+/// interpolation. The input is copied and sorted.
+double percentile(std::vector<double> samples, double p);
+
+/// Formats "m±s" with the given precision, as the paper's tables print.
+std::string formatMeanStd(double mean, double stddev, int precision = 2);
+
+}  // namespace mh

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+/// \file stopwatch.h
+/// Wall-clock timer over std::chrono::steady_clock for live-layer
+/// measurements (benchmarks use google-benchmark's own timing; this is for
+/// counters and progress reporting).
+
+namespace mh {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  int64_t elapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  int64_t elapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedMicros()) / 1e6;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Sleeps up to `total`, waking early (within ~10 ms) when the stop token
+/// fires — daemon heartbeat loops use this so shutdown never waits out a
+/// full interval.
+inline void interruptibleSleep(const std::stop_token& token,
+                               std::chrono::milliseconds total) {
+  constexpr auto kSlice = std::chrono::milliseconds(10);
+  auto remaining = total;
+  while (remaining.count() > 0 && !token.stop_requested()) {
+    std::this_thread::sleep_for(std::min(kSlice, remaining));
+    remaining -= kSlice;
+  }
+}
+
+}  // namespace mh

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file strings.h
+/// Small string helpers shared across modules (path handling, trimming,
+/// human-readable sizes).
+
+namespace mh {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> splitString(std::string_view s, char delim);
+
+/// Splits on runs of ASCII whitespace; drops empty fields.
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Joins parts with a delimiter.
+std::string joinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// Renders a byte count as "1.5 MB" style text (binary units).
+std::string formatBytes(uint64_t bytes);
+
+/// Renders milliseconds as "1m 23.4s" style text.
+std::string formatMillis(int64_t ms);
+
+/// Lower-cases ASCII letters; leaves other bytes untouched.
+std::string toLowerAscii(std::string_view s);
+
+/// True if `s` consists only of [0-9] and is non-empty.
+bool isDigits(std::string_view s);
+
+}  // namespace mh

@@ -1,0 +1,48 @@
+#include "mh/common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace mh {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void logRecord(LogLevel level, const std::string& component,
+               const std::string& message) {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto secs = time_point_cast<seconds>(now);
+  const auto millis = duration_cast<milliseconds>(now - secs).count();
+  const std::time_t tt = system_clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&tt, &tm);
+
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "%02d:%02d:%02d.%03d %s %s: %s\n", tm.tm_hour, tm.tm_min,
+               tm.tm_sec, static_cast<int>(millis), levelName(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace mh

@@ -1,0 +1,118 @@
+#include "mh/data/airline.h"
+
+#include <cstdio>
+
+#include "mh/common/error.h"
+#include "mh/common/rng.h"
+#include "mh/common/stats.h"
+
+namespace mh::data {
+
+namespace {
+
+std::string twoLetterCode(int index) {
+  std::string code;
+  code.push_back(static_cast<char>('A' + index / 26 % 26));
+  code.push_back(static_cast<char>('A' + index % 26));
+  return code;
+}
+
+std::string threeLetterCode(int index) {
+  std::string code;
+  code.push_back(static_cast<char>('A' + index / 676 % 26));
+  code.push_back(static_cast<char>('A' + index / 26 % 26));
+  code.push_back(static_cast<char>('A' + index % 26));
+  return code;
+}
+
+}  // namespace
+
+AirlineGenerator::AirlineGenerator(AirlineOptions options)
+    : options_(options) {
+  if (options_.num_carriers < 1 || options_.num_airports < 2) {
+    throw InvalidArgumentError("need >= 1 carrier and >= 2 airports");
+  }
+  Rng rng(options_.seed ^ 0xA1B2C3D4ull);
+  for (int i = 0; i < options_.num_carriers; ++i) {
+    carriers_.push_back(twoLetterCode(i));
+    // Designed mean delay between -2 and +25 minutes; each carrier distinct.
+    carrier_mean_.push_back(-2.0 + 27.0 * rng.uniform01());
+  }
+  for (int i = 0; i < options_.num_airports; ++i) {
+    airports_.push_back(threeLetterCode(i * 7 + 1));
+  }
+}
+
+Bytes AirlineGenerator::generateCsv() {
+  Rng rng(options_.seed);
+  std::map<std::string, RunningStat> stats;
+
+  Bytes out;
+  out.reserve(options_.rows * 64);
+  if (options_.header) {
+    out +=
+        "Year,Month,DayofMonth,DayOfWeek,DepTime,UniqueCarrier,FlightNum,"
+        "Origin,Dest,ArrDelay,DepDelay,Distance,Cancelled\n";
+  }
+
+  char row[160];
+  for (uint64_t i = 0; i < options_.rows; ++i) {
+    const auto carrier_idx =
+        static_cast<size_t>(rng.uniform(carriers_.size()));
+    const std::string& carrier = carriers_[carrier_idx];
+    const int month = static_cast<int>(rng.range(1, 12));
+    const int day = static_cast<int>(rng.range(1, 28));
+    const int dow = static_cast<int>(rng.range(1, 7));
+    const int dep_time = static_cast<int>(rng.range(0, 23)) * 100 +
+                         static_cast<int>(rng.range(0, 59));
+    const int flight = static_cast<int>(rng.range(1, 7999));
+    const auto origin = static_cast<size_t>(rng.uniform(airports_.size()));
+    auto dest = static_cast<size_t>(rng.uniform(airports_.size() - 1));
+    if (dest >= origin) ++dest;
+    const int distance = static_cast<int>(rng.range(90, 2700));
+    const bool cancelled = rng.chance(options_.cancelled_fraction);
+
+    if (cancelled) {
+      std::snprintf(row, sizeof(row),
+                    "2008,%d,%d,%d,NA,%s,%d,%s,%s,NA,NA,%d,1\n", month, day,
+                    dow, carrier.c_str(), flight, airports_[origin].c_str(),
+                    airports_[dest].c_str(), distance);
+    } else {
+      // Delay = carrier's designed mean + noise; occasional big spikes.
+      double delay = rng.normal(carrier_mean_[carrier_idx], 12.0);
+      if (rng.chance(0.03)) delay += rng.exponential(60.0);
+      const int arr_delay = static_cast<int>(delay);
+      const int dep_delay =
+          arr_delay + static_cast<int>(rng.normal(0.0, 4.0));
+      std::snprintf(row, sizeof(row),
+                    "2008,%d,%d,%d,%d,%s,%d,%s,%s,%d,%d,%d,0\n", month, day,
+                    dow, dep_time, carrier.c_str(), flight,
+                    airports_[origin].c_str(), airports_[dest].c_str(),
+                    arr_delay, dep_delay, distance);
+      stats[carrier].add(arr_delay);
+    }
+    out += row;
+  }
+
+  truth_ = AirlineGroundTruth{};
+  double worst = -1e300;
+  for (const auto& [carrier, stat] : stats) {
+    truth_.mean_arr_delay[carrier] = stat.mean();
+    truth_.flights[carrier] = static_cast<uint64_t>(stat.count());
+    if (stat.mean() > worst) {
+      worst = stat.mean();
+      truth_.worst_carrier = carrier;
+    }
+  }
+  generated_ = true;
+  return out;
+}
+
+const AirlineGroundTruth& AirlineGenerator::truth() const {
+  if (!generated_) {
+    throw IllegalStateError("generateCsv() has not been called");
+  }
+  return truth_;
+}
+
+}  // namespace mh::data

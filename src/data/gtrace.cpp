@@ -1,0 +1,105 @@
+#include "mh/data/gtrace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "mh/common/error.h"
+#include "mh/common/rng.h"
+
+namespace mh::data {
+
+namespace {
+
+struct Event {
+  uint64_t timestamp;
+  uint64_t job;
+  uint32_t task;
+  uint32_t machine;
+  const char* type;
+  int priority;
+};
+
+}  // namespace
+
+GTraceGenerator::GTraceGenerator(GTraceOptions options) : options_(options) {
+  if (options_.num_jobs == 0 ||
+      options_.max_tasks_per_job < options_.min_tasks_per_job) {
+    throw InvalidArgumentError("bad gtrace options");
+  }
+}
+
+Bytes GTraceGenerator::generateCsv() {
+  Rng rng(options_.seed);
+  truth_ = GTraceGroundTruth{};
+  std::vector<Event> events;
+
+  for (uint32_t j = 0; j < options_.num_jobs; ++j) {
+    const uint64_t job_id = 6'000'000'000ull + j * 1'000 + rng.uniform(1000);
+    const auto tasks = static_cast<uint32_t>(rng.range(
+        options_.min_tasks_per_job, options_.max_tasks_per_job));
+    const int priority = static_cast<int>(rng.range(0, 11));
+    uint64_t job_resubmits = 0;
+    uint64_t t0 = rng.uniform(1'000'000'000);
+
+    for (uint32_t task = 0; task < tasks; ++task) {
+      uint64_t t = t0 + rng.uniform(10'000'000);
+      uint32_t attempts = 0;
+      while (true) {
+        const auto machine =
+            static_cast<uint32_t>(rng.uniform(options_.num_machines)) + 1;
+        events.push_back({t, job_id, task, 0, "SUBMIT", priority});
+        events.push_back({t + rng.uniform(50'000), job_id, task, machine,
+                          "SCHEDULE", priority});
+        t += 100'000 + rng.uniform(5'000'000);
+        const bool resubmit = attempts < options_.max_resubmits_per_task &&
+                              rng.chance(options_.resubmit_probability);
+        if (resubmit) {
+          events.push_back({t, job_id, task, machine,
+                            rng.chance(0.5) ? "EVICT" : "FAIL", priority});
+          ++attempts;
+          ++job_resubmits;
+          t += rng.uniform(1'000'000);
+          continue;
+        }
+        events.push_back({t, job_id, task, machine,
+                          rng.chance(0.95) ? "FINISH" : "KILL", priority});
+        break;
+      }
+    }
+    truth_.resubmissions_per_job[job_id] = job_resubmits;
+    if (job_resubmits > truth_.worst_job_resubmissions) {
+      truth_.worst_job_resubmissions = job_resubmits;
+      truth_.worst_job = job_id;
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              return std::tie(a.timestamp, a.job, a.task) <
+                     std::tie(b.timestamp, b.job, b.task);
+            });
+
+  Bytes out;
+  out.reserve(events.size() * 48);
+  char row[96];
+  for (const Event& e : events) {
+    std::snprintf(row, sizeof(row), "%llu,%llu,%u,%u,%s,%d\n",
+                  static_cast<unsigned long long>(e.timestamp),
+                  static_cast<unsigned long long>(e.job), e.task, e.machine,
+                  e.type, e.priority);
+    out += row;
+  }
+  truth_.total_events = events.size();
+  generated_ = true;
+  return out;
+}
+
+const GTraceGroundTruth& GTraceGenerator::truth() const {
+  if (!generated_) {
+    throw IllegalStateError("generateCsv() has not been called");
+  }
+  return truth_;
+}
+
+}  // namespace mh::data

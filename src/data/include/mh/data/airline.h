@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mh/common/bytes.h"
+
+/// \file airline.h
+/// Synthetic Airline On-Time Performance data (the ASA Data Expo 2009 set
+/// the course uses for the §III-A lab: "average delay time for each
+/// individual airline"). Schema follows the real single-table CSV; each
+/// carrier has its own delay distribution so the lab's answer is a known
+/// ground truth.
+///
+/// Columns: Year,Month,DayofMonth,DayOfWeek,DepTime,UniqueCarrier,
+/// FlightNum,Origin,Dest,ArrDelay,DepDelay,Distance,Cancelled
+
+namespace mh::data {
+
+struct AirlineOptions {
+  uint64_t seed = 1;
+  uint64_t rows = 100'000;
+  int num_carriers = 14;
+  int num_airports = 120;
+  /// Fraction of cancelled flights (ArrDelay empty — "NA"-style rows the
+  /// students must handle).
+  double cancelled_fraction = 0.02;
+  bool header = true;
+};
+
+struct AirlineGroundTruth {
+  /// Mean ArrDelay per carrier over non-cancelled flights.
+  std::map<std::string, double> mean_arr_delay;
+  /// Flights per carrier (non-cancelled).
+  std::map<std::string, uint64_t> flights;
+  /// Carrier with the worst (largest) mean arrival delay.
+  std::string worst_carrier;
+};
+
+class AirlineGenerator {
+ public:
+  explicit AirlineGenerator(AirlineOptions options = {});
+
+  /// Generates the CSV; repeatable for the same options. Ground truth is
+  /// computed on the fly and readable afterwards via truth().
+  Bytes generateCsv();
+
+  const AirlineGroundTruth& truth() const;
+
+  /// Carrier codes in use ("AA"-style two-letter codes).
+  const std::vector<std::string>& carriers() const { return carriers_; }
+
+ private:
+  AirlineOptions options_;
+  std::vector<std::string> carriers_;
+  std::vector<std::string> airports_;
+  std::vector<double> carrier_mean_;  ///< designed distribution mean
+  AirlineGroundTruth truth_;
+  bool generated_ = false;
+};
+
+}  // namespace mh::data

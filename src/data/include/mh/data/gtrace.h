@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "mh/common/bytes.h"
+
+/// \file gtrace.h
+/// Synthetic Google cluster trace (Wilkes 2011) for the Fall-2012 second
+/// assignment: "find the computing job with the largest number of task
+/// resubmissions". Task-event rows follow the public trace's shape:
+///
+///   timestamp,jobId,taskIndex,machineId,eventType,priority
+///
+/// Event types (a subset of the real trace's): SUBMIT, SCHEDULE, EVICT,
+/// FAIL, FINISH, KILL. A task that is EVICTed or FAILs is resubmitted
+/// (another SUBMIT+SCHEDULE pair), so
+///   resubmissions(job) = #SUBMIT(job) - #distinct tasks(job).
+
+namespace mh::data {
+
+struct GTraceOptions {
+  uint64_t seed = 1;
+  uint32_t num_jobs = 400;
+  uint32_t num_machines = 1'000;
+  uint32_t min_tasks_per_job = 1;
+  uint32_t max_tasks_per_job = 60;
+  /// Per-attempt probability the task is evicted/fails and is resubmitted.
+  double resubmit_probability = 0.12;
+  uint32_t max_resubmits_per_task = 8;
+};
+
+struct GTraceGroundTruth {
+  std::map<uint64_t, uint64_t> resubmissions_per_job;
+  uint64_t worst_job = 0;
+  uint64_t worst_job_resubmissions = 0;
+  uint64_t total_events = 0;
+};
+
+class GTraceGenerator {
+ public:
+  explicit GTraceGenerator(GTraceOptions options = {});
+
+  /// Event rows in timestamp order; computes ground truth.
+  Bytes generateCsv();
+
+  const GTraceGroundTruth& truth() const;
+
+ private:
+  GTraceOptions options_;
+  GTraceGroundTruth truth_;
+  bool generated_ = false;
+};
+
+}  // namespace mh::data

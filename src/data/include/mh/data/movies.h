@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mh/common/bytes.h"
+#include "mh/common/stats.h"
+
+/// \file movies.h
+/// Synthetic MovieLens-style data for the course's first assignment:
+/// per-genre descriptive statistics on ratings, plus "the user who provides
+/// the most ratings and that user's favorite movie genre". Two files, like
+/// the real dataset:
+///   ratings.csv  userId,movieId,rating,timestamp      (rating 0.5..5.0)
+///   movies.csv   movieId,title,genre1|genre2|...      (the SIDE DATA the
+///                mappers must join against — the order-of-magnitude lesson)
+
+namespace mh::data {
+
+/// The 18 MovieLens genres.
+const std::vector<std::string>& movieGenres();
+
+struct MoviesOptions {
+  uint64_t seed = 1;
+  uint32_t num_users = 2'000;
+  uint32_t num_movies = 800;
+  uint64_t num_ratings = 100'000;
+  /// User activity skew (Zipf exponent): a few users rate a lot.
+  double user_zipf = 1.1;
+  /// Movie popularity skew.
+  double movie_zipf = 0.9;
+};
+
+struct MoviesGroundTruth {
+  /// Per-genre rating statistics (a rating counts once per genre of the
+  /// movie, as the assignment requires).
+  std::map<std::string, RunningStat> genre_stats;
+  /// The most active rater and their rating count.
+  uint32_t top_user = 0;
+  uint64_t top_user_ratings = 0;
+  /// The top user's most-rated genre.
+  std::string top_user_favorite_genre;
+};
+
+class MoviesGenerator {
+ public:
+  explicit MoviesGenerator(MoviesOptions options = {});
+
+  /// "movieId,title,genres" lines.
+  Bytes generateMoviesCsv() const;
+
+  /// "userId,movieId,rating,timestamp" lines. Computes the ground truth.
+  Bytes generateRatingsCsv();
+
+  const MoviesGroundTruth& truth() const;
+
+  /// Genres of one movie (1..3 of the 18).
+  const std::vector<std::string>& genresOf(uint32_t movie_id) const;
+
+ private:
+  MoviesOptions options_;
+  std::vector<std::vector<std::string>> movie_genres_;  // by movie index
+  MoviesGroundTruth truth_;
+  bool generated_ = false;
+};
+
+}  // namespace mh::data

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mh/common/bytes.h"
+#include "mh/common/stats.h"
+
+/// \file music.h
+/// Synthetic Yahoo! Music-style data for the course's second assignment:
+/// "identify the album that has the highest average rating using MapReduce
+/// and HDFS". Like the real Webscope set, ratings reference songs and a
+/// separate table maps songs to albums — side data again, this time at
+/// HDFS scale.
+///
+///   ratings.tsv  userId<TAB>songId<TAB>rating        (rating 0..100)
+///   songs.tsv    songId<TAB>albumId<TAB>artistId
+
+namespace mh::data {
+
+struct MusicOptions {
+  uint64_t seed = 1;
+  uint32_t num_users = 5'000;
+  uint32_t num_songs = 2'000;
+  uint32_t num_albums = 300;
+  uint32_t num_artists = 150;
+  uint64_t num_ratings = 200'000;
+  double song_zipf = 0.9;
+};
+
+struct MusicGroundTruth {
+  std::map<uint32_t, RunningStat> album_stats;
+  uint32_t best_album = 0;       ///< highest mean rating
+  double best_album_mean = 0.0;
+};
+
+class MusicGenerator {
+ public:
+  explicit MusicGenerator(MusicOptions options = {});
+
+  /// "songId\talbumId\tartistId" lines.
+  Bytes generateSongsTsv() const;
+
+  /// "userId\tsongId\trating" lines; computes ground truth.
+  Bytes generateRatingsTsv();
+
+  const MusicGroundTruth& truth() const;
+
+  uint32_t albumOf(uint32_t song_id) const { return song_album_.at(song_id - 1); }
+
+ private:
+  MusicOptions options_;
+  std::vector<uint32_t> song_album_;   // by song index
+  std::vector<uint32_t> album_artist_; // by album index
+  std::vector<double> album_quality_;  // designed mean by album index
+  MusicGroundTruth truth_;
+  bool generated_ = false;
+};
+
+}  // namespace mh::data

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mh/common/bytes.h"
+#include "mh/common/rng.h"
+
+/// \file text_corpus.h
+/// Synthetic natural-language-shaped corpus ("the complete Shakespeare
+/// collection" stand-in from the course's first WordCount assignment).
+/// Words are drawn from a generated pseudo-word vocabulary with Zipfian
+/// frequencies, which is what makes combiners effective (few hot keys) and
+/// gives "find the word with the highest count" a deterministic answer.
+
+namespace mh::data {
+
+struct TextCorpusOptions {
+  uint64_t seed = 1;
+  size_t vocabulary_size = 5000;
+  double zipf_exponent = 1.0;
+  int min_words_per_line = 4;
+  int max_words_per_line = 12;
+  uint64_t target_bytes = 1 << 20;
+};
+
+class TextCorpusGenerator {
+ public:
+  explicit TextCorpusGenerator(TextCorpusOptions options = {});
+
+  /// Generates ~target_bytes of newline-delimited text (always ends
+  /// at a line boundary). Repeatable for the same options.
+  Bytes generate();
+
+  /// The word at Zipf rank `r` (rank 0 = most frequent).
+  const std::string& word(size_t rank) const { return vocabulary_.at(rank); }
+  size_t vocabularySize() const { return vocabulary_.size(); }
+
+  /// Exact per-word counts of the last generate() call.
+  const std::vector<uint64_t>& lastCounts() const { return counts_; }
+
+  /// The most frequent word of the last generate() (the assignment's
+  /// question), with its count.
+  std::pair<std::string, uint64_t> topWord() const;
+
+ private:
+  TextCorpusOptions options_;
+  std::vector<std::string> vocabulary_;
+  std::vector<uint64_t> counts_;
+};
+
+/// Deterministic pronounceable pseudo-word for an index (CV syllables).
+std::string pseudoWord(uint64_t index);
+
+}  // namespace mh::data

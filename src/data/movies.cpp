@@ -1,0 +1,118 @@
+#include "mh/data/movies.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mh/common/error.h"
+#include "mh/common/rng.h"
+
+namespace mh::data {
+
+const std::vector<std::string>& movieGenres() {
+  static const std::vector<std::string> kGenres{
+      "Action",    "Adventure", "Animation", "Children", "Comedy",
+      "Crime",     "Documentary", "Drama",   "Fantasy",  "FilmNoir",
+      "Horror",    "Musical",   "Mystery",  "Romance",  "SciFi",
+      "Thriller",  "War",       "Western"};
+  return kGenres;
+}
+
+MoviesGenerator::MoviesGenerator(MoviesOptions options) : options_(options) {
+  if (options_.num_users == 0 || options_.num_movies == 0) {
+    throw InvalidArgumentError("need users and movies");
+  }
+  Rng rng(options_.seed ^ 0x5157ull);
+  const auto& genres = movieGenres();
+  movie_genres_.resize(options_.num_movies);
+  for (auto& assigned : movie_genres_) {
+    const auto n = 1 + rng.uniform(3);
+    std::vector<size_t> picks;
+    while (picks.size() < n) {
+      const auto g = static_cast<size_t>(rng.uniform(genres.size()));
+      if (std::find(picks.begin(), picks.end(), g) == picks.end()) {
+        picks.push_back(g);
+      }
+    }
+    std::sort(picks.begin(), picks.end());
+    for (const auto g : picks) assigned.push_back(genres[g]);
+  }
+}
+
+Bytes MoviesGenerator::generateMoviesCsv() const {
+  Bytes out;
+  out.reserve(options_.num_movies * 48);
+  for (uint32_t m = 0; m < options_.num_movies; ++m) {
+    out += std::to_string(m + 1);
+    out += ",Movie #";
+    out += std::to_string(m + 1);
+    out += " (19";
+    out += std::to_string(50 + m % 50);
+    out += "),";
+    const auto& genres = movie_genres_[m];
+    for (size_t g = 0; g < genres.size(); ++g) {
+      if (g > 0) out.push_back('|');
+      out += genres[g];
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Bytes MoviesGenerator::generateRatingsCsv() {
+  Rng rng(options_.seed);
+  ZipfSampler user_zipf(options_.num_users, options_.user_zipf);
+  ZipfSampler movie_zipf(options_.num_movies, options_.movie_zipf);
+
+  std::vector<uint64_t> per_user(options_.num_users, 0);
+  std::map<std::pair<uint32_t, std::string>, uint64_t> user_genre;
+  truth_ = MoviesGroundTruth{};
+
+  Bytes out;
+  out.reserve(options_.num_ratings * 28);
+  char row[64];
+  for (uint64_t i = 0; i < options_.num_ratings; ++i) {
+    const auto user = static_cast<uint32_t>(user_zipf.sample(rng)) + 1;
+    const auto movie = static_cast<uint32_t>(movie_zipf.sample(rng)) + 1;
+    // Ratings in half-star steps 0.5..5.0, biased upward like real data.
+    const double raw = rng.normal(3.6, 1.0);
+    const double rating =
+        std::clamp(std::round(raw * 2.0) / 2.0, 0.5, 5.0);
+    const int64_t ts = 1'000'000'000 + static_cast<int64_t>(rng.uniform(300'000'000));
+    std::snprintf(row, sizeof(row), "%u,%u,%.1f,%lld\n", user, movie, rating,
+                  static_cast<long long>(ts));
+    out += row;
+
+    ++per_user[user - 1];
+    for (const auto& genre : movie_genres_[movie - 1]) {
+      truth_.genre_stats[genre].add(rating);
+      ++user_genre[{user, genre}];
+    }
+  }
+
+  const auto top_it = std::max_element(per_user.begin(), per_user.end());
+  truth_.top_user = static_cast<uint32_t>(top_it - per_user.begin()) + 1;
+  truth_.top_user_ratings = *top_it;
+  uint64_t best = 0;
+  for (const auto& [key, count] : user_genre) {
+    if (key.first == truth_.top_user && count > best) {
+      best = count;
+      truth_.top_user_favorite_genre = key.second;
+    }
+  }
+  generated_ = true;
+  return out;
+}
+
+const MoviesGroundTruth& MoviesGenerator::truth() const {
+  if (!generated_) {
+    throw IllegalStateError("generateRatingsCsv() has not been called");
+  }
+  return truth_;
+}
+
+const std::vector<std::string>& MoviesGenerator::genresOf(
+    uint32_t movie_id) const {
+  return movie_genres_.at(movie_id - 1);
+}
+
+}  // namespace mh::data

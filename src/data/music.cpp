@@ -1,0 +1,82 @@
+#include "mh/data/music.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mh/common/error.h"
+#include "mh/common/rng.h"
+
+namespace mh::data {
+
+MusicGenerator::MusicGenerator(MusicOptions options) : options_(options) {
+  if (options_.num_songs == 0 || options_.num_albums == 0 ||
+      options_.num_artists == 0) {
+    throw InvalidArgumentError("need songs, albums, artists");
+  }
+  Rng rng(options_.seed ^ 0xBEEFull);
+  song_album_.resize(options_.num_songs);
+  for (auto& album : song_album_) {
+    album = static_cast<uint32_t>(rng.uniform(options_.num_albums)) + 1;
+  }
+  album_artist_.resize(options_.num_albums);
+  for (auto& artist : album_artist_) {
+    artist = static_cast<uint32_t>(rng.uniform(options_.num_artists)) + 1;
+  }
+  album_quality_.resize(options_.num_albums);
+  for (auto& quality : album_quality_) {
+    quality = 30.0 + 55.0 * rng.uniform01();  // designed mean in [30, 85]
+  }
+}
+
+Bytes MusicGenerator::generateSongsTsv() const {
+  Bytes out;
+  out.reserve(options_.num_songs * 16);
+  char row[48];
+  for (uint32_t s = 0; s < options_.num_songs; ++s) {
+    std::snprintf(row, sizeof(row), "%u\t%u\t%u\n", s + 1, song_album_[s],
+                  album_artist_[song_album_[s] - 1]);
+    out += row;
+  }
+  return out;
+}
+
+Bytes MusicGenerator::generateRatingsTsv() {
+  Rng rng(options_.seed);
+  ZipfSampler song_zipf(options_.num_songs, options_.song_zipf);
+  truth_ = MusicGroundTruth{};
+
+  Bytes out;
+  out.reserve(options_.num_ratings * 16);
+  char row[48];
+  for (uint64_t i = 0; i < options_.num_ratings; ++i) {
+    const auto user =
+        static_cast<uint32_t>(rng.uniform(options_.num_users)) + 1;
+    const auto song = static_cast<uint32_t>(song_zipf.sample(rng)) + 1;
+    const uint32_t album = song_album_[song - 1];
+    const double raw = rng.normal(album_quality_[album - 1], 18.0);
+    const int rating = static_cast<int>(std::clamp(raw, 0.0, 100.0));
+    std::snprintf(row, sizeof(row), "%u\t%u\t%d\n", user, song, rating);
+    out += row;
+    truth_.album_stats[album].add(rating);
+  }
+
+  double best = -1.0;
+  for (const auto& [album, stat] : truth_.album_stats) {
+    if (stat.mean() > best) {
+      best = stat.mean();
+      truth_.best_album = album;
+      truth_.best_album_mean = stat.mean();
+    }
+  }
+  generated_ = true;
+  return out;
+}
+
+const MusicGroundTruth& MusicGenerator::truth() const {
+  if (!generated_) {
+    throw IllegalStateError("generateRatingsTsv() has not been called");
+  }
+  return truth_;
+}
+
+}  // namespace mh::data

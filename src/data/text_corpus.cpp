@@ -1,0 +1,72 @@
+#include "mh/data/text_corpus.h"
+
+#include <algorithm>
+
+#include "mh/common/error.h"
+
+namespace mh::data {
+
+std::string pseudoWord(uint64_t index) {
+  static const char* kConsonants = "bcdfghjklmnprstvwz";
+  static const char* kVowels = "aeiou";
+  const size_t nc = 18;
+  const size_t nv = 5;
+  // Base-(nc*nv) expansion into CV syllables; at least two syllables so
+  // words look word-like.
+  std::string out;
+  uint64_t x = index;
+  do {
+    const uint64_t syllable = x % (nc * nv);
+    out.push_back(kConsonants[syllable / nv]);
+    out.push_back(kVowels[syllable % nv]);
+    x /= nc * nv;
+  } while (x > 0);
+  if (out.size() < 4) out += "ta";
+  return out;
+}
+
+TextCorpusGenerator::TextCorpusGenerator(TextCorpusOptions options)
+    : options_(options) {
+  if (options_.vocabulary_size == 0) {
+    throw InvalidArgumentError("vocabulary must be non-empty");
+  }
+  if (options_.min_words_per_line < 1 ||
+      options_.max_words_per_line < options_.min_words_per_line) {
+    throw InvalidArgumentError("bad words-per-line range");
+  }
+  vocabulary_.reserve(options_.vocabulary_size);
+  for (size_t i = 0; i < options_.vocabulary_size; ++i) {
+    vocabulary_.push_back(pseudoWord(i));
+  }
+}
+
+Bytes TextCorpusGenerator::generate() {
+  Rng rng(options_.seed);
+  ZipfSampler zipf(options_.vocabulary_size, options_.zipf_exponent);
+  counts_.assign(options_.vocabulary_size, 0);
+
+  Bytes out;
+  out.reserve(options_.target_bytes + 128);
+  while (out.size() < options_.target_bytes) {
+    const int words = static_cast<int>(
+        rng.range(options_.min_words_per_line, options_.max_words_per_line));
+    for (int w = 0; w < words; ++w) {
+      const uint64_t rank = zipf.sample(rng);
+      ++counts_[rank];
+      out += vocabulary_[rank];
+      out.push_back(w + 1 == words ? '\n' : ' ');
+    }
+  }
+  return out;
+}
+
+std::pair<std::string, uint64_t> TextCorpusGenerator::topWord() const {
+  if (counts_.empty()) {
+    throw IllegalStateError("generate() has not been called");
+  }
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  const auto rank = static_cast<size_t>(it - counts_.begin());
+  return {vocabulary_[rank], *it};
+}
+
+}  // namespace mh::data

@@ -1,0 +1,56 @@
+#include "mh/hbase/hfile.h"
+
+#include <algorithm>
+
+#include "mh/common/crc32.h"
+#include "mh/common/error.h"
+
+namespace mh::hbase {
+
+Bytes encodeHFile(const std::vector<Cell>& cells) {
+  if (!std::is_sorted(cells.begin(), cells.end())) {
+    throw InvalidArgumentError("HFile cells must be sorted");
+  }
+  Bytes out;
+  ByteWriter w(out);
+  w.writeRaw(kHFileMagic);
+  w.writeVarU64(cells.size());
+  for (const Cell& cell : cells) {
+    Serde<Cell>::encode(w, cell);
+  }
+  const uint32_t crc = crc32c(out);
+  w.writeU32(crc);
+  return out;
+}
+
+std::vector<Cell> decodeHFile(std::string_view data) {
+  if (data.size() < 8) throw InvalidArgumentError("HFile too small");
+  const std::string_view body = data.substr(0, data.size() - 4);
+  ByteReader trailer(data.substr(data.size() - 4));
+  if (trailer.readU32() != crc32c(body)) {
+    throw ChecksumError("HFile trailer checksum mismatch");
+  }
+  ByteReader r(body);
+  if (r.readRaw(4) != kHFileMagic) {
+    throw InvalidArgumentError("bad HFile magic");
+  }
+  const uint64_t count = r.readVarU64();
+  std::vector<Cell> cells;
+  cells.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    cells.push_back(Serde<Cell>::decode(r));
+  }
+  if (!r.atEnd()) throw InvalidArgumentError("trailing bytes in HFile");
+  return cells;
+}
+
+void writeHFile(mr::FileSystemView& fs, const std::string& path,
+                const std::vector<Cell>& cells) {
+  fs.writeFile(path, encodeHFile(cells));
+}
+
+std::vector<Cell> readHFile(mr::FileSystemView& fs, const std::string& path) {
+  return decodeHFile(fs.readRange(path, 0, fs.fileLength(path)));
+}
+
+}  // namespace mh::hbase

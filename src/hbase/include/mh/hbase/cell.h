@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "mh/common/serde.h"
+
+/// \file cell.h
+/// The unit of storage in the mini-HBase table: a versioned (row, column)
+/// entry. Cells are ordered by (row, column, seq DESC) so scans see the
+/// newest version of each coordinate first.
+
+namespace mh::hbase {
+
+enum class CellType : uint8_t {
+  kPut = 0,
+  kDelete = 1,  ///< tombstone: hides older versions until compacted away
+};
+
+struct Cell {
+  std::string row;
+  std::string column;
+  uint64_t seq = 0;  ///< monotonically increasing write sequence
+  CellType type = CellType::kPut;
+  Bytes value;
+
+  bool operator==(const Cell&) const = default;
+
+  /// Sort key: (row, column) ascending, then newest (highest seq) first.
+  friend bool operator<(const Cell& a, const Cell& b) {
+    return std::tie(a.row, a.column) < std::tie(b.row, b.column) ||
+           (std::tie(a.row, a.column) == std::tie(b.row, b.column) &&
+            a.seq > b.seq);
+  }
+
+  /// Same (row, column) coordinate?
+  bool sameCoord(const Cell& other) const {
+    return row == other.row && column == other.column;
+  }
+};
+
+}  // namespace mh::hbase
+
+namespace mh {
+
+template <>
+struct Serde<hbase::Cell> {
+  static void encode(ByteWriter& w, const hbase::Cell& v) {
+    w.writeBytes(v.row);
+    w.writeBytes(v.column);
+    w.writeVarU64(v.seq);
+    w.writeU8(static_cast<uint8_t>(v.type));
+    w.writeBytes(v.value);
+  }
+  static hbase::Cell decode(ByteReader& r) {
+    hbase::Cell v;
+    v.row = r.readString();
+    v.column = r.readString();
+    v.seq = r.readVarU64();
+    v.type = static_cast<hbase::CellType>(r.readU8());
+    v.value = r.readString();
+    return v;
+  }
+};
+
+}  // namespace mh

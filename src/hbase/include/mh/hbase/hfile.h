@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mh/hbase/cell.h"
+#include "mh/mr/fs_view.h"
+
+/// \file hfile.h
+/// The immutable on-(H)DFS file format holding a sorted run of cells — the
+/// mini-HBase analogue of HFiles. Layout:
+///
+///   [magic "MHF1"][varint cell count][cells...][crc32c of everything prior]
+///
+/// Files are written once (matching HDFS's write-once contract) and read
+/// whole; the trailing checksum catches truncation/corruption beyond what
+/// the DataNode's block checksums already cover.
+
+namespace mh::hbase {
+
+inline constexpr const char* kHFileMagic = "MHF1";
+
+/// Serializes sorted cells into HFile bytes. Cells must already be sorted;
+/// throws InvalidArgumentError otherwise.
+Bytes encodeHFile(const std::vector<Cell>& cells);
+
+/// Parses and validates HFile bytes.
+std::vector<Cell> decodeHFile(std::string_view data);
+
+/// Writes an HFile to `path` via the file system view.
+void writeHFile(mr::FileSystemView& fs, const std::string& path,
+                const std::vector<Cell>& cells);
+
+/// Reads an HFile from `path`.
+std::vector<Cell> readHFile(mr::FileSystemView& fs, const std::string& path);
+
+}  // namespace mh::hbase

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+
+#include "mh/hbase/table.h"
+#include "mh/mr/input_format.h"
+
+/// \file table_input_format.h
+/// MapReduce over an HBase table (the analogue of Hadoop's
+/// TableInputFormat): splits are contiguous row ranges, records are
+///
+///   key   = row key
+///   value = kv_stream frames of (column, value) pairs (decode with
+///           mh::mr::KvReader)
+///
+/// Each map task opens its own read-only view of the table through the
+/// task's FileSystemView, so scans run wherever the task was scheduled.
+/// Split descriptors are self-contained (row ranges hex-encoded into the
+/// InputSplit path), which lets them travel through the ordinary task
+/// assignment wire format.
+
+namespace mh::hbase {
+
+class TableInputFormat final : public mr::InputFormat {
+ public:
+  /// The job's input_paths are ignored; the table identity lives here.
+  TableInputFormat(std::string root, std::string name,
+                   uint32_t num_splits = 4);
+
+  std::vector<mr::InputSplit> getSplits(
+      mr::FileSystemView& fs, const std::vector<std::string>& paths) override;
+
+  std::unique_ptr<mr::RecordReader> createReader(
+      mr::FileSystemView& fs, const mr::InputSplit& split) override;
+
+  /// Builds the factory for a JobSpec. Set the spec's input_paths to any
+  /// non-empty placeholder (conventionally the table directory).
+  static mr::InputFormatFactory factory(std::string root, std::string name,
+                                        uint32_t num_splits = 4);
+
+ private:
+  std::string root_;
+  std::string name_;
+  uint32_t num_splits_;
+};
+
+/// Encodes one row's columns as the value payload (kv_stream frames).
+Bytes encodeRowColumns(const RowResult& row);
+
+/// Decodes a TableInputFormat value payload back into column -> value.
+std::map<std::string, Bytes> decodeRowColumns(std::string_view value);
+
+}  // namespace mh::hbase

@@ -1,0 +1,153 @@
+#include "mh/hbase/table_input_format.h"
+
+#include "mh/common/error.h"
+#include "mh/common/strings.h"
+#include "mh/mr/kv_stream.h"
+
+namespace mh::hbase {
+
+namespace {
+
+constexpr const char* kScheme = "mhtable:";
+
+std::string hexEncode(std::string_view s) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (const char c : s) {
+    out.push_back(kDigits[static_cast<uint8_t>(c) >> 4]);
+    out.push_back(kDigits[static_cast<uint8_t>(c) & 0xF]);
+  }
+  return out;
+}
+
+std::string hexDecode(std::string_view s) {
+  if (s.size() % 2 != 0) throw InvalidArgumentError("odd hex length");
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    throw InvalidArgumentError("bad hex digit");
+  };
+  std::string out;
+  out.reserve(s.size() / 2);
+  for (size_t i = 0; i < s.size(); i += 2) {
+    out.push_back(static_cast<char>(nibble(s[i]) << 4 | nibble(s[i + 1])));
+  }
+  return out;
+}
+
+/// Split descriptor: "mhtable:<root>\n<name>\n<hex start>\n<hex end>".
+std::string encodeDescriptor(const std::string& root, const std::string& name,
+                             const std::string& start,
+                             const std::string& end) {
+  return std::string(kScheme) + root + "\n" + name + "\n" + hexEncode(start) +
+         "\n" + hexEncode(end);
+}
+
+struct Descriptor {
+  std::string root;
+  std::string name;
+  std::string start;
+  std::string end;
+};
+
+Descriptor decodeDescriptor(const std::string& path) {
+  if (path.rfind(kScheme, 0) != 0) {
+    throw InvalidArgumentError("not a table split: " + path);
+  }
+  const auto parts =
+      splitString(path.substr(std::string(kScheme).size()), '\n');
+  if (parts.size() != 4) {
+    throw InvalidArgumentError("bad table split descriptor");
+  }
+  return {parts[0], parts[1], hexDecode(parts[2]), hexDecode(parts[3])};
+}
+
+class TableRecordReader final : public mr::RecordReader {
+ public:
+  TableRecordReader(mr::FileSystemView& fs, const Descriptor& descriptor) {
+    auto table = Table::open(fs, descriptor.root, descriptor.name);
+    rows_ = table->scan(descriptor.start, descriptor.end);
+  }
+
+  bool next(Bytes& key, Bytes& value) override {
+    if (pos_ >= rows_.size()) return false;
+    key = rows_[pos_].row;
+    value = encodeRowColumns(rows_[pos_]);
+    ++pos_;
+    return true;
+  }
+
+ private:
+  std::vector<RowResult> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes encodeRowColumns(const RowResult& row) {
+  Bytes out;
+  mr::KvWriter writer(out);
+  for (const auto& [column, value] : row.columns) {
+    writer.write(column, value);
+  }
+  return out;
+}
+
+std::map<std::string, Bytes> decodeRowColumns(std::string_view value) {
+  std::map<std::string, Bytes> columns;
+  mr::KvReader reader(value);
+  std::string_view col;
+  std::string_view val;
+  while (reader.next(col, val)) {
+    columns.emplace(std::string(col), Bytes(val));
+  }
+  return columns;
+}
+
+TableInputFormat::TableInputFormat(std::string root, std::string name,
+                                   uint32_t num_splits)
+    : root_(std::move(root)), name_(std::move(name)),
+      num_splits_(num_splits) {
+  if (num_splits_ == 0) throw InvalidArgumentError("need >= 1 split");
+}
+
+std::vector<mr::InputSplit> TableInputFormat::getSplits(
+    mr::FileSystemView& fs, const std::vector<std::string>&) {
+  // Sample the current row set to choose contiguous range boundaries.
+  auto table = Table::open(fs, root_, name_);
+  const auto rows = table->scan();
+  std::vector<mr::InputSplit> splits;
+  if (rows.empty()) return splits;
+
+  const size_t per_split =
+      (rows.size() + num_splits_ - 1) / num_splits_;
+  std::string start;  // "" = from the beginning
+  for (size_t begin = 0; begin < rows.size(); begin += per_split) {
+    const size_t end_index = begin + per_split;
+    const std::string end =
+        end_index < rows.size() ? rows[end_index].row : "";
+    mr::InputSplit split;
+    split.path = encodeDescriptor(root_, name_, start, end);
+    split.length = std::min(per_split, rows.size() - begin);  // row count
+    splits.push_back(std::move(split));
+    if (end.empty()) break;
+    start = end;
+  }
+  return splits;
+}
+
+std::unique_ptr<mr::RecordReader> TableInputFormat::createReader(
+    mr::FileSystemView& fs, const mr::InputSplit& split) {
+  return std::make_unique<TableRecordReader>(fs, decodeDescriptor(split.path));
+}
+
+mr::InputFormatFactory TableInputFormat::factory(std::string root,
+                                                 std::string name,
+                                                 uint32_t num_splits) {
+  return [root = std::move(root), name = std::move(name), num_splits] {
+    return std::make_unique<TableInputFormat>(root, name, num_splits);
+  };
+}
+
+}  // namespace mh::hbase

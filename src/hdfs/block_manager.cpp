@@ -1,0 +1,230 @@
+#include "mh/hdfs/block_manager.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+
+#include "mh/common/error.h"
+
+namespace mh::hdfs {
+
+namespace {
+
+/// Weighted-random draw from `pool` restricted by `admit`; removes and
+/// returns the pick, or nullopt when nothing qualifies.
+std::optional<PlacementCandidate> drawWhere(
+    std::vector<PlacementCandidate>& pool, Rng& rng,
+    const std::function<bool(const PlacementCandidate&)>& admit) {
+  uint64_t total_weight = 0;
+  for (const auto& c : pool) {
+    if (admit(c)) total_weight += c.free_bytes + 1;
+  }
+  if (total_weight == 0) return std::nullopt;
+  uint64_t pick = rng.uniform(total_weight);
+  for (size_t idx = 0; idx < pool.size(); ++idx) {
+    if (!admit(pool[idx])) continue;
+    const uint64_t w = pool[idx].free_bytes + 1;
+    if (pick < w) {
+      PlacementCandidate chosen = pool[idx];
+      pool.erase(pool.begin() + static_cast<ptrdiff_t>(idx));
+      return chosen;
+    }
+    pick -= w;
+  }
+  return std::nullopt;  // unreachable
+}
+
+}  // namespace
+
+std::vector<std::string> choosePlacement(
+    const std::vector<PlacementCandidate>& candidates, size_t count,
+    const std::string& preferred, const std::set<std::string>& exclude,
+    Rng& rng) {
+  std::vector<std::string> chosen;
+  std::vector<PlacementCandidate> pool;
+  std::string first_rack;
+  std::string second_rack;
+
+  for (const auto& c : candidates) {
+    if (exclude.contains(c.host)) continue;
+    if (chosen.empty() && !preferred.empty() && c.host == preferred) {
+      chosen.push_back(c.host);
+      first_rack = c.rack;
+      continue;
+    }
+    pool.push_back(c);
+  }
+  const auto any = [](const PlacementCandidate&) { return true; };
+
+  while (chosen.size() < count && !pool.empty()) {
+    std::optional<PlacementCandidate> pick;
+    if (chosen.empty()) {
+      // No writer-local replica: first target is unconstrained.
+      pick = drawWhere(pool, rng, any);
+      if (pick) first_rack = pick->rack;
+    } else if (chosen.size() == 1 && !first_rack.empty()) {
+      // Second replica: a different rack than the first, if the topology
+      // has one.
+      pick = drawWhere(pool, rng, [&](const PlacementCandidate& c) {
+        return c.rack != first_rack;
+      });
+      if (!pick) pick = drawWhere(pool, rng, any);
+      if (pick) second_rack = pick->rack;
+    } else if (chosen.size() == 2 && !second_rack.empty()) {
+      // Third replica: same rack as the second (bounds inter-rack copies).
+      pick = drawWhere(pool, rng, [&](const PlacementCandidate& c) {
+        return c.rack == second_rack;
+      });
+      if (!pick) pick = drawWhere(pool, rng, any);
+    } else {
+      pick = drawWhere(pool, rng, any);
+    }
+    if (!pick) break;
+    chosen.push_back(pick->host);
+  }
+  return chosen;
+}
+
+Block BlockManager::allocateBlock(uint16_t replication) {
+  if (replication == 0) throw InvalidArgumentError("replication must be >= 1");
+  Block block;
+  block.id = next_id_++;
+  block.size = 0;
+  BlockInfo info;
+  info.replication = replication;
+  blocks_.emplace(block.id, std::move(info));
+  return block;
+}
+
+void BlockManager::registerBlock(Block block, uint16_t replication) {
+  BlockInfo info;
+  info.size = block.size;
+  info.replication = replication;
+  blocks_[block.id] = std::move(info);
+  next_id_ = std::max(next_id_, block.id + 1);
+}
+
+void BlockManager::commitBlock(BlockId id, uint64_t size) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    throw NotFoundError("block " + std::to_string(id));
+  }
+  it->second.size = size;
+}
+
+void BlockManager::removeBlock(BlockId id) { blocks_.erase(id); }
+
+bool BlockManager::contains(BlockId id) const { return blocks_.contains(id); }
+
+const BlockManager::BlockInfo& BlockManager::info(BlockId id) const {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    throw NotFoundError("block " + std::to_string(id));
+  }
+  return it->second;
+}
+
+void BlockManager::addReplica(BlockId id, const std::string& host) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return;  // stale report for a deleted block
+  it->second.live.insert(host);
+  it->second.corrupt.erase(host);  // a fresh replica supersedes corruption
+}
+
+void BlockManager::removeReplica(BlockId id, const std::string& host) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return;
+  it->second.live.erase(host);
+  it->second.corrupt.erase(host);
+}
+
+std::vector<BlockId> BlockManager::removeAllReplicasOn(
+    const std::string& host) {
+  std::vector<BlockId> affected;
+  for (auto& [id, info] : blocks_) {
+    if (info.live.erase(host) > 0) affected.push_back(id);
+    info.corrupt.erase(host);
+  }
+  return affected;
+}
+
+void BlockManager::markCorrupt(BlockId id, const std::string& host) {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return;
+  if (it->second.live.erase(host) > 0 || !it->second.corrupt.contains(host)) {
+    it->second.corrupt.insert(host);
+  }
+}
+
+bool BlockManager::isCorrupt(BlockId id, const std::string& host) const {
+  const auto it = blocks_.find(id);
+  return it != blocks_.end() && it->second.corrupt.contains(host);
+}
+
+std::vector<std::string> BlockManager::liveReplicas(BlockId id) const {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return {};
+  return {it->second.live.begin(), it->second.live.end()};
+}
+
+std::vector<std::string> BlockManager::corruptReplicas(BlockId id) const {
+  const auto it = blocks_.find(id);
+  if (it == blocks_.end()) return {};
+  return {it->second.corrupt.begin(), it->second.corrupt.end()};
+}
+
+uint16_t BlockManager::expectedReplication(BlockId id) const {
+  return info(id).replication;
+}
+
+void BlockManager::setExpectedReplication(BlockId id, uint16_t replication) {
+  if (replication == 0) throw InvalidArgumentError("replication must be >= 1");
+  const auto it = blocks_.find(id);
+  if (it != blocks_.end()) it->second.replication = replication;
+}
+
+uint64_t BlockManager::blockSize(BlockId id) const { return info(id).size; }
+
+std::vector<BlockId> BlockManager::underReplicated() const {
+  std::vector<BlockId> out;
+  for (const auto& [id, info] : blocks_) {
+    if (!info.live.empty() && info.live.size() < info.replication) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<BlockId> BlockManager::overReplicated() const {
+  std::vector<BlockId> out;
+  for (const auto& [id, info] : blocks_) {
+    if (info.live.size() > info.replication) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<BlockId> BlockManager::missing() const {
+  std::vector<BlockId> out;
+  for (const auto& [id, info] : blocks_) {
+    if (info.live.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<BlockId> BlockManager::withCorruptReplicas() const {
+  std::vector<BlockId> out;
+  for (const auto& [id, info] : blocks_) {
+    if (!info.corrupt.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+uint64_t BlockManager::reportedBlocks() const {
+  uint64_t n = 0;
+  for (const auto& [id, info] : blocks_) {
+    if (!info.live.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace mh::hdfs

@@ -1,0 +1,269 @@
+#include "mh/hdfs/block_store.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "mh/common/crc32.h"
+#include "mh/common/error.h"
+
+namespace mh::hdfs {
+
+namespace fs = std::filesystem;
+
+std::vector<uint32_t> chunkChecksums(std::string_view data) {
+  std::vector<uint32_t> crcs;
+  crcs.reserve(data.size() / kChecksumChunk + 1);
+  for (size_t off = 0; off < data.size(); off += kChecksumChunk) {
+    crcs.push_back(crc32c(data.substr(off, kChecksumChunk)));
+  }
+  if (data.empty()) crcs.push_back(crc32c(""));
+  return crcs;
+}
+
+void verifyChunks(BlockId block_id, std::string_view data,
+                  const std::vector<uint32_t>& crcs) {
+  const auto expected = chunkChecksums(data);
+  if (expected.size() != crcs.size()) {
+    throw ChecksumError("block " + std::to_string(block_id) +
+                        " chunk count mismatch");
+  }
+  for (size_t i = 0; i < crcs.size(); ++i) {
+    if (expected[i] != crcs[i]) {
+      throw ChecksumError("block " + std::to_string(block_id) + " chunk " +
+                          std::to_string(i));
+    }
+  }
+}
+
+Bytes BlockStore::readBlockRange(BlockId id, uint64_t offset,
+                                 uint64_t len) const {
+  const Bytes whole = readBlock(id);
+  if (offset > whole.size()) {
+    throw InvalidArgumentError("range start past end of block " +
+                               std::to_string(id));
+  }
+  return whole.substr(offset, len);
+}
+
+// ---------------------------------------------------------------- memory
+
+void MemBlockStore::writeBlock(BlockId id, std::string_view data) {
+  Replica replica{Bytes(data), chunkChecksums(data)};
+  std::lock_guard<std::mutex> lock(mutex_);
+  replicas_[id] = std::move(replica);
+}
+
+Bytes MemBlockStore::readBlock(BlockId id) const {
+  Replica replica;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = replicas_.find(id);
+    if (it == replicas_.end()) {
+      throw NotFoundError("block " + std::to_string(id));
+    }
+    replica = it->second;
+  }
+  verifyChunks(id, replica.data, replica.crcs);
+  return replica.data;
+}
+
+bool MemBlockStore::hasBlock(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replicas_.contains(id);
+}
+
+void MemBlockStore::deleteBlock(BlockId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  replicas_.erase(id);
+}
+
+uint64_t MemBlockStore::blockSize(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    throw NotFoundError("block " + std::to_string(id));
+  }
+  return it->second.data.size();
+}
+
+std::vector<BlockId> MemBlockStore::listBlocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BlockId> ids;
+  ids.reserve(replicas_.size());
+  for (const auto& [id, replica] : replicas_) ids.push_back(id);
+  return ids;
+}
+
+uint64_t MemBlockStore::usedBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [id, replica] : replicas_) total += replica.data.size();
+  return total;
+}
+
+std::vector<BlockId> MemBlockStore::scanAll() const {
+  std::map<BlockId, Replica> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = replicas_;
+  }
+  std::vector<BlockId> bad;
+  for (const auto& [id, replica] : snapshot) {
+    try {
+      verifyChunks(id, replica.data, replica.crcs);
+    } catch (const ChecksumError&) {
+      bad.push_back(id);
+    }
+  }
+  return bad;
+}
+
+void MemBlockStore::corruptBlock(BlockId id, size_t byte_offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    throw NotFoundError("block " + std::to_string(id));
+  }
+  Bytes& data = it->second.data;
+  if (data.empty()) throw InvalidArgumentError("cannot corrupt empty block");
+  const size_t pos = byte_offset % data.size();
+  data[pos] = static_cast<char>(data[pos] ^ 0x5A);
+}
+
+// ------------------------------------------------------------------ file
+
+FileBlockStore::FileBlockStore(fs::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) throw IoError("create_directories " + root_.string() + ": " + ec.message());
+}
+
+fs::path FileBlockStore::dataPath(BlockId id) const {
+  return root_ / ("blk_" + std::to_string(id));
+}
+
+fs::path FileBlockStore::metaPath(BlockId id) const {
+  return root_ / ("blk_" + std::to_string(id) + ".meta");
+}
+
+void FileBlockStore::writeBlock(BlockId id, std::string_view data) {
+  const auto crcs = chunkChecksums(data);
+  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    std::ofstream out(dataPath(id), std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("open for write: " + dataPath(id).string());
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) throw IoError("write: " + dataPath(id).string());
+  }
+  {
+    Bytes meta;
+    ByteWriter w(meta);
+    w.writeVarU64(crcs.size());
+    for (const uint32_t crc : crcs) w.writeU32(crc);
+    std::ofstream out(metaPath(id), std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("open for write: " + metaPath(id).string());
+    out.write(meta.data(), static_cast<std::streamsize>(meta.size()));
+    if (!out) throw IoError("write: " + metaPath(id).string());
+  }
+}
+
+std::vector<uint32_t> FileBlockStore::readMeta(BlockId id) const {
+  std::ifstream in(metaPath(id), std::ios::binary);
+  if (!in) throw IoError("missing meta for block " + std::to_string(id));
+  Bytes meta((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  ByteReader r(meta);
+  const uint64_t n = r.readVarU64();
+  std::vector<uint32_t> crcs;
+  crcs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) crcs.push_back(r.readU32());
+  return crcs;
+}
+
+Bytes FileBlockStore::readBlock(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ifstream in(dataPath(id), std::ios::binary);
+  if (!in) throw NotFoundError("block " + std::to_string(id));
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  verifyChunks(id, data, readMeta(id));
+  return data;
+}
+
+bool FileBlockStore::hasBlock(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fs::exists(dataPath(id));
+}
+
+void FileBlockStore::deleteBlock(BlockId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  fs::remove(dataPath(id), ec);
+  fs::remove(metaPath(id), ec);
+}
+
+uint64_t FileBlockStore::blockSize(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  const auto size = fs::file_size(dataPath(id), ec);
+  if (ec) throw NotFoundError("block " + std::to_string(id));
+  return size;
+}
+
+std::vector<BlockId> FileBlockStore::listBlocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BlockId> ids;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("blk_", 0) == 0 && name.find(".meta") == std::string::npos) {
+      ids.push_back(std::stoull(name.substr(4)));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+uint64_t FileBlockStore::usedBytes() const {
+  uint64_t total = 0;
+  for (const BlockId id : listBlocks()) {
+    try {
+      total += blockSize(id);
+    } catch (const NotFoundError&) {
+      // raced with a delete; skip
+    }
+  }
+  return total;
+}
+
+std::vector<BlockId> FileBlockStore::scanAll() const {
+  std::vector<BlockId> bad;
+  for (const BlockId id : listBlocks()) {
+    try {
+      readBlock(id);
+    } catch (const ChecksumError&) {
+      bad.push_back(id);
+    } catch (const IoError&) {
+      bad.push_back(id);
+    }
+  }
+  return bad;
+}
+
+void FileBlockStore::corruptBlock(BlockId id, size_t byte_offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fstream file(dataPath(id),
+                    std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) throw NotFoundError("block " + std::to_string(id));
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<size_t>(file.tellg());
+  if (size == 0) throw InvalidArgumentError("cannot corrupt empty block");
+  const size_t pos = byte_offset % size;
+  file.seekg(static_cast<std::streamoff>(pos));
+  char c = 0;
+  file.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5A);
+  file.seekp(static_cast<std::streamoff>(pos));
+  file.write(&c, 1);
+}
+
+}  // namespace mh::hdfs

@@ -1,0 +1,223 @@
+#include "mh/hdfs/datanode.h"
+
+#include <chrono>
+
+#include "mh/common/error.h"
+#include "mh/common/log.h"
+#include "mh/common/stopwatch.h"
+
+namespace mh::hdfs {
+
+namespace {
+constexpr const char* kLog = "datanode";
+}  // namespace
+
+DataNode::DataNode(Config conf, std::shared_ptr<net::Network> network,
+                   std::string host, std::shared_ptr<BlockStore> store,
+                   std::string namenode_host)
+    : conf_(std::move(conf)),
+      network_(network),
+      host_(std::move(host)),
+      store_(std::move(store)),
+      namenode_(std::move(network), host_, std::move(namenode_host)) {}
+
+DataNode::~DataNode() { stop(); }
+
+bool DataNode::running() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return running_;
+}
+
+void DataNode::start() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (running_) return;
+    if (!port_bound_) {
+      installRpc();  // throws AlreadyExistsError on a ghost daemon's port
+      port_bound_ = true;
+    }
+    running_ = true;
+  }
+  network_->setHostUp(host_, true);
+  const uint64_t capacity = static_cast<uint64_t>(
+      conf_.getInt("dfs.datanode.capacity", 1'073'741'824));
+  namenode_.registerDataNode(capacity,
+                             conf_.get("dfs.datanode.rack", "/default-rack"));
+  blockReportNow();
+
+  const auto interval = std::chrono::milliseconds(
+      conf_.getInt("dfs.heartbeat.interval.ms", 100));
+  heartbeat_thread_ = std::jthread([this, interval](std::stop_token token) {
+    while (!token.stop_requested()) {
+      interruptibleSleep(token, interval);
+      if (token.stop_requested()) return;
+      try {
+        heartbeatNow();
+      } catch (const NetworkError&) {
+        // NameNode unreachable; keep beating until it returns.
+      } catch (const std::exception& e) {
+        logWarn(kLog) << host_ << " heartbeat error: " << e.what();
+      }
+    }
+  });
+  logInfo(kLog) << host_ << " started, "
+                << store_->listBlocks().size() << " replicas";
+}
+
+void DataNode::stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!running_ && !port_bound_) return;
+    running_ = false;
+  }
+  if (heartbeat_thread_.joinable()) {
+    heartbeat_thread_.request_stop();
+    heartbeat_thread_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (port_bound_) {
+      network_->unbind(host_, kDataNodePort);
+      port_bound_ = false;
+    }
+  }
+  logInfo(kLog) << host_ << " stopped";
+}
+
+void DataNode::abandon() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    running_ = false;
+  }
+  if (heartbeat_thread_.joinable()) {
+    heartbeat_thread_.request_stop();
+    heartbeat_thread_.join();
+  }
+  // The port stays bound: the ghost daemon from the paper.
+  logWarn(kLog) << host_ << " abandoned (port still bound)";
+}
+
+void DataNode::crash() {
+  network_->setHostUp(host_, false);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    running_ = false;
+  }
+  if (heartbeat_thread_.joinable()) {
+    heartbeat_thread_.request_stop();
+    heartbeat_thread_.join();
+  }
+  logWarn(kLog) << host_ << " crashed";
+}
+
+void DataNode::heartbeatNow() {
+  const uint64_t capacity = static_cast<uint64_t>(
+      conf_.getInt("dfs.datanode.capacity", 1'073'741'824));
+  const HeartbeatReply reply = namenode_.heartbeat(
+      capacity, store_->usedBytes(), store_->listBlocks().size());
+  if (reply.reregister) {
+    namenode_.registerDataNode(capacity,
+                               conf_.get("dfs.datanode.rack", "/default-rack"));
+    blockReportNow();
+    return;
+  }
+  if (reply.request_block_report) blockReportNow();
+  for (const DataNodeCommand& command : reply.commands) {
+    executeCommand(command);
+  }
+}
+
+void DataNode::blockReportNow() {
+  std::vector<Block> report;
+  for (const BlockId id : store_->listBlocks()) {
+    report.push_back({id, store_->blockSize(id)});
+  }
+  for (const BlockId id : namenode_.blockReport(report)) {
+    store_->deleteBlock(id);
+  }
+}
+
+std::vector<BlockId> DataNode::runBlockScanner() {
+  const auto bad = store_->scanAll();
+  for (const BlockId id : bad) {
+    logWarn(kLog) << host_ << " scanner found corrupt replica of block " << id;
+    namenode_.reportBadBlock(id, host_);
+  }
+  return bad;
+}
+
+void DataNode::executeCommand(const DataNodeCommand& command) {
+  switch (command.kind) {
+    case DataNodeCommand::Kind::kDelete:
+      store_->deleteBlock(command.block);
+      break;
+    case DataNodeCommand::Kind::kReplicate:
+      replicateTo(command.block, command.targets);
+      break;
+  }
+}
+
+void DataNode::replicateTo(BlockId block,
+                           const std::vector<std::string>& targets) {
+  Bytes data;
+  try {
+    data = store_->readBlock(block);
+  } catch (const ChecksumError&) {
+    namenode_.reportBadBlock(block, host_);
+    return;
+  } catch (const NotFoundError&) {
+    return;  // replica vanished; NameNode will reschedule elsewhere
+  }
+  for (const std::string& target : targets) {
+    try {
+      network_->call(host_, target, kDataNodePort, "writeBlock",
+                     pack(Block{block, data.size()}, data,
+                          std::vector<std::string>{}),
+                     "replication");
+    } catch (const NetworkError& e) {
+      logWarn(kLog) << host_ << " replication of block " << block << " to "
+                    << target << " failed: " << e.what();
+    }
+  }
+}
+
+void DataNode::installRpc() {
+  network_->bind(host_, kDataNodePort, [this](const net::RpcRequest& req) -> Bytes {
+    if (req.method == "writeBlock") {
+      auto [block, data, downstream] =
+          unpack<Block, Bytes, std::vector<std::string>>(req.body);
+      store_->writeBlock(block.id, data);
+      namenode_.blockReceived(Block{block.id, data.size()});
+      if (!downstream.empty()) {
+        const std::string next = downstream.front();
+        downstream.erase(downstream.begin());
+        try {
+          network_->call(host_, next, kDataNodePort, "writeBlock",
+                         pack(block, data, downstream), "pipeline");
+        } catch (const NetworkError& e) {
+          // Pipeline recovery: the block lands under-replicated and the
+          // NameNode's monitor repairs it later.
+          logWarn(kLog) << host_ << " pipeline to " << next
+                        << " failed: " << e.what();
+        }
+      }
+      return {};
+    }
+    if (req.method == "readBlock") {
+      const auto [id, offset, len] =
+          unpack<uint64_t, uint64_t, uint64_t>(req.body);
+      try {
+        return store_->readBlockRange(id, offset, len);
+      } catch (const ChecksumError&) {
+        namenode_.reportBadBlock(id, host_);
+        throw;
+      }
+    }
+    if (req.method == "scan") {
+      return pack(runBlockScanner());
+    }
+    throw InvalidArgumentError("datanode: unknown RPC method " + req.method);
+  });
+}
+
+}  // namespace mh::hdfs

@@ -1,0 +1,116 @@
+#include "mh/hdfs/dfs_client.h"
+
+#include <algorithm>
+
+#include "mh/common/error.h"
+#include "mh/common/log.h"
+
+namespace mh::hdfs {
+
+namespace {
+constexpr const char* kLog = "dfsclient";
+}  // namespace
+
+DfsClient::DfsClient(Config conf, std::shared_ptr<net::Network> network,
+                     std::string client_host, std::string namenode_host)
+    : conf_(std::move(conf)),
+      network_(network),
+      namenode_(std::move(network), std::move(client_host),
+                std::move(namenode_host)) {}
+
+void DfsClient::writeFile(const std::string& path, std::string_view data,
+                          uint16_t replication, uint64_t block_size) {
+  namenode_.create(path, replication, block_size);
+  const uint64_t bs = namenode_.getFileStatus(path).block_size;
+
+  uint64_t offset = 0;
+  do {  // empty files still produce zero blocks; loop handles data.size()==0
+    const uint64_t chunk = std::min<uint64_t>(bs, data.size() - offset);
+    if (data.size() > 0) {
+      const std::string_view payload = data.substr(offset, chunk);
+      const LocatedBlock located = namenode_.addBlock(path);
+      if (located.hosts.empty()) {
+        throw IoError("no targets for block of " + path);
+      }
+      // Head of the pipeline gets the data plus the downstream target list.
+      std::vector<std::string> downstream(located.hosts.begin() + 1,
+                                          located.hosts.end());
+      bool written = false;
+      for (size_t head = 0; head < located.hosts.size() && !written; ++head) {
+        try {
+          network_->call(namenode_.localHost(), located.hosts[head],
+                         kDataNodePort, "writeBlock",
+                         pack(Block{located.block.id, payload.size()},
+                              Bytes(payload), downstream),
+                         "pipeline");
+          written = true;
+        } catch (const NetworkError& e) {
+          logWarn(kLog) << "pipeline head " << located.hosts[head]
+                        << " failed: " << e.what();
+          if (!downstream.empty()) downstream.erase(downstream.begin());
+        }
+      }
+      if (!written) {
+        throw IoError("all pipeline targets failed for block " +
+                      std::to_string(located.block.id) + " of " + path);
+      }
+    }
+    offset += chunk;
+  } while (offset < data.size());
+
+  namenode_.completeFile(path);
+}
+
+std::vector<LocatedBlock> DfsClient::getBlockLocations(
+    const std::string& path) {
+  return namenode_.getBlockLocations(path);
+}
+
+std::vector<std::string> DfsClient::orderByLocality(
+    std::vector<std::string> hosts) const {
+  const auto it =
+      std::find(hosts.begin(), hosts.end(), namenode_.localHost());
+  if (it != hosts.end()) {
+    std::iter_swap(hosts.begin(), it);
+  }
+  return hosts;
+}
+
+Bytes DfsClient::readBlockRange(const LocatedBlock& located, uint64_t offset,
+                                uint64_t len) {
+  const auto hosts = orderByLocality(located.hosts);
+  if (hosts.empty()) {
+    throw IoError("block " + std::to_string(located.block.id) +
+                  " has no live replicas");
+  }
+  std::string last_error;
+  for (const std::string& host : hosts) {
+    try {
+      return network_->call(
+          namenode_.localHost(), host, kDataNodePort, "readBlock",
+          pack(static_cast<uint64_t>(located.block.id), offset, len), "read");
+    } catch (const ChecksumError& e) {
+      // The DataNode already reported itself; also report from our side and
+      // fall over to the next replica.
+      namenode_.reportBadBlock(located.block.id, host);
+      last_error = e.what();
+    } catch (const NetworkError& e) {
+      last_error = e.what();
+    }
+  }
+  throw IoError("could not read block " + std::to_string(located.block.id) +
+                " from any replica: " + last_error);
+}
+
+Bytes DfsClient::readFile(const std::string& path) {
+  const auto status = namenode_.getFileStatus(path);
+  if (status.is_dir) throw InvalidArgumentError("is a directory: " + path);
+  Bytes out;
+  out.reserve(status.length);
+  for (const LocatedBlock& located : namenode_.getBlockLocations(path)) {
+    out += readBlockRange(located, 0, located.block.size);
+  }
+  return out;
+}
+
+}  // namespace mh::hdfs

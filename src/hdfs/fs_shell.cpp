@@ -1,0 +1,238 @@
+#include "mh/hdfs/fs_shell.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "mh/common/error.h"
+#include "mh/common/strings.h"
+
+namespace mh::hdfs {
+
+namespace {
+
+std::string formatStatus(const FileStatus& status) {
+  std::ostringstream out;
+  out << (status.is_dir ? 'd' : '-') << "rw-r--r--  ";
+  if (status.is_dir) {
+    out << "-";
+  } else {
+    out << status.replication;
+  }
+  out << "\t" << status.length << "\t" << status.path;
+  return out.str();
+}
+
+}  // namespace
+
+FsShell::Result FsShell::run(const std::vector<std::string>& args) {
+  try {
+    if (args.empty()) return {1, "usage: fs -<command> [args]\n"};
+    const std::string& cmd = args[0];
+    const auto need = [&](size_t n) {
+      if (args.size() != n + 1) {
+        throw InvalidArgumentError(cmd + " expects " + std::to_string(n) +
+                                   " argument(s)");
+      }
+    };
+    if (cmd == "-ls") {
+      need(1);
+      return ls(args[1], false);
+    }
+    if (cmd == "-lsr") {
+      need(1);
+      return ls(args[1], true);
+    }
+    if (cmd == "-mkdir") {
+      need(1);
+      client_.mkdirs(args[1]);
+      return {0, ""};
+    }
+    if (cmd == "-put") {
+      need(2);
+      return put(args[1], args[2]);
+    }
+    if (cmd == "-get" || cmd == "-copyToLocal") {
+      need(2);
+      return get(args[1], args[2]);
+    }
+    if (cmd == "-cat") {
+      need(1);
+      return cat(args[1]);
+    }
+    if (cmd == "-rm") {
+      need(1);
+      return rm(args[1], false);
+    }
+    if (cmd == "-rmr") {
+      need(1);
+      return rm(args[1], true);
+    }
+    if (cmd == "-mv") {
+      need(2);
+      client_.rename(args[1], args[2]);
+      return {0, ""};
+    }
+    if (cmd == "-du") {
+      need(1);
+      return du(args[1]);
+    }
+    if (cmd == "-touchz") {
+      need(1);
+      client_.writeFile(args[1], "");
+      return {0, ""};
+    }
+    if (cmd == "-setrep") {
+      need(2);
+      if (!isDigits(args[1])) {
+        throw InvalidArgumentError("-setrep <n> <path>");
+      }
+      client_.setReplication(args[2],
+                             static_cast<uint16_t>(std::stoul(args[1])));
+      return {0, "Replication " + args[1] + " set: " + args[2] + "\n"};
+    }
+    if (cmd == "-stat") {
+      need(1);
+      const auto status = client_.getFileStatus(args[1]);
+      std::ostringstream out;
+      if (status.is_dir) {
+        out << "directory\t" << status.path << "\n";
+      } else {
+        out << status.length << "\t" << status.replication << "\t"
+            << status.block_size << "\t" << status.path << "\n";
+      }
+      return {0, out.str()};
+    }
+    if (cmd == "-tail") {
+      need(1);
+      const Bytes body = client_.readFile(args[1]);
+      constexpr size_t kTail = 1024;
+      return {0, body.size() <= kTail
+                     ? body
+                     : body.substr(body.size() - kTail)};
+    }
+    if (cmd == "-count") {
+      need(1);
+      uint64_t files = 0;
+      uint64_t bytes = 0;
+      for (const auto& file : client_.listFilesRecursive(args[1])) {
+        ++files;
+        bytes += client_.getFileStatus(file).length;
+      }
+      std::ostringstream out;
+      out << files << "\t" << bytes << "\t" << args[1] << "\n";
+      return {0, out.str()};
+    }
+    if (cmd == "-report") {
+      need(0);
+      return report();
+    }
+    if (cmd == "-fsck") {
+      if (args.size() > 2) throw InvalidArgumentError("-fsck [path]");
+      return {0, client_.fsck().render()};
+    }
+    if (cmd == "-safemode") {
+      need(1);
+      if (args[1] == "get") {
+        return {0, client_.inSafeMode() ? "Safe mode is ON\n"
+                                        : "Safe mode is OFF\n"};
+      }
+      if (args[1] == "enter") {
+        client_.namenode().setSafeMode(true);
+        return {0, "Safe mode is ON\n"};
+      }
+      if (args[1] == "leave") {
+        client_.namenode().setSafeMode(false);
+        return {0, "Safe mode is OFF\n"};
+      }
+      throw InvalidArgumentError("-safemode <get|enter|leave>");
+    }
+    return {1, "unknown command: " + cmd + "\n"};
+  } catch (const Error& e) {
+    return {1, std::string(e.what()) + "\n"};
+  }
+}
+
+FsShell::Result FsShell::ls(const std::string& path, bool recursive) {
+  std::ostringstream out;
+  if (recursive) {
+    for (const auto& file : client_.listFilesRecursive(path)) {
+      out << formatStatus(client_.getFileStatus(file)) << "\n";
+    }
+  } else {
+    const auto entries = client_.listStatus(path);
+    out << "Found " << entries.size() << " items\n";
+    for (const auto& status : entries) {
+      out << formatStatus(status) << "\n";
+    }
+  }
+  return {0, out.str()};
+}
+
+FsShell::Result FsShell::put(const std::string& local,
+                             const std::string& dfs) {
+  std::ifstream in(local, std::ios::binary);
+  if (!in) return {1, "put: local file not found: " + local + "\n"};
+  const Bytes data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  client_.writeFile(dfs, data);
+  return {0, ""};
+}
+
+FsShell::Result FsShell::get(const std::string& dfs,
+                             const std::string& local) {
+  const Bytes data = client_.readFile(dfs);
+  std::ofstream out(local, std::ios::binary | std::ios::trunc);
+  if (!out) return {1, "get: cannot write local file: " + local + "\n"};
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return {0, ""};
+}
+
+FsShell::Result FsShell::cat(const std::string& path) {
+  return {0, client_.readFile(path)};
+}
+
+FsShell::Result FsShell::rm(const std::string& path, bool recursive) {
+  if (!client_.remove(path, recursive)) {
+    return {1, "rm: no such path: " + path + "\n"};
+  }
+  return {0, "Deleted " + path + "\n"};
+}
+
+FsShell::Result FsShell::du(const std::string& path) {
+  std::ostringstream out;
+  for (const auto& file : client_.listFilesRecursive(path)) {
+    out << client_.getFileStatus(file).length << "\t" << file << "\n";
+  }
+  return {0, out.str()};
+}
+
+FsShell::Result FsShell::report() {
+  std::ostringstream out;
+  const auto datanodes = client_.datanodeReport();
+  uint64_t capacity = 0;
+  uint64_t used = 0;
+  int live = 0;
+  for (const auto& dn : datanodes) {
+    capacity += dn.capacity_bytes;
+    used += dn.used_bytes;
+    if (dn.alive) ++live;
+  }
+  out << "Configured Capacity: " << capacity << " ("
+      << formatBytes(capacity) << ")\n"
+      << "DFS Used: " << used << " (" << formatBytes(used) << ")\n"
+      << "Datanodes available: " << live << " (" << datanodes.size()
+      << " total)\n\n";
+  for (const auto& dn : datanodes) {
+    out << "Name: " << dn.host << "\n"
+        << "Rack: " << dn.rack << "\n"
+        << "Decommission Status : Normal\n"
+        << "Configured Capacity: " << dn.capacity_bytes << "\n"
+        << "DFS Used: " << dn.used_bytes << "\n"
+        << "Blocks: " << dn.num_blocks << "\n"
+        << "Last contact: " << dn.millis_since_heartbeat << " ms ago ("
+        << (dn.alive ? "live" : "dead") << ")\n\n";
+  }
+  return {0, out.str()};
+}
+
+}  // namespace mh::hdfs

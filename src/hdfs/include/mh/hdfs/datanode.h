@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mh/common/config.h"
+#include "mh/hdfs/block_store.h"
+#include "mh/hdfs/namenode_rpc.h"
+#include "mh/hdfs/types.h"
+#include "mh/net/network.h"
+
+/// \file datanode.h
+/// The HDFS worker daemon: stores checksummed block replicas, heartbeats to
+/// the NameNode, sends block reports, serves reads, participates in write
+/// pipelines, and executes replicate/delete commands piggybacked on
+/// heartbeat replies.
+///
+/// Lifecycle verbs map to the paper's war stories:
+///  * stop()    — clean shutdown: daemon threads join, ports are released.
+///  * abandon() — the "ghost daemon": threads stop but the port stays bound,
+///                so the next cluster booted on this host fails to bind.
+///  * crash()   — the host drops off the network (OOM-killed JVM); the
+///                NameNode notices via heartbeat expiry and re-replicates.
+///
+/// Config keys (defaults):
+///   dfs.heartbeat.interval.ms     100
+///   dfs.blockreport.interval.ms   10000
+///   dfs.datanode.capacity         1073741824
+
+namespace mh::hdfs {
+
+class DataNode {
+ public:
+  DataNode(Config conf, std::shared_ptr<net::Network> network,
+           std::string host, std::shared_ptr<BlockStore> store,
+           std::string namenode_host);
+
+  ~DataNode();
+  DataNode(const DataNode&) = delete;
+  DataNode& operator=(const DataNode&) = delete;
+
+  /// Registers with the NameNode, binds the data port (throws
+  /// AlreadyExistsError when a ghost daemon still holds it), sends an
+  /// initial block report, and starts the heartbeat thread.
+  void start();
+
+  /// Clean shutdown: stop threads, unbind the port. Idempotent.
+  void stop();
+
+  /// Ghost-daemon exit: threads stop, the port stays bound.
+  void abandon();
+
+  /// Simulated machine crash: the host goes down on the fabric and threads
+  /// stop. Bindings stay (a hung process), so a later restart on the same
+  /// host must go through restartable start() semantics.
+  void crash();
+
+  const std::string& host() const { return host_; }
+  BlockStore& store() { return *store_; }
+  const BlockStore& store() const { return *store_; }
+  bool running() const;
+
+  /// Sends one heartbeat and executes any returned commands (test hook —
+  /// the background thread does the same thing on its interval).
+  void heartbeatNow();
+
+  /// Sends a full block report now.
+  void blockReportNow();
+
+  /// Verifies every replica's checksums (the DataNode block scanner / the
+  /// post-restart integrity check). Corrupt replicas are reported to the
+  /// NameNode. Returns the corrupt block ids.
+  std::vector<BlockId> runBlockScanner();
+
+ private:
+  void installRpc();
+  void heartbeatLoop(std::stop_token token);
+  void executeCommand(const DataNodeCommand& command);
+  void replicateTo(BlockId block, const std::vector<std::string>& targets);
+
+  Config conf_;
+  std::shared_ptr<net::Network> network_;
+  std::string host_;
+  std::shared_ptr<BlockStore> store_;
+  NameNodeRpc namenode_;
+
+  mutable std::mutex state_mutex_;
+  bool running_ = false;
+  bool port_bound_ = false;
+
+  std::jthread heartbeat_thread_;
+};
+
+}  // namespace mh::hdfs

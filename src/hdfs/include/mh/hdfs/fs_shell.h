@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mh/hdfs/dfs_client.h"
+
+/// \file fs_shell.h
+/// The `hadoop fs` command surface. The course's second assignment has
+/// students run these commands and record the output to observe how HDFS
+/// "transforms, stores, replicates, and abstracts" data; examples and tests
+/// drive this class the same way.
+///
+/// Supported commands:
+///   -ls <path>            -lsr <path>        -mkdir <path>
+///   -put <local> <dfs>    -get <dfs> <local> -copyToLocal <dfs> <local>
+///   -cat <path>           -rm <path>         -rmr <path>
+///   -mv <from> <to>       -du <path>         -touchz <path>
+///   -setrep <n> <path>    -stat <path>       -tail <path>
+///   -count <path>         -report            -fsck [path]
+///   -safemode <get|enter|leave>
+
+namespace mh::hdfs {
+
+class FsShell {
+ public:
+  struct Result {
+    int code = 0;        ///< 0 success, non-zero failure (like the real CLI)
+    std::string output;  ///< what would have been printed
+  };
+
+  explicit FsShell(DfsClient& client) : client_(client) {}
+
+  /// Executes one command line, e.g. {"-put", "/tmp/x", "/data/x"}.
+  /// Expected user errors (missing path, wrong arity) come back as a
+  /// non-zero Result, not an exception.
+  Result run(const std::vector<std::string>& args);
+
+ private:
+  Result ls(const std::string& path, bool recursive);
+  Result put(const std::string& local, const std::string& dfs);
+  Result get(const std::string& dfs, const std::string& local);
+  Result cat(const std::string& path);
+  Result rm(const std::string& path, bool recursive);
+  Result du(const std::string& path);
+  Result report();
+
+  DfsClient& client_;
+};
+
+}  // namespace mh::hdfs

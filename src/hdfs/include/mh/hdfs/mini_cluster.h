@@ -1,0 +1,90 @@
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mh/common/config.h"
+#include "mh/hdfs/datanode.h"
+#include "mh/hdfs/dfs_client.h"
+#include "mh/hdfs/namenode.h"
+#include "mh/net/network.h"
+
+/// \file mini_cluster.h
+/// An in-process HDFS cluster: one NameNode plus N DataNodes on a shared
+/// network fabric — the fixture behind tests, benchmarks, and examples
+/// (Hadoop's own MiniDFSCluster plays the same role).
+///
+/// Hosts are named node01..nodeNN; the NameNode runs on "namenode".
+
+namespace mh::hdfs {
+
+struct MiniDfsOptions {
+  int num_datanodes = 3;
+  /// Nodes are spread round-robin over this many racks ("/rack0"...).
+  int racks = 1;
+  Config conf;
+  /// Use on-disk FileBlockStores rooted under `store_root` instead of
+  /// in-memory stores.
+  bool use_file_store = false;
+  std::filesystem::path store_root;
+};
+
+class MiniDfsCluster {
+ public:
+  explicit MiniDfsCluster(MiniDfsOptions options = {});
+  ~MiniDfsCluster();
+  MiniDfsCluster(const MiniDfsCluster&) = delete;
+  MiniDfsCluster& operator=(const MiniDfsCluster&) = delete;
+
+  const std::shared_ptr<net::Network>& network() const { return network_; }
+  NameNode& nameNode() { return *namenode_; }
+  const Config& conf() const { return conf_; }
+
+  std::vector<std::string> dataNodeHosts() const;
+  DataNode& dataNode(const std::string& host);
+
+  /// A client whose reads/writes originate from `host` (defaults to a
+  /// dedicated off-cluster "client" host; pass a datanode host to exercise
+  /// the local-read path).
+  DfsClient client(const std::string& host = "client");
+
+  /// Machine crash: host down on the fabric, heartbeats stop.
+  void killDataNode(const std::string& host);
+  /// Clean daemon shutdown (port released).
+  void stopDataNode(const std::string& host);
+  /// Brings a killed/stopped DataNode back with its replica store intact.
+  void restartDataNode(const std::string& host);
+  /// Adds a brand-new empty DataNode; returns its host name.
+  std::string addDataNode();
+
+  /// The rack a datanode host was assigned to.
+  std::string rackOf(const std::string& host) const;
+
+  /// Saves the fsimage, stops the NameNode, and starts a fresh one from the
+  /// image. It will be in safe mode until DataNodes re-report.
+  void restartNameNode();
+
+  /// Polls fsck until the filesystem is healthy with no under-replicated
+  /// blocks, or the timeout elapses. Returns success.
+  bool waitHealthy(int timeout_ms = 10'000);
+
+  /// Polls until the NameNode has left safe mode. Returns success.
+  bool waitOutOfSafeMode(int timeout_ms = 10'000);
+
+ private:
+  std::string hostName(int index) const;
+  void startDataNodeOn(const std::string& host);
+
+  MiniDfsOptions options_;
+  Config conf_;
+  std::shared_ptr<net::Network> network_;
+  std::unique_ptr<NameNode> namenode_;
+  std::map<std::string, std::shared_ptr<BlockStore>> stores_;
+  std::map<std::string, std::unique_ptr<DataNode>> datanodes_;
+  int next_node_index_ = 1;
+};
+
+}  // namespace mh::hdfs

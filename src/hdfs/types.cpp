@@ -1,0 +1,23 @@
+#include "mh/hdfs/types.h"
+
+#include <sstream>
+
+namespace mh::hdfs {
+
+std::string FsckReport::render() const {
+  std::ostringstream out;
+  out << "FSCK report:\n"
+      << " Total dirs:\t" << total_dirs << "\n"
+      << " Total files:\t" << total_files << "\n"
+      << " Total bytes:\t" << total_bytes << "\n"
+      << " Total blocks:\t" << total_blocks << "\n"
+      << " Minimally replicated blocks:\t" << min_replication_blocks << "\n"
+      << " Under-replicated blocks:\t" << under_replicated << "\n"
+      << " Over-replicated blocks:\t" << over_replicated << "\n"
+      << " Corrupt blocks:\t" << corrupt_blocks << "\n"
+      << " Missing blocks:\t" << missing_blocks << "\n"
+      << "The filesystem is " << (healthy ? "HEALTHY" : "CORRUPT") << "\n";
+  return out.str();
+}
+
+}  // namespace mh::hdfs

@@ -1,0 +1,29 @@
+#include "mh/hive/ast.h"
+
+namespace mh::hive {
+
+const char* aggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kNone: return "";
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kSum: return "SUM";
+    case AggFn::kAvg: return "AVG";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+  }
+  return "?";
+}
+
+const char* compareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace mh::hive

@@ -1,0 +1,406 @@
+#include "mh/hive/driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "mh/common/error.h"
+#include "mh/common/strings.h"
+#include "mh/mr/fs_view.h"
+
+namespace mh::hive {
+
+namespace {
+
+/// The per-select-item aggregate monoid.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void addValue(double x) {
+    if (count == 0) {
+      min = max = x;
+    } else {
+      min = std::min(min, x);
+      max = std::max(max, x);
+    }
+    ++count;
+    sum += x;
+  }
+
+  void addRow() { ++count; }  // COUNT(*)
+
+  void merge(const AggState& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+      *this = other;
+      return;
+    }
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+};
+
+/// Fully resolved execution plan (column names -> indices), shared by the
+/// generated mapper/combiner/reducer instances.
+struct Plan {
+  TableDef table;
+  Query query;
+  std::vector<size_t> group_col;            // per GROUP BY entry
+  std::vector<size_t> pred_col;             // per predicate
+  std::vector<bool> pred_numeric;           // numeric comparison?
+  std::vector<int> item_group_index;        // non-agg: index into group_by
+  std::vector<std::optional<size_t>> item_col;  // agg: source column
+};
+
+constexpr char kKeySep = '\x01';
+
+bool isNull(const std::string& field) {
+  return field.empty() || field == "NA" || field == "\\N";
+}
+
+bool numericParse(const std::string& text, double& out) {
+  try {
+    size_t used = 0;
+    out = std::stod(text, &used);
+    return used == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool evalPredicate(const Plan& plan, size_t i,
+                   const std::vector<std::string>& fields) {
+  const Predicate& predicate = plan.query.where[i];
+  const std::string& field = fields[plan.pred_col[i]];
+  if (isNull(field)) return false;  // NULL comparisons are false
+  int cmp;
+  if (plan.pred_numeric[i]) {
+    double lhs = 0;
+    double rhs = 0;
+    if (!numericParse(field, lhs) || !numericParse(predicate.literal, rhs)) {
+      return false;
+    }
+    cmp = lhs < rhs ? -1 : (lhs > rhs ? 1 : 0);
+  } else {
+    cmp = field.compare(predicate.literal);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (predicate.op) {
+    case CompareOp::kEq: return cmp == 0;
+    case CompareOp::kNe: return cmp != 0;
+    case CompareOp::kLt: return cmp < 0;
+    case CompareOp::kLe: return cmp <= 0;
+    case CompareOp::kGt: return cmp > 0;
+    case CompareOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+Bytes encodeStates(const std::vector<AggState>& states) {
+  Bytes out;
+  ByteWriter w(out);
+  w.writeVarU64(states.size());
+  for (const AggState& s : states) {
+    w.writeVarI64(s.count);
+    w.writeDouble(s.sum);
+    w.writeDouble(s.min);
+    w.writeDouble(s.max);
+  }
+  return out;
+}
+
+std::vector<AggState> decodeStates(std::string_view buf) {
+  ByteReader r(buf);
+  const uint64_t n = r.readVarU64();
+  std::vector<AggState> states(n);
+  for (auto& s : states) {
+    s.count = r.readVarI64();
+    s.sum = r.readDouble();
+    s.min = r.readDouble();
+    s.max = r.readDouble();
+  }
+  return states;
+}
+
+std::string renderNumber(double value) {
+  char buf[48];
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+  }
+  return buf;
+}
+
+class HiveMapper : public mr::Mapper {
+ public:
+  explicit HiveMapper(std::shared_ptr<const Plan> plan)
+      : plan_(std::move(plan)) {}
+
+  void map(std::string_view, std::string_view value,
+           mr::TaskContext& ctx) override {
+    const Plan& plan = *plan_;
+    const auto fields =
+        splitString(value, plan.table.delimiter);
+    if (fields.size() < plan.table.columns.size()) return;  // malformed
+    if (plan.table.skip_header &&
+        toLowerAscii(fields[0]) == plan.table.columns[0].name) {
+      return;
+    }
+    for (size_t i = 0; i < plan.query.where.size(); ++i) {
+      if (!evalPredicate(plan, i, fields)) return;
+    }
+    // Group key.
+    std::string key;
+    for (size_t g = 0; g < plan.group_col.size(); ++g) {
+      if (g > 0) key.push_back(kKeySep);
+      key += fields[plan.group_col[g]];
+    }
+    // Partial aggregates.
+    std::vector<AggState> states(plan.query.items.size());
+    for (size_t i = 0; i < plan.query.items.size(); ++i) {
+      const SelectItem& item = plan.query.items[i];
+      if (item.agg == AggFn::kNone) continue;
+      if (item.agg == AggFn::kCount && !plan.item_col[i].has_value()) {
+        states[i].addRow();  // COUNT(*)
+        continue;
+      }
+      const std::string& field = fields[*plan.item_col[i]];
+      if (isNull(field)) continue;  // aggregates skip NULLs
+      if (item.agg == AggFn::kCount) {
+        states[i].addRow();
+        continue;
+      }
+      double x = 0;
+      if (numericParse(field, x)) states[i].addValue(x);
+    }
+    ctx.emit(std::move(key), encodeStates(states));
+  }
+
+  void cleanup(mr::TaskContext& ctx) override {
+    // Global aggregation (no GROUP BY) must produce a row even when no
+    // input rows match — SELECT COUNT(*) over an empty match set is 0, not
+    // an empty result. Emitting a zeroed partial guarantees the single
+    // group exists.
+    if (plan_->query.group_by.empty()) {
+      ctx.emit("", encodeStates(
+                       std::vector<AggState>(plan_->query.items.size())));
+    }
+  }
+
+ private:
+  std::shared_ptr<const Plan> plan_;
+};
+
+/// Folds partials; usable as the combiner.
+class HiveCombiner : public mr::Reducer {
+ public:
+  void reduce(std::string_view key, mr::ValuesIterator& values,
+              mr::TaskContext& ctx) override {
+    std::vector<AggState> total;
+    while (const auto v = values.next()) {
+      auto states = decodeStates(*v);
+      if (total.empty()) {
+        total = std::move(states);
+      } else {
+        for (size_t i = 0; i < total.size(); ++i) total[i].merge(states[i]);
+      }
+    }
+    ctx.emit(Bytes(key), encodeStates(total));
+  }
+};
+
+/// Finalizes each group into a rendered text row.
+class HiveReducer : public mr::Reducer {
+ public:
+  explicit HiveReducer(std::shared_ptr<const Plan> plan)
+      : plan_(std::move(plan)) {}
+
+  void reduce(std::string_view key, mr::ValuesIterator& values,
+              mr::TaskContext& ctx) override {
+    const Plan& plan = *plan_;
+    std::vector<AggState> total(plan.query.items.size());
+    while (const auto v = values.next()) {
+      const auto states = decodeStates(*v);
+      for (size_t i = 0; i < total.size(); ++i) total[i].merge(states[i]);
+    }
+    const auto key_parts = splitString(key, kKeySep);
+
+    std::string row;
+    for (size_t i = 0; i < plan.query.items.size(); ++i) {
+      if (i > 0) row.push_back('\t');
+      const SelectItem& item = plan.query.items[i];
+      const AggState& s = total[i];
+      switch (item.agg) {
+        case AggFn::kNone:
+          row += key_parts.at(
+              static_cast<size_t>(plan.item_group_index[i]));
+          break;
+        case AggFn::kCount:
+          row += renderNumber(static_cast<double>(s.count));
+          break;
+        case AggFn::kSum:
+          row += renderNumber(s.sum);
+          break;
+        case AggFn::kAvg:
+          row += s.count > 0
+                     ? renderNumber(s.sum / static_cast<double>(s.count))
+                     : "NULL";
+          break;
+        case AggFn::kMin:
+          row += s.count > 0 ? renderNumber(s.min) : "NULL";
+          break;
+        case AggFn::kMax:
+          row += s.count > 0 ? renderNumber(s.max) : "NULL";
+          break;
+      }
+    }
+    ctx.emit(std::move(row), "");
+  }
+
+ private:
+  std::shared_ptr<const Plan> plan_;
+};
+
+}  // namespace
+
+std::string QueryResult::render() const {
+  std::ostringstream out;
+  out << joinStrings(header, "\t") << "\n";
+  for (const auto& row : rows) {
+    out << joinStrings(row, "\t") << "\n";
+  }
+  return out.str();
+}
+
+Driver::Driver(Catalog catalog, mr::FileSystemView& fs, JobRunner run_job,
+               std::string scratch_dir)
+    : catalog_(std::move(catalog)),
+      fs_(fs),
+      run_job_(std::move(run_job)),
+      scratch_dir_(std::move(scratch_dir)) {}
+
+mr::JobSpec Driver::compile(const Query& query,
+                            const std::string& output_dir) {
+  const TableDef& table = catalog_.get(query.table);
+  auto plan = std::make_shared<Plan>();
+  plan->table = table;
+  plan->query = query;
+
+  for (const auto& column : query.group_by) {
+    const auto idx = table.columnIndex(column);
+    if (!idx) {
+      throw InvalidArgumentError("GROUP BY column '" + column +
+                                 "' not in table " + table.name);
+    }
+    plan->group_col.push_back(*idx);
+  }
+  for (const auto& predicate : query.where) {
+    const auto idx = table.columnIndex(predicate.column);
+    if (!idx) {
+      throw InvalidArgumentError("WHERE column '" + predicate.column +
+                                 "' not in table " + table.name);
+    }
+    plan->pred_col.push_back(*idx);
+    plan->pred_numeric.push_back(table.columns[*idx].type !=
+                                 ColumnType::kString);
+  }
+  for (const auto& item : query.items) {
+    if (item.agg == AggFn::kNone) {
+      const auto group_it =
+          std::find(query.group_by.begin(), query.group_by.end(),
+                    item.column);
+      if (group_it == query.group_by.end()) {
+        throw InvalidArgumentError("column '" + item.column +
+                                   "' must appear in GROUP BY");
+      }
+      plan->item_group_index.push_back(
+          static_cast<int>(group_it - query.group_by.begin()));
+      plan->item_col.emplace_back();
+    } else {
+      plan->item_group_index.push_back(-1);
+      if (item.column.empty()) {
+        plan->item_col.emplace_back();  // COUNT(*)
+      } else {
+        const auto idx = table.columnIndex(item.column);
+        if (!idx) {
+          throw InvalidArgumentError("column '" + item.column +
+                                     "' not in table " + table.name);
+        }
+        plan->item_col.emplace_back(*idx);
+      }
+    }
+  }
+
+  mr::JobSpec spec;
+  spec.name = "hive:" + query.table;
+  spec.input_paths = {table.location};
+  spec.output_dir = output_dir;
+  spec.num_reducers = query.group_by.empty() ? 1 : 2;
+  spec.mapper = [plan] { return std::make_unique<HiveMapper>(plan); };
+  spec.combiner = [] { return std::make_unique<HiveCombiner>(); };
+  spec.reducer = [plan] { return std::make_unique<HiveReducer>(plan); };
+  return spec;
+}
+
+QueryResult Driver::runSelect(const Query& query) {
+  const std::string output_dir =
+      scratch_dir_ + "/q" + std::to_string(next_query_id_++);
+  const auto result = run_job_(compile(query, output_dir));
+  if (!result.succeeded()) {
+    throw IoError("hive job failed: " + result.error);
+  }
+
+  QueryResult out;
+  out.counters = result.counters;
+  for (const auto& item : query.items) out.header.push_back(item.alias);
+
+  for (const auto& file : fs_.listFiles(output_dir)) {
+    const auto slash = file.find_last_of('/');
+    if (file.substr(slash + 1).rfind("part-", 0) != 0) continue;
+    const Bytes body = fs_.readRange(file, 0, fs_.fileLength(file));
+    std::istringstream lines{body};
+    std::string line;
+    while (std::getline(lines, line)) {
+      out.rows.push_back(splitString(line, '\t'));
+    }
+  }
+  fs_.remove(output_dir);
+
+  if (query.order_by) {
+    const size_t index = query.order_by->select_index;
+    const bool desc = query.order_by->descending;
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [&](const auto& a, const auto& b) {
+                       double x = 0;
+                       double y = 0;
+                       if (numericParse(a.at(index), x) &&
+                           numericParse(b.at(index), y)) {
+                         return desc ? y < x : x < y;
+                       }
+                       return desc ? b.at(index) < a.at(index)
+                                   : a.at(index) < b.at(index);
+                     });
+  }
+  if (query.limit && out.rows.size() > *query.limit) {
+    out.rows.resize(*query.limit);
+  }
+  return out;
+}
+
+QueryResult Driver::execute(const std::string& sql) {
+  if (isCreateStatement(sql)) {
+    catalog_.add(parseCreateTable(sql));
+    return {};
+  }
+  return runSelect(parseQuery(sql));
+}
+
+}  // namespace mh::hive

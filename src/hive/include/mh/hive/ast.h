@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file ast.h
+/// Parsed form of the supported HiveQL subset:
+///
+///   SELECT <item> [, <item>...]
+///   FROM <table>
+///   [WHERE <col> <op> <literal> [AND ...]]
+///   [GROUP BY <col> [, <col>...]]
+///   [ORDER BY <position|alias> [ASC|DESC]]
+///   [LIMIT <n>]
+///
+/// items: column references (must appear in GROUP BY) and the aggregates
+/// COUNT(*), COUNT(col), SUM(col), AVG(col), MIN(col), MAX(col).
+
+namespace mh::hive {
+
+enum class AggFn { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+const char* aggFnName(AggFn fn);
+
+struct SelectItem {
+  AggFn agg = AggFn::kNone;
+  std::string column;  ///< empty for COUNT(*)
+  std::string alias;   ///< display name (defaults to a rendered form)
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* compareOpName(CompareOp op);
+
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  std::string literal;  ///< raw text; compared numerically for numeric cols
+};
+
+struct OrderBy {
+  size_t select_index = 0;  ///< 0-based position in the select list
+  bool descending = false;
+};
+
+struct Query {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::vector<Predicate> where;  ///< conjunction
+  std::vector<std::string> group_by;
+  std::optional<OrderBy> order_by;
+  std::optional<uint64_t> limit;
+};
+
+}  // namespace mh::hive

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mh/hive/ast.h"
+#include "mh/hive/parser.h"
+#include "mh/hive/schema.h"
+#include "mh/mr/job.h"
+
+/// \file driver.h
+/// The mini-Hive execution engine: compiles a parsed query into ONE
+/// MapReduce job (map: parse + filter + project; combine/reduce: fold the
+/// aggregate monoids; reduce also finalizes AVG), runs it through a
+/// caller-supplied job runner (serial LocalJobRunner or a live cluster),
+/// then applies ORDER BY / LIMIT driver-side — the same plan shape the
+/// course's Hive lecture sketches for "SELECT carrier, AVG(delay) ...".
+
+namespace mh::hive {
+
+struct QueryResult {
+  std::vector<std::string> header;             ///< select-list aliases
+  std::vector<std::vector<std::string>> rows;  ///< rendered cells
+  mr::Counters counters;                       ///< the underlying job's
+
+  /// Tab-separated rendering, header first.
+  std::string render() const;
+};
+
+class Driver {
+ public:
+  /// `run_job` executes one MapReduce job and returns its result (wrap a
+  /// LocalJobRunner or MiniMrCluster::runJob). `fs` reads job output back.
+  using JobRunner = std::function<mr::JobResult(mr::JobSpec)>;
+
+  Driver(Catalog catalog, mr::FileSystemView& fs, JobRunner run_job,
+         std::string scratch_dir = "/tmp/hive");
+
+  /// Executes one statement: CREATE EXTERNAL TABLE mutates the catalog and
+  /// returns an empty result; SELECT compiles and runs a job.
+  QueryResult execute(const std::string& sql);
+
+  Catalog& catalog() { return catalog_; }
+
+  /// Compiles a SELECT into the JobSpec the driver would run (exposed for
+  /// tests and for the lecture demo to show the generated plan).
+  mr::JobSpec compile(const Query& query, const std::string& output_dir);
+
+ private:
+  QueryResult runSelect(const Query& query);
+
+  Catalog catalog_;
+  mr::FileSystemView& fs_;
+  JobRunner run_job_;
+  std::string scratch_dir_;
+  uint64_t next_query_id_ = 1;
+};
+
+}  // namespace mh::hive

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "mh/hive/ast.h"
+#include "mh/hive/schema.h"
+
+/// \file parser.h
+/// Hand-written tokenizer + recursive-descent parser for the mini-HiveQL
+/// subset (SELECT queries and CREATE EXTERNAL TABLE DDL). Errors throw
+/// InvalidArgumentError with a what() naming the offending token.
+
+namespace mh::hive {
+
+/// Parses a SELECT statement. A trailing ';' is allowed.
+Query parseQuery(std::string_view sql);
+
+/// Parses
+///   CREATE EXTERNAL TABLE <name> (<col> <TYPE> [, ...])
+///   [ROW FORMAT DELIMITED FIELDS TERMINATED BY '<c>']
+///   LOCATION '<path>'
+/// TYPE ∈ {STRING, INT, BIGINT, DOUBLE, FLOAT}.
+TableDef parseCreateTable(std::string_view sql);
+
+/// True when the statement starts with CREATE (case-insensitive).
+bool isCreateStatement(std::string_view sql);
+
+}  // namespace mh::hive

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file schema.h
+/// The mini-Hive metastore: external tables over delimited text files, the
+/// way the course's Hive lecture frames it — "a schema on top of the files
+/// you already loaded into HDFS".
+
+namespace mh::hive {
+
+enum class ColumnType { kString, kInt, kDouble };
+
+const char* columnTypeName(ColumnType type);
+
+struct Column {
+  std::string name;  ///< stored lower-case; lookups are case-insensitive
+  ColumnType type = ColumnType::kString;
+
+  bool operator==(const Column&) const = default;
+};
+
+/// An external table: a directory (or file) of delimited rows.
+struct TableDef {
+  std::string name;
+  std::vector<Column> columns;
+  char delimiter = ',';
+  std::string location;  ///< path on the execution file system
+  /// Rows whose first field equals a column name are treated as headers
+  /// and skipped (the airline CSV ships one).
+  bool skip_header = true;
+
+  /// Index of a column by (case-insensitive) name; nullopt when absent.
+  std::optional<size_t> columnIndex(const std::string& name) const;
+};
+
+/// Named tables (CREATE EXTERNAL TABLE registers here).
+class Catalog {
+ public:
+  /// Throws AlreadyExistsError on duplicate names.
+  void add(TableDef table);
+
+  /// Throws NotFoundError for unknown tables.
+  const TableDef& get(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> tableNames() const;
+  void drop(const std::string& name);
+
+ private:
+  std::map<std::string, TableDef> tables_;
+};
+
+}  // namespace mh::hive

@@ -1,0 +1,356 @@
+#include "mh/hive/parser.h"
+
+#include <cctype>
+
+#include "mh/common/error.h"
+#include "mh/common/strings.h"
+
+namespace mh::hive {
+
+namespace {
+
+enum class TokenKind { kWord, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  ///< words upper-cased; strings unquoted
+  std::string raw;   ///< original spelling
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token token = current_;
+    advance();
+    return token;
+  }
+
+  /// Consumes a word token equal to `keyword` (case-insensitive); throws
+  /// otherwise.
+  void expectKeyword(const char* keyword) {
+    if (!tryKeyword(keyword)) {
+      throw InvalidArgumentError(std::string("expected ") + keyword +
+                                 " near '" + current_.raw + "'");
+    }
+  }
+
+  bool tryKeyword(const char* keyword) {
+    if (current_.kind == TokenKind::kWord && current_.text == keyword) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool trySymbol(const char* symbol) {
+    if (current_.kind == TokenKind::kSymbol && current_.text == symbol) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expectSymbol(const char* symbol) {
+    if (!trySymbol(symbol)) {
+      throw InvalidArgumentError(std::string("expected '") + symbol +
+                                 "' near '" + current_.raw + "'");
+    }
+  }
+
+  /// A word used as an identifier: returned lower-case.
+  std::string expectIdentifier() {
+    if (current_.kind != TokenKind::kWord) {
+      throw InvalidArgumentError("expected identifier near '" + current_.raw +
+                                 "'");
+    }
+    return toLowerAscii(take().raw);
+  }
+
+  bool atEnd() const { return current_.kind == TokenKind::kEnd; }
+
+ private:
+  void advance() {
+    while (pos_ < sql_.size() &&
+           std::isspace(static_cast<unsigned char>(sql_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= sql_.size()) {
+      current_ = {TokenKind::kEnd, "", ""};
+      return;
+    }
+    const char c = sql_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = pos_;
+      while (pos_ < sql_.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '_')) {
+        ++pos_;
+      }
+      const std::string raw(sql_.substr(start, pos_ - start));
+      std::string upper = raw;
+      for (auto& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      current_ = {TokenKind::kWord, upper, raw};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < sql_.size() &&
+         std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+      const size_t start = pos_;
+      ++pos_;
+      while (pos_ < sql_.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '.')) {
+        ++pos_;
+      }
+      const std::string raw(sql_.substr(start, pos_ - start));
+      current_ = {TokenKind::kNumber, raw, raw};
+      return;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++pos_;
+      std::string body;
+      while (pos_ < sql_.size() && sql_[pos_] != quote) {
+        body.push_back(sql_[pos_++]);
+      }
+      if (pos_ >= sql_.size()) {
+        throw InvalidArgumentError("unterminated string literal");
+      }
+      ++pos_;  // closing quote
+      current_ = {TokenKind::kString, body, body};
+      return;
+    }
+    // Symbols; two-char comparators first.
+    for (const char* sym : {"<=", ">=", "!=", "<>"}) {
+      if (sql_.substr(pos_, 2) == sym) {
+        pos_ += 2;
+        current_ = {TokenKind::kSymbol, sym, sym};
+        return;
+      }
+    }
+    pos_ += 1;
+    const std::string sym(1, c);
+    current_ = {TokenKind::kSymbol, sym, sym};
+  }
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+AggFn aggFromKeyword(const std::string& word) {
+  if (word == "COUNT") return AggFn::kCount;
+  if (word == "SUM") return AggFn::kSum;
+  if (word == "AVG") return AggFn::kAvg;
+  if (word == "MIN") return AggFn::kMin;
+  if (word == "MAX") return AggFn::kMax;
+  return AggFn::kNone;
+}
+
+SelectItem parseSelectItem(Lexer& lexer) {
+  SelectItem item;
+  const Token head = lexer.take();
+  if (head.kind != TokenKind::kWord) {
+    throw InvalidArgumentError("expected select item near '" + head.raw + "'");
+  }
+  const AggFn agg = aggFromKeyword(head.text);
+  if (agg != AggFn::kNone && lexer.trySymbol("(")) {
+    item.agg = agg;
+    if (lexer.trySymbol("*")) {
+      if (agg != AggFn::kCount) {
+        throw InvalidArgumentError("only COUNT accepts *");
+      }
+      item.column.clear();
+    } else {
+      item.column = lexer.expectIdentifier();
+    }
+    lexer.expectSymbol(")");
+    item.alias = std::string(aggFnName(agg)) + "(" +
+                 (item.column.empty() ? "*" : item.column) + ")";
+  } else {
+    item.agg = AggFn::kNone;
+    item.column = toLowerAscii(head.raw);
+    item.alias = item.column;
+  }
+  if (lexer.tryKeyword("AS")) {
+    item.alias = lexer.expectIdentifier();
+  }
+  return item;
+}
+
+CompareOp parseOp(Lexer& lexer) {
+  const Token token = lexer.take();
+  if (token.kind != TokenKind::kSymbol) {
+    throw InvalidArgumentError("expected comparison near '" + token.raw + "'");
+  }
+  if (token.text == "=") return CompareOp::kEq;
+  if (token.text == "!=" || token.text == "<>") return CompareOp::kNe;
+  if (token.text == "<") return CompareOp::kLt;
+  if (token.text == "<=") return CompareOp::kLe;
+  if (token.text == ">") return CompareOp::kGt;
+  if (token.text == ">=") return CompareOp::kGe;
+  throw InvalidArgumentError("unknown comparison '" + token.raw + "'");
+}
+
+}  // namespace
+
+Query parseQuery(std::string_view sql) {
+  Lexer lexer(sql);
+  Query query;
+  lexer.expectKeyword("SELECT");
+  query.items.push_back(parseSelectItem(lexer));
+  while (lexer.trySymbol(",")) {
+    query.items.push_back(parseSelectItem(lexer));
+  }
+  lexer.expectKeyword("FROM");
+  query.table = lexer.expectIdentifier();
+
+  if (lexer.tryKeyword("WHERE")) {
+    do {
+      Predicate predicate;
+      predicate.column = lexer.expectIdentifier();
+      predicate.op = parseOp(lexer);
+      const Token literal = lexer.take();
+      if (literal.kind != TokenKind::kNumber &&
+          literal.kind != TokenKind::kString &&
+          literal.kind != TokenKind::kWord) {
+        throw InvalidArgumentError("expected literal near '" + literal.raw +
+                                   "'");
+      }
+      predicate.literal = literal.kind == TokenKind::kString ? literal.text
+                                                             : literal.raw;
+      query.where.push_back(std::move(predicate));
+    } while (lexer.tryKeyword("AND"));
+  }
+
+  if (lexer.tryKeyword("GROUP")) {
+    lexer.expectKeyword("BY");
+    do {
+      query.group_by.push_back(lexer.expectIdentifier());
+    } while (lexer.trySymbol(","));
+  }
+
+  if (lexer.tryKeyword("ORDER")) {
+    lexer.expectKeyword("BY");
+    const Token token = lexer.take();
+    OrderBy order;
+    if (token.kind == TokenKind::kNumber) {
+      const auto position = std::stoul(token.raw);
+      if (position == 0 || position > query.items.size()) {
+        throw InvalidArgumentError("ORDER BY position out of range");
+      }
+      order.select_index = position - 1;
+    } else if (token.kind == TokenKind::kWord) {
+      const std::string name = toLowerAscii(token.raw);
+      bool found = false;
+      for (size_t i = 0; i < query.items.size(); ++i) {
+        if (query.items[i].alias == name || query.items[i].column == name) {
+          order.select_index = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw InvalidArgumentError("ORDER BY references unknown item '" +
+                                   token.raw + "'");
+      }
+    } else {
+      throw InvalidArgumentError("expected ORDER BY item");
+    }
+    if (lexer.tryKeyword("DESC")) {
+      order.descending = true;
+    } else {
+      lexer.tryKeyword("ASC");
+    }
+    query.order_by = order;
+  }
+
+  if (lexer.tryKeyword("LIMIT")) {
+    const Token token = lexer.take();
+    if (token.kind != TokenKind::kNumber) {
+      throw InvalidArgumentError("expected LIMIT count");
+    }
+    query.limit = std::stoull(token.raw);
+  }
+
+  lexer.trySymbol(";");
+  if (!lexer.atEnd()) {
+    throw InvalidArgumentError("trailing input near '" + lexer.peek().raw +
+                               "'");
+  }
+  return query;
+}
+
+bool isCreateStatement(std::string_view sql) {
+  Lexer lexer(sql);
+  return lexer.peek().kind == TokenKind::kWord &&
+         lexer.peek().text == "CREATE";
+}
+
+TableDef parseCreateTable(std::string_view sql) {
+  Lexer lexer(sql);
+  lexer.expectKeyword("CREATE");
+  lexer.tryKeyword("EXTERNAL");
+  lexer.expectKeyword("TABLE");
+  TableDef table;
+  table.name = lexer.expectIdentifier();
+  lexer.expectSymbol("(");
+  do {
+    Column column;
+    column.name = lexer.expectIdentifier();
+    const Token type = lexer.take();
+    if (type.kind != TokenKind::kWord) {
+      throw InvalidArgumentError("expected column type");
+    }
+    if (type.text == "STRING") {
+      column.type = ColumnType::kString;
+    } else if (type.text == "INT" || type.text == "BIGINT") {
+      column.type = ColumnType::kInt;
+    } else if (type.text == "DOUBLE" || type.text == "FLOAT") {
+      column.type = ColumnType::kDouble;
+    } else {
+      throw InvalidArgumentError("unknown column type '" + type.raw + "'");
+    }
+    table.columns.push_back(std::move(column));
+  } while (lexer.trySymbol(","));
+  lexer.expectSymbol(")");
+
+  if (lexer.tryKeyword("ROW")) {
+    lexer.expectKeyword("FORMAT");
+    lexer.expectKeyword("DELIMITED");
+    lexer.expectKeyword("FIELDS");
+    lexer.expectKeyword("TERMINATED");
+    lexer.expectKeyword("BY");
+    const Token delim = lexer.take();
+    if (delim.kind != TokenKind::kString || delim.text.size() != 1) {
+      // Support the common escape for tab.
+      if (delim.text == "\\t") {
+        table.delimiter = '\t';
+      } else {
+        throw InvalidArgumentError("delimiter must be one character");
+      }
+    } else {
+      table.delimiter = delim.text[0];
+    }
+  }
+  lexer.expectKeyword("LOCATION");
+  const Token location = lexer.take();
+  if (location.kind != TokenKind::kString) {
+    throw InvalidArgumentError("LOCATION needs a quoted path");
+  }
+  table.location = location.text;
+  lexer.trySymbol(";");
+  if (!lexer.atEnd()) {
+    throw InvalidArgumentError("trailing input near '" + lexer.peek().raw +
+                               "'");
+  }
+  return table;
+}
+
+}  // namespace mh::hive

@@ -1,0 +1,54 @@
+#include "mh/hive/schema.h"
+
+#include "mh/common/error.h"
+#include "mh/common/strings.h"
+
+namespace mh::hive {
+
+const char* columnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kString: return "STRING";
+    case ColumnType::kInt: return "INT";
+    case ColumnType::kDouble: return "DOUBLE";
+  }
+  return "?";
+}
+
+std::optional<size_t> TableDef::columnIndex(const std::string& name) const {
+  const std::string lowered = toLowerAscii(name);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == lowered) return i;
+  }
+  return std::nullopt;
+}
+
+void Catalog::add(TableDef table) {
+  if (tables_.contains(table.name)) {
+    throw AlreadyExistsError("table exists: " + table.name);
+  }
+  const std::string name = table.name;
+  tables_.emplace(name, std::move(table));
+}
+
+const TableDef& Catalog::get(const std::string& name) const {
+  const auto it = tables_.find(toLowerAscii(name));
+  if (it == tables_.end()) throw NotFoundError("no such table: " + name);
+  return it->second;
+}
+
+bool Catalog::contains(const std::string& name) const {
+  return tables_.contains(toLowerAscii(name));
+}
+
+std::vector<std::string> Catalog::tableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+void Catalog::drop(const std::string& name) {
+  tables_.erase(toLowerAscii(name));
+}
+
+}  // namespace mh::hive

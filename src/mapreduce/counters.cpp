@@ -1,0 +1,87 @@
+#include "mh/mr/counters.h"
+
+#include <sstream>
+
+namespace mh::mr {
+
+Counters::Counters(const Counters& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  groups_ = other.groups_;
+}
+
+Counters& Counters::operator=(const Counters& other) {
+  if (this == &other) return *this;
+  // Lock ordering by address avoids deadlock on cross-assignment.
+  std::scoped_lock lock(mutex_, other.mutex_);
+  groups_ = other.groups_;
+  return *this;
+}
+
+void Counters::increment(std::string_view group, std::string_view name,
+                         int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto group_it = groups_.find(group);
+  if (group_it == groups_.end()) {
+    group_it = groups_.emplace(std::string(group),
+                               std::map<std::string, int64_t, std::less<>>{})
+                   .first;
+  }
+  auto& counter_map = group_it->second;
+  const auto it = counter_map.find(name);
+  if (it == counter_map.end()) {
+    counter_map.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+int64_t Counters::value(std::string_view group, std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto group_it = groups_.find(group);
+  if (group_it == groups_.end()) return 0;
+  const auto it = group_it->second.find(name);
+  return it == group_it->second.end() ? 0 : it->second;
+}
+
+void Counters::merge(const Counters& other) {
+  const auto rows = other.snapshot();
+  for (const auto& [group, name, value] : rows) {
+    increment(group, name, value);
+  }
+}
+
+std::vector<std::tuple<std::string, std::string, int64_t>>
+Counters::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::tuple<std::string, std::string, int64_t>> rows;
+  for (const auto& [group, counter_map] : groups_) {
+    for (const auto& [name, value] : counter_map) {
+      rows.emplace_back(group, name, value);
+    }
+  }
+  return rows;
+}
+
+Counters Counters::fromSnapshot(
+    const std::vector<std::tuple<std::string, std::string, int64_t>>& rows) {
+  Counters counters;
+  for (const auto& [group, name, value] : rows) {
+    counters.increment(group, name, value);
+  }
+  return counters;
+}
+
+std::string Counters::render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "Counters:\n";
+  for (const auto& [group, counter_map] : groups_) {
+    out << "  " << group << "\n";
+    for (const auto& [name, value] : counter_map) {
+      out << "    " << name << "=" << value << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mh::mr

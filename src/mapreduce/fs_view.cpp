@@ -1,0 +1,147 @@
+#include "mh/mr/fs_view.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "mh/common/error.h"
+
+namespace mh::mr {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------------ local
+
+LocalFs::LocalFs(uint64_t split_size) : split_size_(split_size) {
+  if (split_size_ == 0) throw InvalidArgumentError("split size must be >= 1");
+}
+
+std::vector<std::string> LocalFs::listFiles(const std::string& path) {
+  if (!fs::exists(path)) throw NotFoundError("no such path: " + path);
+  std::vector<std::string> out;
+  if (fs::is_regular_file(path)) {
+    out.push_back(path);
+    return out;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(path)) {
+    if (entry.is_regular_file()) out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t LocalFs::fileLength(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) throw NotFoundError("no such file: " + path);
+  return size;
+}
+
+Bytes LocalFs::readRange(const std::string& path, uint64_t offset,
+                         uint64_t length) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw NotFoundError("no such file: " + path);
+  in.seekg(static_cast<std::streamoff>(offset));
+  Bytes out(length, '\0');
+  in.read(out.data(), static_cast<std::streamsize>(length));
+  out.resize(static_cast<size_t>(in.gcount()));
+  return out;
+}
+
+void LocalFs::writeFile(const std::string& path, std::string_view data) {
+  const fs::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+bool LocalFs::exists(const std::string& path) { return fs::exists(path); }
+
+void LocalFs::mkdirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw IoError("mkdirs " + path + ": " + ec.message());
+}
+
+void LocalFs::remove(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+}
+
+void LocalFs::rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) throw IoError("rename " + from + " -> " + to + ": " + ec.message());
+}
+
+std::vector<InputSplit> LocalFs::splitsForFile(const std::string& path) {
+  const uint64_t length = fileLength(path);
+  std::vector<InputSplit> splits;
+  if (length == 0) return splits;
+  for (uint64_t offset = 0; offset < length; offset += split_size_) {
+    InputSplit split;
+    split.path = path;
+    split.offset = offset;
+    split.length = std::min(split_size_, length - offset);
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+// ------------------------------------------------------------------- hdfs
+
+std::vector<std::string> HdfsFs::listFiles(const std::string& path) {
+  return client_.listFilesRecursive(path);
+}
+
+uint64_t HdfsFs::fileLength(const std::string& path) {
+  return client_.getFileStatus(path).length;
+}
+
+Bytes HdfsFs::readRange(const std::string& path, uint64_t offset,
+                        uint64_t length) {
+  Bytes out;
+  for (const auto& located : client_.getBlockLocations(path)) {
+    const uint64_t block_end = located.offset + located.block.size;
+    if (block_end <= offset) continue;
+    if (located.offset >= offset + length) break;
+    const uint64_t start_in_block =
+        offset > located.offset ? offset - located.offset : 0;
+    const uint64_t want =
+        std::min(block_end, offset + length) - (located.offset + start_in_block);
+    out += client_.readBlockRange(located, start_in_block, want);
+  }
+  return out;
+}
+
+void HdfsFs::writeFile(const std::string& path, std::string_view data) {
+  client_.writeFile(path, data);
+}
+
+bool HdfsFs::exists(const std::string& path) { return client_.exists(path); }
+
+void HdfsFs::mkdirs(const std::string& path) { client_.mkdirs(path); }
+
+void HdfsFs::remove(const std::string& path) { client_.remove(path, true); }
+
+void HdfsFs::rename(const std::string& from, const std::string& to) {
+  client_.rename(from, to);
+}
+
+std::vector<InputSplit> HdfsFs::splitsForFile(const std::string& path) {
+  std::vector<InputSplit> splits;
+  for (const auto& located : client_.getBlockLocations(path)) {
+    InputSplit split;
+    split.path = path;
+    split.offset = located.offset;
+    split.length = located.block.size;
+    split.hosts = located.hosts;
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+}  // namespace mh::mr

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mh/common/bytes.h"
+#include "mh/hdfs/dfs_client.h"
+
+/// \file fs_view.h
+/// The engine's storage abstraction. MapReduce code reads splits and writes
+/// part files through this interface, so the same job runs:
+///  * serially over the local Linux file system ("MapReduce without HDFS",
+///    the course's first assignment), or
+///  * distributed over HDFS with block-location-aware splits (the second).
+
+namespace mh::mr {
+
+/// One unit of map input: a byte range of a file plus the hosts that store
+/// it (for locality-aware scheduling).
+struct InputSplit {
+  std::string path;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  std::vector<std::string> hosts;
+
+  bool operator==(const InputSplit&) const = default;
+};
+
+class FileSystemView {
+ public:
+  virtual ~FileSystemView() = default;
+
+  /// All file paths under `path` (a file lists itself).
+  virtual std::vector<std::string> listFiles(const std::string& path) = 0;
+
+  virtual uint64_t fileLength(const std::string& path) = 0;
+
+  /// Reads [offset, offset+length); short reads only at end of file.
+  virtual Bytes readRange(const std::string& path, uint64_t offset,
+                          uint64_t length) = 0;
+
+  /// Creates/overwrites a whole file.
+  virtual void writeFile(const std::string& path, std::string_view data) = 0;
+
+  virtual bool exists(const std::string& path) = 0;
+  virtual void mkdirs(const std::string& path) = 0;
+  virtual void remove(const std::string& path) = 0;
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// Natural splits of one file: HDFS yields its blocks (with replica
+  /// hosts); the local FS yields fixed-size ranges with no hosts.
+  virtual std::vector<InputSplit> splitsForFile(const std::string& path) = 0;
+};
+
+/// Local Linux file system; split size is configurable (default 64 KiB).
+class LocalFs final : public FileSystemView {
+ public:
+  explicit LocalFs(uint64_t split_size = 64 * 1024);
+
+  std::vector<std::string> listFiles(const std::string& path) override;
+  uint64_t fileLength(const std::string& path) override;
+  Bytes readRange(const std::string& path, uint64_t offset,
+                  uint64_t length) override;
+  void writeFile(const std::string& path, std::string_view data) override;
+  bool exists(const std::string& path) override;
+  void mkdirs(const std::string& path) override;
+  void remove(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  std::vector<InputSplit> splitsForFile(const std::string& path) override;
+
+ private:
+  uint64_t split_size_;
+};
+
+/// HDFS through a DfsClient; the client's host determines read locality.
+class HdfsFs final : public FileSystemView {
+ public:
+  explicit HdfsFs(hdfs::DfsClient client) : client_(std::move(client)) {}
+
+  std::vector<std::string> listFiles(const std::string& path) override;
+  uint64_t fileLength(const std::string& path) override;
+  Bytes readRange(const std::string& path, uint64_t offset,
+                  uint64_t length) override;
+  void writeFile(const std::string& path, std::string_view data) override;
+  bool exists(const std::string& path) override;
+  void mkdirs(const std::string& path) override;
+  void remove(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  std::vector<InputSplit> splitsForFile(const std::string& path) override;
+
+  hdfs::DfsClient& client() { return client_; }
+
+ private:
+  hdfs::DfsClient client_;
+};
+
+}  // namespace mh::mr

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mh/mr/fs_view.h"
+#include "mh/mr/types.h"
+
+/// \file input_format.h
+/// Input splitting and record reading. TextInputFormat implements Hadoop's
+/// line-splitting contract: a split that does not start at byte 0 skips its
+/// leading partial line, and a line that *starts* inside a split is read to
+/// completion even when it crosses the split boundary — so every line is
+/// processed exactly once regardless of where block boundaries fall.
+
+namespace mh::mr {
+
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+  /// Produces the next record; false at end of split.
+  virtual bool next(Bytes& key, Bytes& value) = 0;
+};
+
+class InputFormat {
+ public:
+  virtual ~InputFormat() = default;
+
+  /// Expands input paths (files or directories) into splits. Non-file
+  /// input formats (e.g. hbase::TableInputFormat) override this to define
+  /// their own split geometry.
+  virtual std::vector<InputSplit> getSplits(
+      FileSystemView& fs, const std::vector<std::string>& paths);
+
+  virtual std::unique_ptr<RecordReader> createReader(
+      FileSystemView& fs, const InputSplit& split) = 0;
+};
+
+/// Records are lines; key = MrCodec<int64_t> byte offset of the line start,
+/// value = the line without its terminator (trailing '\r' stripped).
+class TextInputFormat final : public InputFormat {
+ public:
+  std::unique_ptr<RecordReader> createReader(FileSystemView& fs,
+                                             const InputSplit& split) override;
+};
+
+/// Records are kv_stream frames (used for binary intermediate files).
+class KvInputFormat final : public InputFormat {
+ public:
+  std::unique_ptr<RecordReader> createReader(FileSystemView& fs,
+                                             const InputSplit& split) override;
+};
+
+using InputFormatFactory = std::function<std::unique_ptr<InputFormat>()>;
+
+}  // namespace mh::mr

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mh/common/config.h"
+#include "mh/mr/api.h"
+#include "mh/mr/counters.h"
+#include "mh/mr/input_format.h"
+#include "mh/mr/output_format.h"
+
+/// \file job.h
+/// Job description and results. A JobSpec is the moral equivalent of a
+/// configured Hadoop Job + its jar: input/output paths, mapper/reducer/
+/// combiner/partitioner factories, reducer count, and free-form conf.
+/// The same JobSpec runs under the serial LocalJobRunner or a distributed
+/// mini-cluster unchanged.
+
+namespace mh::mr {
+
+struct JobSpec {
+  std::string name = "job";
+  std::vector<std::string> input_paths;
+  std::string output_dir;
+  uint32_t num_reducers = 1;
+
+  MapperFactory mapper;
+  ReducerFactory reducer;
+  /// Optional. Runs over each map task's sorted per-partition output —
+  /// the §III-A lesson: more map-side work, less shuffle traffic.
+  ReducerFactory combiner;
+  /// Defaults to HashPartitioner.
+  PartitionerFactory partitioner;
+  /// Defaults to TextInputFormat / TextOutputFormat.
+  InputFormatFactory input_format;
+  OutputFormatFactory output_format;
+
+  Config conf;
+
+  /// Fills defaulted factories; throws InvalidArgumentError on an unusable
+  /// spec (no mapper/reducer, no inputs, no output, zero reducers).
+  void validateAndDefault();
+};
+
+enum class JobState : uint8_t { kRunning = 0, kSucceeded = 1, kFailed = 2 };
+
+const char* jobStateName(JobState state);
+
+/// Final outcome of a job.
+struct JobResult {
+  JobState state = JobState::kFailed;
+  Counters counters;
+  int64_t map_millis = 0;     ///< summed across map tasks
+  int64_t reduce_millis = 0;  ///< summed across reduce tasks
+  int64_t elapsed_millis = 0; ///< wall clock submit -> finish
+  std::string error;
+
+  bool succeeded() const { return state == JobState::kSucceeded; }
+};
+
+/// Progress snapshot while a job runs (the JobTracker "web UI" data).
+struct JobStatus {
+  JobId id = 0;
+  std::string name;
+  JobState state = JobState::kRunning;
+  uint32_t maps_total = 0;
+  uint32_t maps_completed = 0;
+  uint32_t reduces_total = 0;
+  uint32_t reduces_completed = 0;
+  std::string error;
+};
+
+}  // namespace mh::mr

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mh/common/config.h"
+#include "mh/mr/job.h"
+#include "mh/mr/job_registry.h"
+#include "mh/mr/mr_wire.h"
+#include "mh/net/network.h"
+
+/// \file job_tracker.h
+/// The MapReduce master (Hadoop 1.x JobTracker). Computes input splits from
+/// HDFS block locations, hands tasks to heartbeating TaskTrackers with
+/// node-local splits first (the Figure-2 integration: "JobTracker assigns
+/// work based on block location information from NameNode"), retries failed
+/// attempts, re-executes map tasks whose tracker died (their outputs died
+/// with it), and aggregates task counters into the job report.
+///
+/// Config keys (defaults):
+///   mapred.max.attempts               4
+///   mapred.tasktracker.expiry.ms      1000
+///   mapred.jobtracker.monitor.interval.ms  50
+///   mapred.speculative.execution      false  (launch backup attempts for
+///                                     straggler maps; first success wins)
+///   mapred.speculative.min.ms         500    (minimum runtime before a
+///                                     task can be considered a straggler)
+
+namespace mh::mr {
+
+class JobTracker {
+ public:
+  JobTracker(Config conf, std::shared_ptr<net::Network> network,
+             std::shared_ptr<JobRegistry> registry,
+             std::string host = "jobtracker",
+             std::string namenode_host = "namenode");
+  ~JobTracker();
+  JobTracker(const JobTracker&) = delete;
+  JobTracker& operator=(const JobTracker&) = delete;
+
+  /// Binds the RPC port and starts the tracker-expiry monitor.
+  void start();
+  void stop();
+
+  const std::string& host() const { return host_; }
+
+  /// Validates the spec, computes splits from HDFS, registers the job, and
+  /// returns its id. The job runs as trackers heartbeat in.
+  JobId submit(JobSpec spec);
+
+  /// Blocks until the job reaches a terminal state.
+  JobResult wait(JobId id);
+
+  JobStatus status(JobId id) const;
+  std::vector<JobStatus> listJobs() const;
+
+  /// jobdetails.jsp-style text report — the "JobTracker's web interface"
+  /// the course has students read map task run times and counters from.
+  std::string renderJobDetails(JobId id) const;
+
+  // ----- TaskTracker protocol ----------------------------------------------
+
+  void registerTracker(const std::string& host, uint32_t map_slots,
+                       uint32_t reduce_slots,
+                       const std::string& rack = "/default-rack");
+
+  TrackerHeartbeatReply trackerHeartbeat(
+      const std::string& host, uint32_t free_map_slots,
+      uint32_t free_reduce_slots,
+      const std::vector<TaskStatusReport>& reports);
+
+  /// Test hook: one synchronous expiry pass.
+  void runMonitorOnce();
+
+ private:
+  enum class TaskState : uint8_t { kPending, kRunning, kSucceeded };
+  enum class Locality : uint8_t { kNodeLocal, kRackLocal, kRemote };
+
+  struct TaskInProgress {
+    TaskState state = TaskState::kPending;
+    uint32_t next_attempt = 0;
+    uint32_t running_attempt = 0;
+    uint32_t failures = 0;
+    std::string tracker;  ///< where running / where succeeded
+    InputSplit split;     ///< maps only
+    Locality locality = Locality::kRemote;  ///< of the current assignment
+    int64_t started_ms = 0;  ///< when the current attempt launched
+    // Speculative (backup) attempt for stragglers; first success wins.
+    bool has_speculative = false;
+    uint32_t speculative_attempt = 0;
+    std::string speculative_tracker;
+  };
+
+  struct JobInProgress {
+    JobId id = 0;
+    std::shared_ptr<const JobSpec> spec;
+    std::vector<TaskInProgress> maps;
+    std::vector<TaskInProgress> reduces;
+    JobState state = JobState::kRunning;
+    std::string error;
+    Counters counters;
+    int64_t map_millis = 0;
+    int64_t reduce_millis = 0;
+    int64_t submit_ms = 0;
+    int64_t finish_ms = 0;
+  };
+
+  struct TrackerInfo {
+    std::string rack = "/default-rack";
+    uint32_t map_slots = 0;
+    uint32_t reduce_slots = 0;
+    int64_t last_heartbeat_ms = 0;
+    bool alive = false;
+  };
+
+  static int64_t steadyMillis();
+  void installRpc();
+  void processReportLocked(const std::string& tracker_host,
+                           const TaskStatusReport& report);
+  void assignSpeculativeLocked(const std::string& tracker_host,
+                               uint32_t& free_map_slots,
+                               std::vector<TaskAssignment>& out);
+  void failJobLocked(JobInProgress& job, const std::string& error);
+  void finishJobLocked(JobInProgress& job, JobState state);
+  bool allMapsDoneLocked(const JobInProgress& job) const;
+  void assignTasksLocked(const std::string& tracker_host,
+                         uint32_t free_map_slots, uint32_t free_reduce_slots,
+                         std::vector<TaskAssignment>& out);
+  void expireTrackersLocked();
+  JobStatus statusLocked(const JobInProgress& job) const;
+
+  Config conf_;
+  std::shared_ptr<net::Network> network_;
+  std::shared_ptr<JobRegistry> registry_;
+  std::string host_;
+  std::string namenode_host_;
+
+  mutable std::mutex lock_;
+  std::condition_variable job_done_;
+  std::map<JobId, JobInProgress> jobs_;
+  std::map<std::string, TrackerInfo> trackers_;
+  JobId next_job_id_ = 1;
+  bool started_ = false;
+
+  std::jthread monitor_;
+};
+
+}  // namespace mh::mr

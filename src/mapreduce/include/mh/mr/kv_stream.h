@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "mh/common/bytes.h"
+#include "mh/mr/types.h"
+
+/// \file kv_stream.h
+/// The intermediate record format: a run of [varint klen][key][varint
+/// vlen][value] frames. Map outputs are stored and shuffled in this format;
+/// reduce merges decode it back.
+
+namespace mh::mr {
+
+/// Appends framed records to a buffer.
+class KvWriter {
+ public:
+  explicit KvWriter(Bytes& out) : writer_(out) {}
+
+  void write(std::string_view key, std::string_view value) {
+    writer_.writeBytes(key);
+    writer_.writeBytes(value);
+  }
+
+  void write(const KeyValue& kv) { write(kv.key, kv.value); }
+
+ private:
+  ByteWriter writer_;
+};
+
+/// Streams framed records back out of a buffer.
+class KvReader {
+ public:
+  explicit KvReader(std::string_view in) : reader_(in) {}
+
+  /// False at end of stream; throws InvalidArgumentError on a torn frame.
+  bool next(std::string_view& key, std::string_view& value) {
+    if (reader_.atEnd()) return false;
+    key = reader_.readBytes();
+    value = reader_.readBytes();
+    return true;
+  }
+
+ private:
+  ByteReader reader_;
+};
+
+/// Decodes a whole run into materialized records.
+std::vector<KeyValue> decodeKvRun(std::string_view run);
+
+/// Encodes records into one run.
+Bytes encodeKvRun(const std::vector<KeyValue>& records);
+
+}  // namespace mh::mr

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "mh/common/bytes.h"
+#include "mh/common/error.h"
+#include "mh/mr/types.h"
+
+/// \file map_output_store.h
+/// Per-TaskTracker storage for finished map tasks' sorted partition runs.
+/// Reduce tasks fetch from here over the network (the shuffle); the
+/// JobTracker tells trackers to purge a job's outputs once it finishes.
+
+namespace mh::mr {
+
+class MapOutputStore {
+ public:
+  void put(JobId job, uint32_t map_index, std::vector<Bytes> partitions) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outputs_[{job, map_index}] = std::move(partitions);
+  }
+
+  /// Throws NotFoundError when the output is absent (e.g. after a purge or
+  /// tracker restart) — the fetch failure reduces report to the JobTracker.
+  Bytes get(JobId job, uint32_t map_index, uint32_t partition) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = outputs_.find({job, map_index});
+    if (it == outputs_.end()) {
+      throw NotFoundError("map output " + std::to_string(job) + "/" +
+                          std::to_string(map_index));
+    }
+    if (partition >= it->second.size()) {
+      throw InvalidArgumentError("partition out of range");
+    }
+    return it->second[partition];
+  }
+
+  bool has(JobId job, uint32_t map_index) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outputs_.contains({job, map_index});
+  }
+
+  void purgeJob(JobId job) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto begin = outputs_.lower_bound({job, 0});
+    const auto end = outputs_.lower_bound({job + 1, 0});
+    outputs_.erase(begin, end);
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outputs_.clear();
+  }
+
+  uint64_t totalBytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (const auto& [key, partitions] : outputs_) {
+      for (const auto& run : partitions) total += run.size();
+    }
+    return total;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<JobId, uint32_t>, std::vector<Bytes>> outputs_;
+};
+
+}  // namespace mh::mr

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mh/hdfs/mini_cluster.h"
+#include "mh/mr/job_tracker.h"
+#include "mh/mr/task_tracker.h"
+
+/// \file mini_mr_cluster.h
+/// A full in-process Hadoop-1.x-style cluster: HDFS (NameNode + DataNodes)
+/// plus MapReduce (JobTracker + one TaskTracker per DataNode host, the
+/// co-location that enables data locality). This is the paper's Figure 2 as
+/// an executable object.
+
+namespace mh::mr {
+
+struct MiniMrOptions {
+  int num_nodes = 3;
+  /// Nodes spread round-robin over this many racks (rack-aware placement
+  /// and scheduling kick in above 1).
+  int racks = 1;
+  Config conf;
+};
+
+class MiniMrCluster {
+ public:
+  explicit MiniMrCluster(MiniMrOptions options = {});
+  ~MiniMrCluster();
+  MiniMrCluster(const MiniMrCluster&) = delete;
+  MiniMrCluster& operator=(const MiniMrCluster&) = delete;
+
+  hdfs::MiniDfsCluster& dfs() { return *dfs_; }
+  JobTracker& jobTracker() { return *job_tracker_; }
+  TaskTracker& taskTracker(const std::string& host);
+  std::vector<std::string> trackerHosts() const;
+  const std::shared_ptr<JobRegistry>& registry() const { return registry_; }
+  const std::shared_ptr<net::Network>& network() const {
+    return dfs_->network();
+  }
+  const Config& conf() const { return conf_; }
+
+  /// Off-cluster HDFS client (stage inputs / fetch outputs).
+  hdfs::DfsClient client() { return dfs_->client(); }
+
+  /// Submits and waits: the everyday "run my jar" call.
+  JobResult runJob(JobSpec spec);
+
+  /// Kills the whole worker node: TaskTracker and DataNode both crash (one
+  /// machine, as in Figure 2).
+  void killNode(const std::string& host);
+
+  /// Restarts a killed node's daemons.
+  void restartNode(const std::string& host);
+
+ private:
+  MiniMrOptions options_;
+  Config conf_;
+  std::unique_ptr<hdfs::MiniDfsCluster> dfs_;
+  std::shared_ptr<JobRegistry> registry_;
+  std::unique_ptr<JobTracker> job_tracker_;
+  std::map<std::string, std::unique_ptr<TaskTracker>> trackers_;
+};
+
+}  // namespace mh::mr

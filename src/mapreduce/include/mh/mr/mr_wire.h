@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mh/common/serde.h"
+#include "mh/mr/fs_view.h"
+#include "mh/mr/types.h"
+
+/// \file mr_wire.h
+/// Control-plane messages between TaskTrackers and the JobTracker, plus
+/// their Serde specializations.
+///
+/// Note on "jar distribution": mapper/reducer factories are C++ closures and
+/// cannot cross the wire, so a shared in-process JobRegistry stands in for
+/// Hadoop's out-of-band jar shipping; only job ids, task indices, splits,
+/// and output locations travel in these messages (see DESIGN.md
+/// substitutions).
+
+namespace mh::mr {
+
+/// Counter rows on the wire.
+using CounterRows = std::vector<std::tuple<std::string, std::string, int64_t>>;
+
+/// A finished (or failed) task attempt, reported on the next heartbeat.
+struct TaskStatusReport {
+  JobId job = 0;
+  uint32_t task_index = 0;
+  bool is_map = true;
+  uint32_t attempt = 0;
+  bool succeeded = false;
+  std::string error;
+  CounterRows counters;
+  int64_t millis = 0;
+};
+
+enum class AssignmentKind : uint8_t { kMap = 0, kReduce = 1 };
+
+/// Where one map task's output lives.
+struct MapOutputLocation {
+  uint32_t map_index = 0;
+  std::string host;
+
+  bool operator==(const MapOutputLocation&) const = default;
+};
+
+struct TaskAssignment {
+  AssignmentKind kind = AssignmentKind::kMap;
+  JobId job = 0;
+  uint32_t task_index = 0;
+  uint32_t attempt = 0;
+  InputSplit split;                             ///< maps only
+  std::vector<MapOutputLocation> map_outputs;   ///< reduces only
+};
+
+struct TrackerHeartbeatReply {
+  bool reregister = false;
+  std::vector<TaskAssignment> assignments;
+  std::vector<JobId> purge_jobs;  ///< finished jobs whose map outputs can go
+};
+
+}  // namespace mh::mr
+
+namespace mh {
+
+template <>
+struct Serde<mr::InputSplit> {
+  static void encode(ByteWriter& w, const mr::InputSplit& v) {
+    w.writeBytes(v.path);
+    w.writeVarU64(v.offset);
+    w.writeVarU64(v.length);
+    Serde<std::vector<std::string>>::encode(w, v.hosts);
+  }
+  static mr::InputSplit decode(ByteReader& r) {
+    mr::InputSplit v;
+    v.path = r.readString();
+    v.offset = r.readVarU64();
+    v.length = r.readVarU64();
+    v.hosts = Serde<std::vector<std::string>>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Serde<mr::TaskStatusReport> {
+  static void encode(ByteWriter& w, const mr::TaskStatusReport& v) {
+    w.writeVarU64(v.job);
+    w.writeVarU64(v.task_index);
+    w.writeBool(v.is_map);
+    w.writeVarU64(v.attempt);
+    w.writeBool(v.succeeded);
+    w.writeBytes(v.error);
+    Serde<mr::CounterRows>::encode(w, v.counters);
+    w.writeVarI64(v.millis);
+  }
+  static mr::TaskStatusReport decode(ByteReader& r) {
+    mr::TaskStatusReport v;
+    v.job = static_cast<mr::JobId>(r.readVarU64());
+    v.task_index = static_cast<uint32_t>(r.readVarU64());
+    v.is_map = r.readBool();
+    v.attempt = static_cast<uint32_t>(r.readVarU64());
+    v.succeeded = r.readBool();
+    v.error = r.readString();
+    v.counters = Serde<mr::CounterRows>::decode(r);
+    v.millis = r.readVarI64();
+    return v;
+  }
+};
+
+template <>
+struct Serde<mr::MapOutputLocation> {
+  static void encode(ByteWriter& w, const mr::MapOutputLocation& v) {
+    w.writeVarU64(v.map_index);
+    w.writeBytes(v.host);
+  }
+  static mr::MapOutputLocation decode(ByteReader& r) {
+    mr::MapOutputLocation v;
+    v.map_index = static_cast<uint32_t>(r.readVarU64());
+    v.host = r.readString();
+    return v;
+  }
+};
+
+template <>
+struct Serde<mr::TaskAssignment> {
+  static void encode(ByteWriter& w, const mr::TaskAssignment& v) {
+    w.writeU8(static_cast<uint8_t>(v.kind));
+    w.writeVarU64(v.job);
+    w.writeVarU64(v.task_index);
+    w.writeVarU64(v.attempt);
+    Serde<mr::InputSplit>::encode(w, v.split);
+    Serde<std::vector<mr::MapOutputLocation>>::encode(w, v.map_outputs);
+  }
+  static mr::TaskAssignment decode(ByteReader& r) {
+    mr::TaskAssignment v;
+    v.kind = static_cast<mr::AssignmentKind>(r.readU8());
+    v.job = static_cast<mr::JobId>(r.readVarU64());
+    v.task_index = static_cast<uint32_t>(r.readVarU64());
+    v.attempt = static_cast<uint32_t>(r.readVarU64());
+    v.split = Serde<mr::InputSplit>::decode(r);
+    v.map_outputs = Serde<std::vector<mr::MapOutputLocation>>::decode(r);
+    return v;
+  }
+};
+
+template <>
+struct Serde<mr::TrackerHeartbeatReply> {
+  static void encode(ByteWriter& w, const mr::TrackerHeartbeatReply& v) {
+    w.writeBool(v.reregister);
+    Serde<std::vector<mr::TaskAssignment>>::encode(w, v.assignments);
+    Serde<std::vector<mr::JobId>>::encode(w, v.purge_jobs);
+  }
+  static mr::TrackerHeartbeatReply decode(ByteReader& r) {
+    mr::TrackerHeartbeatReply v;
+    v.reregister = r.readBool();
+    v.assignments = Serde<std::vector<mr::TaskAssignment>>::decode(r);
+    v.purge_jobs = Serde<std::vector<mr::JobId>>::decode(r);
+    return v;
+  }
+};
+
+}  // namespace mh

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mh/mr/fs_view.h"
+#include "mh/mr/types.h"
+
+/// \file output_format.h
+/// Writing reduce output. Each reduce task owns one part file
+/// (part-00000, part-00001, ...) and commits it atomically: records are
+/// buffered into a _temporary attempt file and renamed into place on
+/// success, so a failed/retried attempt never leaves a torn part file.
+
+namespace mh::mr {
+
+class RecordWriter {
+ public:
+  virtual ~RecordWriter() = default;
+  virtual void write(std::string_view key, std::string_view value) = 0;
+  /// Finalizes and commits the part file.
+  virtual void close() = 0;
+};
+
+class OutputFormat {
+ public:
+  virtual ~OutputFormat() = default;
+
+  /// Opens the writer for one partition's part file under `output_dir`.
+  /// `attempt` disambiguates retried tasks' temporary files.
+  virtual std::unique_ptr<RecordWriter> createWriter(
+      FileSystemView& fs, const std::string& output_dir, uint32_t partition,
+      uint32_t attempt) = 0;
+
+  /// Part file name for a partition, e.g. part-00002.
+  static std::string partName(uint32_t partition);
+};
+
+/// "key<TAB>value\n" lines (Hadoop's TextOutputFormat). A record with an
+/// empty value writes just "key\n".
+class TextOutputFormat final : public OutputFormat {
+ public:
+  std::unique_ptr<RecordWriter> createWriter(FileSystemView& fs,
+                                             const std::string& output_dir,
+                                             uint32_t partition,
+                                             uint32_t attempt) override;
+};
+
+/// Binary kv_stream frames, re-readable by KvInputFormat (for job chains).
+class KvOutputFormat final : public OutputFormat {
+ public:
+  std::unique_ptr<RecordWriter> createWriter(FileSystemView& fs,
+                                             const std::string& output_dir,
+                                             uint32_t partition,
+                                             uint32_t attempt) override;
+};
+
+using OutputFormatFactory = std::function<std::unique_ptr<OutputFormat>()>;
+
+}  // namespace mh::mr

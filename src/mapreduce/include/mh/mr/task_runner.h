@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mh/mr/job.h"
+
+/// \file task_runner.h
+/// The map-side and reduce-side execution cores, shared verbatim by the
+/// serial LocalJobRunner and the distributed TaskTracker — which is how the
+/// library guarantees the two execution modes compute identical results.
+///
+/// Map side: read split -> map() -> partition -> sort by key -> (combine)
+/// -> one kv_stream run per partition.
+/// Reduce side: concatenate the map runs for one partition -> merge-sort ->
+/// group by key -> reduce() -> committed part file.
+
+namespace mh::mr {
+
+struct MapTaskResult {
+  /// One sorted (and combined) kv_stream run per reduce partition.
+  std::vector<Bytes> partitions;
+  Counters counters;
+  int64_t millis = 0;
+};
+
+/// Executes one map task over `split`. `heap` (optional) is the
+/// TaskTracker's memory-budget callback passed through to the TaskContext.
+/// Exceptions from user code propagate to the caller (task failure).
+MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
+                         const InputSplit& split,
+                         TaskContext::HeapFn heap = {});
+
+struct ReduceTaskResult {
+  Counters counters;
+  int64_t millis = 0;
+};
+
+/// Executes one reduce task over the collected map runs for `partition` and
+/// commits output_dir/part-NNNNN via `fs`.
+ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
+                               uint32_t partition, uint32_t attempt,
+                               const std::vector<Bytes>& input_runs,
+                               TaskContext::HeapFn heap = {});
+
+}  // namespace mh::mr

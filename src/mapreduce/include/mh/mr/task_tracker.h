@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mh/common/config.h"
+#include "mh/common/threadpool.h"
+#include "mh/mr/job_registry.h"
+#include "mh/mr/map_output_store.h"
+#include "mh/mr/mr_wire.h"
+#include "mh/net/network.h"
+
+/// \file task_tracker.h
+/// The MapReduce worker daemon. Runs on the same host as a DataNode (that
+/// co-location is what makes map-side data locality possible), heartbeats
+/// to the JobTracker for work, executes map/reduce tasks in its slots,
+/// serves finished map outputs to shuffling reducers, and enforces a memory
+/// budget on its tasks.
+///
+/// Memory policy (the paper's deadline-night lesson): a task that grows the
+/// heap past `mapred.tasktracker.memory.bytes` either fails with
+/// OutOfMemoryError (`policy=fail-task`, default) or takes the whole
+/// tracker down (`policy=crash-tracker`) — run-time errors "created memory
+/// leaks on the Java heap and consequently crashed the task tracker".
+///
+/// Config keys (defaults):
+///   mapred.tasktracker.map.tasks.maximum     2
+///   mapred.tasktracker.reduce.tasks.maximum  1
+///   mapred.tasktracker.heartbeat.ms          50
+///   mapred.tasktracker.memory.bytes          (unlimited)
+///   mapred.tasktracker.oom.policy            fail-task | crash-tracker
+
+namespace mh::mr {
+
+class TaskTracker {
+ public:
+  TaskTracker(Config conf, std::shared_ptr<net::Network> network,
+              std::string host, std::shared_ptr<JobRegistry> registry,
+              std::string jobtracker_host = "jobtracker",
+              std::string namenode_host = "namenode");
+  ~TaskTracker();
+  TaskTracker(const TaskTracker&) = delete;
+  TaskTracker& operator=(const TaskTracker&) = delete;
+
+  /// Registers with the JobTracker, binds the shuffle port, starts the
+  /// heartbeat thread. Throws AlreadyExistsError on a ghost daemon's port.
+  void start();
+
+  /// Clean shutdown: finish nothing, drop everything, release the port.
+  void stop();
+
+  /// Ghost-daemon exit: threads stop, port stays bound.
+  void abandon();
+
+  /// Machine crash: host down on the fabric; map outputs are lost to
+  /// shufflers, heartbeats stop, the JobTracker declares the tracker dead.
+  void crash();
+
+  const std::string& host() const { return host_; }
+  bool running() const { return running_.load(); }
+  MapOutputStore& mapOutputs() { return outputs_; }
+
+  /// Current charged task heap, bytes (test/diagnostic hook).
+  int64_t heapUsed() const { return heap_used_.load(); }
+
+  /// High-water mark of charged task heap since start().
+  int64_t heapPeak() const { return heap_peak_.load(); }
+
+ private:
+  void installRpc();
+  void heartbeatLoop(std::stop_token token);
+  void heartbeatOnce();
+  void runAssignment(const TaskAssignment& assignment);
+  void runMapAssignment(const TaskAssignment& assignment);
+  void runReduceAssignment(const TaskAssignment& assignment);
+  void chargeHeap(int64_t delta);
+  void queueReport(TaskStatusReport report);
+
+  Config conf_;
+  std::shared_ptr<net::Network> network_;
+  std::string host_;
+  std::shared_ptr<JobRegistry> registry_;
+  std::string jobtracker_host_;
+  std::string namenode_host_;
+
+  uint32_t map_slots_;
+  uint32_t reduce_slots_;
+  std::unique_ptr<ThreadPool> map_pool_;
+  std::unique_ptr<ThreadPool> reduce_pool_;
+  std::atomic<uint32_t> busy_maps_{0};
+  std::atomic<uint32_t> busy_reduces_{0};
+  std::atomic<int64_t> heap_used_{0};
+  std::atomic<int64_t> heap_peak_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> crashed_{false};
+  bool port_bound_ = false;
+
+  MapOutputStore outputs_;
+
+  std::mutex reports_mutex_;
+  std::vector<TaskStatusReport> pending_reports_;
+
+  std::jthread heartbeat_thread_;
+};
+
+}  // namespace mh::mr

@@ -1,0 +1,137 @@
+#include "mh/mr/input_format.h"
+
+#include "mh/common/error.h"
+#include "mh/mr/kv_stream.h"
+
+namespace mh::mr {
+
+std::vector<InputSplit> InputFormat::getSplits(
+    FileSystemView& fs, const std::vector<std::string>& paths) {
+  std::vector<InputSplit> splits;
+  for (const auto& path : paths) {
+    for (const auto& file : fs.listFiles(path)) {
+      // Skip framework artifacts (Hadoop does the same for _logs etc.).
+      const auto slash = file.find_last_of('/');
+      const std::string name =
+          slash == std::string::npos ? file : file.substr(slash + 1);
+      if (name.starts_with("_") || name.starts_with(".")) continue;
+      for (auto& split : fs.splitsForFile(file)) {
+        splits.push_back(std::move(split));
+      }
+    }
+  }
+  return splits;
+}
+
+namespace {
+
+/// Line reader honoring the split contract. Materializes the split plus the
+/// tail of its final line (read ahead in chunks).
+class LineRecordReader final : public RecordReader {
+ public:
+  LineRecordReader(FileSystemView& fs, const InputSplit& split)
+      : fs_(fs), split_(split) {
+    data_ = fs_.readRange(split.path, split.offset, split.length);
+    read_end_ = split.offset + data_.size();
+    if (split.offset > 0) {
+      // The previous split owns our leading partial line.
+      const size_t nl = data_.find('\n');
+      if (nl == Bytes::npos) {
+        // The whole split is the middle of one line owned by someone else.
+        pos_ = data_.size();
+        exhausted_ = true;
+      } else {
+        pos_ = nl + 1;
+      }
+    }
+  }
+
+  bool next(Bytes& key, Bytes& value) override {
+    if (exhausted_ && pos_ >= data_.size()) return false;
+    // Lines STARTING strictly after the split end belong to a later split.
+    // A line starting exactly AT the end boundary is ours: the next split
+    // unconditionally skips its leading partial-or-boundary line, so we
+    // must read one line "past the end" (Hadoop's `pos <= end` rule).
+    if (pos_ > split_.length) return false;
+
+    size_t nl = data_.find('\n', pos_);
+    while (nl == Bytes::npos) {
+      // Line crosses the end of what we fetched; read ahead.
+      const Bytes more = fs_.readRange(split_.path, read_end_, kReadAhead);
+      if (more.empty()) break;  // EOF: last line has no terminator
+      read_end_ += more.size();
+      data_ += more;
+      nl = data_.find('\n', pos_);
+    }
+
+    const size_t line_start = pos_;
+    size_t line_end;
+    if (nl == Bytes::npos) {
+      line_end = data_.size();
+      pos_ = data_.size();
+      exhausted_ = true;
+      if (line_end == line_start) return false;  // empty tail
+    } else {
+      line_end = nl;
+      pos_ = nl + 1;
+    }
+    if (line_end > line_start && data_[line_end - 1] == '\r') --line_end;
+
+    key = MrCodec<int64_t>::enc(
+        static_cast<int64_t>(split_.offset + line_start));
+    value.assign(data_, line_start, line_end - line_start);
+    return true;
+  }
+
+ private:
+  static constexpr uint64_t kReadAhead = 4096;
+
+  FileSystemView& fs_;
+  InputSplit split_;
+  Bytes data_;
+  uint64_t read_end_ = 0;  // absolute file offset of the end of data_
+  size_t pos_ = 0;         // cursor within data_ (relative to split offset)
+  bool exhausted_ = false;
+};
+
+/// Reads kv_stream frames. Only whole-file splits are supported (binary
+/// frames are not boundary-seekable); callers use it for part files written
+/// by KvOutputFormat.
+class KvRecordReader final : public RecordReader {
+ public:
+  KvRecordReader(FileSystemView& fs, const InputSplit& split) {
+    if (split.offset != 0 || split.length != fs.fileLength(split.path)) {
+      throw InvalidArgumentError(
+          "KvInputFormat requires whole-file splits: " + split.path);
+    }
+    data_ = fs.readRange(split.path, 0, split.length);
+    reader_ = std::make_unique<KvReader>(data_);
+  }
+
+  bool next(Bytes& key, Bytes& value) override {
+    std::string_view k;
+    std::string_view v;
+    if (!reader_->next(k, v)) return false;
+    key.assign(k);
+    value.assign(v);
+    return true;
+  }
+
+ private:
+  Bytes data_;
+  std::unique_ptr<KvReader> reader_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecordReader> TextInputFormat::createReader(
+    FileSystemView& fs, const InputSplit& split) {
+  return std::make_unique<LineRecordReader>(fs, split);
+}
+
+std::unique_ptr<RecordReader> KvInputFormat::createReader(
+    FileSystemView& fs, const InputSplit& split) {
+  return std::make_unique<KvRecordReader>(fs, split);
+}
+
+}  // namespace mh::mr

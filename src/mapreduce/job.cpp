@@ -1,0 +1,33 @@
+#include "mh/mr/job.h"
+
+#include "mh/common/error.h"
+
+namespace mh::mr {
+
+void JobSpec::validateAndDefault() {
+  if (!mapper) throw InvalidArgumentError("job needs a mapper");
+  if (!reducer) throw InvalidArgumentError("job needs a reducer");
+  if (input_paths.empty()) throw InvalidArgumentError("job needs input paths");
+  if (output_dir.empty()) throw InvalidArgumentError("job needs an output dir");
+  if (num_reducers == 0) throw InvalidArgumentError("job needs >= 1 reducer");
+  if (!partitioner) {
+    partitioner = [] { return std::make_unique<HashPartitioner>(); };
+  }
+  if (!input_format) {
+    input_format = [] { return std::make_unique<TextInputFormat>(); };
+  }
+  if (!output_format) {
+    output_format = [] { return std::make_unique<TextOutputFormat>(); };
+  }
+}
+
+const char* jobStateName(JobState state) {
+  switch (state) {
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kSucceeded: return "SUCCEEDED";
+    case JobState::kFailed: return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace mh::mr

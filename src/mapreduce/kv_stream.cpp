@@ -1,0 +1,23 @@
+#include "mh/mr/kv_stream.h"
+
+namespace mh::mr {
+
+std::vector<KeyValue> decodeKvRun(std::string_view run) {
+  std::vector<KeyValue> records;
+  KvReader reader(run);
+  std::string_view key;
+  std::string_view value;
+  while (reader.next(key, value)) {
+    records.push_back({Bytes(key), Bytes(value)});
+  }
+  return records;
+}
+
+Bytes encodeKvRun(const std::vector<KeyValue>& records) {
+  Bytes out;
+  KvWriter writer(out);
+  for (const auto& record : records) writer.write(record);
+  return out;
+}
+
+}  // namespace mh::mr

@@ -1,0 +1,76 @@
+#include "mh/mr/local_runner.h"
+
+#include <future>
+
+#include "mh/common/log.h"
+#include "mh/common/stopwatch.h"
+#include "mh/common/threadpool.h"
+
+namespace mh::mr {
+
+JobResult LocalJobRunner::run(JobSpec spec) {
+  Stopwatch watch;
+  JobResult result;
+  try {
+    spec.validateAndDefault();
+    const auto input_format = spec.input_format();
+    const auto splits = input_format->getSplits(fs_, spec.input_paths);
+
+    // Map phase.
+    std::vector<MapTaskResult> map_results(splits.size());
+    const auto threads = static_cast<size_t>(
+        spec.conf.getInt("mapred.local.map.threads", 1));
+    if (threads <= 1) {
+      for (size_t i = 0; i < splits.size(); ++i) {
+        map_results[i] = runMapTask(spec, fs_, splits[i]);
+      }
+    } else {
+      ThreadPool pool(threads);
+      std::vector<std::future<MapTaskResult>> futures;
+      futures.reserve(splits.size());
+      for (const auto& split : splits) {
+        futures.push_back(pool.submit(
+            [this, &spec, split] { return runMapTask(spec, fs_, split); }));
+      }
+      for (size_t i = 0; i < futures.size(); ++i) {
+        map_results[i] = futures[i].get();
+      }
+    }
+    for (auto& mr : map_results) {
+      result.counters.merge(mr.counters);
+      result.map_millis += mr.millis;
+    }
+    result.counters.increment(counters::kJobGroup, counters::kLaunchedMaps,
+                              static_cast<int64_t>(splits.size()));
+
+    // "Shuffle": gather the runs for each partition (all in memory, all
+    // local — that is the point of the serial mode).
+    for (uint32_t p = 0; p < spec.num_reducers; ++p) {
+      std::vector<Bytes> runs;
+      runs.reserve(map_results.size());
+      for (auto& mr : map_results) {
+        if (!mr.partitions[p].empty()) {
+          result.counters.increment(
+              counters::kShuffleGroup, counters::kShuffleBytes,
+              static_cast<int64_t>(mr.partitions[p].size()));
+        }
+        runs.push_back(std::move(mr.partitions[p]));
+      }
+      const auto rr = runReduceTask(spec, fs_, p, 0, runs);
+      result.counters.merge(rr.counters);
+      result.reduce_millis += rr.millis;
+    }
+    result.counters.increment(counters::kJobGroup,
+                              counters::kLaunchedReduces,
+                              spec.num_reducers);
+    result.state = JobState::kSucceeded;
+  } catch (const std::exception& e) {
+    result.state = JobState::kFailed;
+    result.error = e.what();
+    logWarn("localrunner") << "job '" << spec.name << "' failed: " << e.what();
+  }
+  result.elapsed_millis = watch.elapsedMillis();
+  return result;
+}
+
+}  // namespace mh::mr

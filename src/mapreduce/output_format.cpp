@@ -1,0 +1,88 @@
+#include "mh/mr/output_format.h"
+
+#include <cstdio>
+
+#include "mh/common/error.h"
+#include "mh/mr/kv_stream.h"
+
+namespace mh::mr {
+
+std::string OutputFormat::partName(uint32_t partition) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "part-%05u", partition);
+  return buf;
+}
+
+namespace {
+
+/// Buffers records, writes a temporary attempt file, renames on close().
+class BufferedWriter : public RecordWriter {
+ public:
+  BufferedWriter(FileSystemView& fs, std::string output_dir,
+                 uint32_t partition, uint32_t attempt)
+      : fs_(fs),
+        final_path_(output_dir + "/" + OutputFormat::partName(partition)),
+        temp_path_(output_dir + "/_temporary_" +
+                   OutputFormat::partName(partition) + "_attempt" +
+                   std::to_string(attempt)) {
+    fs_.mkdirs(output_dir);
+  }
+
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    if (fs_.exists(temp_path_)) fs_.remove(temp_path_);
+    fs_.writeFile(temp_path_, buffer_);
+    if (fs_.exists(final_path_)) fs_.remove(final_path_);  // retried task
+    fs_.rename(temp_path_, final_path_);
+  }
+
+ protected:
+  FileSystemView& fs_;
+  Bytes buffer_;
+
+ private:
+  std::string final_path_;
+  std::string temp_path_;
+  bool closed_ = false;
+};
+
+class TextWriter final : public BufferedWriter {
+ public:
+  using BufferedWriter::BufferedWriter;
+
+  void write(std::string_view key, std::string_view value) override {
+    buffer_.append(key);
+    if (!value.empty()) {
+      buffer_.push_back('\t');
+      buffer_.append(value);
+    }
+    buffer_.push_back('\n');
+  }
+};
+
+class KvWriterOut final : public BufferedWriter {
+ public:
+  using BufferedWriter::BufferedWriter;
+
+  void write(std::string_view key, std::string_view value) override {
+    KvWriter writer(buffer_);
+    writer.write(key, value);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RecordWriter> TextOutputFormat::createWriter(
+    FileSystemView& fs, const std::string& output_dir, uint32_t partition,
+    uint32_t attempt) {
+  return std::make_unique<TextWriter>(fs, output_dir, partition, attempt);
+}
+
+std::unique_ptr<RecordWriter> KvOutputFormat::createWriter(
+    FileSystemView& fs, const std::string& output_dir, uint32_t partition,
+    uint32_t attempt) {
+  return std::make_unique<KvWriterOut>(fs, output_dir, partition, attempt);
+}
+
+}  // namespace mh::mr

@@ -1,0 +1,168 @@
+#include "mh/mr/task_runner.h"
+
+#include <algorithm>
+
+#include "mh/common/stopwatch.h"
+#include "mh/mr/kv_stream.h"
+
+namespace mh::mr {
+
+namespace {
+
+using namespace counters;
+
+/// ValuesIterator over a contiguous, key-sorted slice of records.
+class SliceValuesIterator final : public ValuesIterator {
+ public:
+  SliceValuesIterator(const std::vector<KeyValue>& records, size_t begin,
+                      size_t end)
+      : records_(records), pos_(begin), end_(end) {}
+
+  std::optional<std::string_view> next() override {
+    if (pos_ >= end_) return std::nullopt;
+    return std::string_view(records_[pos_++].value);
+  }
+
+ private:
+  const std::vector<KeyValue>& records_;
+  size_t pos_;
+  size_t end_;
+};
+
+/// Runs `reducer` over key-grouped `records` (must be key-sorted), pushing
+/// emissions through `ctx`. Returns the number of groups.
+int64_t reduceGroups(Reducer& reducer, const std::vector<KeyValue>& records,
+                     TaskContext& ctx) {
+  int64_t groups = 0;
+  size_t i = 0;
+  reducer.setup(ctx);
+  while (i < records.size()) {
+    size_t j = i + 1;
+    while (j < records.size() && records[j].key == records[i].key) ++j;
+    SliceValuesIterator values(records, i, j);
+    reducer.reduce(records[i].key, values, ctx);
+    ++groups;
+    i = j;
+  }
+  reducer.cleanup(ctx);
+  return groups;
+}
+
+void sortByKey(std::vector<KeyValue>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const KeyValue& a, const KeyValue& b) {
+                     return a.key < b.key;
+                   });
+}
+
+}  // namespace
+
+MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
+                         const InputSplit& split, TaskContext::HeapFn heap) {
+  Stopwatch watch;
+  MapTaskResult result;
+  Counters& c = result.counters;
+
+  const auto input_format = spec.input_format();
+  const auto partitioner = spec.partitioner();
+  const uint32_t parts = spec.num_reducers;
+
+  // Collect map output per partition.
+  std::vector<std::vector<KeyValue>> buffers(parts);
+  TaskContext map_ctx(
+      spec.conf, c,
+      [&](Bytes key, Bytes value) {
+        c.increment(kTaskGroup, kMapOutputRecords);
+        c.increment(kTaskGroup, kMapOutputBytes,
+                    static_cast<int64_t>(key.size() + value.size()));
+        const uint32_t p = partitioner->partition(key, parts);
+        buffers[p].push_back({std::move(key), std::move(value)});
+      },
+      heap, &fs);
+
+  {
+    const auto mapper = spec.mapper();
+    const auto reader = input_format->createReader(fs, split);
+    mapper->setup(map_ctx);
+    Bytes key;
+    Bytes value;
+    while (reader->next(key, value)) {
+      c.increment(kTaskGroup, kMapInputRecords);
+      mapper->map(key, value, map_ctx);
+    }
+    mapper->cleanup(map_ctx);
+  }
+
+  // Sort each partition; optionally combine; encode the final runs.
+  result.partitions.resize(parts);
+  for (uint32_t p = 0; p < parts; ++p) {
+    auto& records = buffers[p];
+    sortByKey(records);
+
+    if (spec.combiner && !records.empty()) {
+      c.increment(kTaskGroup, kCombineInputRecords,
+                  static_cast<int64_t>(records.size()));
+      std::vector<KeyValue> combined;
+      TaskContext combine_ctx(
+          spec.conf, c,
+          [&](Bytes key, Bytes value) {
+            c.increment(kTaskGroup, kCombineOutputRecords);
+            combined.push_back({std::move(key), std::move(value)});
+          },
+          heap, &fs);
+      const auto combiner = spec.combiner();
+      reduceGroups(*combiner, records, combine_ctx);
+      sortByKey(combined);  // combiners usually keep keys, but don't assume
+      records = std::move(combined);
+    }
+
+    c.increment(kTaskGroup, kSpilledRecords,
+                static_cast<int64_t>(records.size()));
+    result.partitions[p] = encodeKvRun(records);
+  }
+
+  result.millis = watch.elapsedMillis();
+  return result;
+}
+
+ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
+                               uint32_t partition, uint32_t attempt,
+                               const std::vector<Bytes>& input_runs,
+                               TaskContext::HeapFn heap) {
+  Stopwatch watch;
+  ReduceTaskResult result;
+  Counters& c = result.counters;
+
+  // Merge phase: each input run is already sorted; concatenate and re-sort
+  // (stable, so equal keys keep run order, like Hadoop's merge).
+  std::vector<KeyValue> records;
+  for (const Bytes& run : input_runs) {
+    for (auto& kv : decodeKvRun(run)) {
+      records.push_back(std::move(kv));
+    }
+  }
+  sortByKey(records);
+  c.increment(kTaskGroup, kReduceInputRecords,
+              static_cast<int64_t>(records.size()));
+
+  const auto output_format = spec.output_format();
+  const auto writer =
+      output_format->createWriter(fs, spec.output_dir, partition, attempt);
+  TaskContext reduce_ctx(
+      spec.conf, c,
+      [&](Bytes key, Bytes value) {
+        c.increment(kTaskGroup, kReduceOutputRecords);
+        writer->write(key, value);
+      },
+      heap, &fs);
+
+  const auto reducer = spec.reducer();
+  const int64_t groups = reduceGroups(*reducer, records, reduce_ctx);
+  c.increment(kTaskGroup, kReduceInputGroups, groups);
+  writer->close();
+
+  result.millis = watch.elapsedMillis();
+  return result;
+}
+
+}  // namespace mh::mr

@@ -1,0 +1,290 @@
+#include "mh/mr/task_tracker.h"
+
+#include <chrono>
+
+#include "mh/common/error.h"
+#include "mh/common/log.h"
+#include "mh/common/stopwatch.h"
+#include "mh/hdfs/dfs_client.h"
+#include "mh/mr/task_runner.h"
+
+namespace mh::mr {
+
+namespace {
+constexpr const char* kLog = "tasktracker";
+}  // namespace
+
+TaskTracker::TaskTracker(Config conf, std::shared_ptr<net::Network> network,
+                         std::string host,
+                         std::shared_ptr<JobRegistry> registry,
+                         std::string jobtracker_host,
+                         std::string namenode_host)
+    : conf_(std::move(conf)),
+      network_(std::move(network)),
+      host_(std::move(host)),
+      registry_(std::move(registry)),
+      jobtracker_host_(std::move(jobtracker_host)),
+      namenode_host_(std::move(namenode_host)),
+      map_slots_(static_cast<uint32_t>(
+          conf_.getInt("mapred.tasktracker.map.tasks.maximum", 2))),
+      reduce_slots_(static_cast<uint32_t>(
+          conf_.getInt("mapred.tasktracker.reduce.tasks.maximum", 1))) {
+  network_->addHost(host_);
+}
+
+TaskTracker::~TaskTracker() { stop(); }
+
+void TaskTracker::start() {
+  if (running_.load()) return;
+  if (!port_bound_) {
+    installRpc();
+    port_bound_ = true;
+  }
+  crashed_.store(false);
+  network_->setHostUp(host_, true);
+  map_pool_ = std::make_unique<ThreadPool>(map_slots_);
+  reduce_pool_ = std::make_unique<ThreadPool>(reduce_slots_);
+  heap_used_.store(0);
+  running_.store(true);
+
+  network_->call(host_, jobtracker_host_, kJobTrackerPort, "registerTracker",
+                 pack(host_, map_slots_, reduce_slots_,
+                      conf_.get("dfs.datanode.rack", "/default-rack")));
+
+  heartbeat_thread_ = std::jthread(
+      [this](std::stop_token token) { heartbeatLoop(token); });
+  logInfo(kLog) << host_ << " started (" << map_slots_ << "M/"
+                << reduce_slots_ << "R)";
+}
+
+void TaskTracker::stop() {
+  if (!running_.load() && !port_bound_) return;
+  running_.store(false);
+  if (heartbeat_thread_.joinable()) {
+    heartbeat_thread_.request_stop();
+    heartbeat_thread_.join();
+  }
+  // Drain task pools (tasks may fail fast since the host may be down).
+  map_pool_.reset();
+  reduce_pool_.reset();
+  if (port_bound_) {
+    network_->unbind(host_, kTaskTrackerPort);
+    port_bound_ = false;
+  }
+  outputs_.clear();
+  logInfo(kLog) << host_ << " stopped";
+}
+
+void TaskTracker::abandon() {
+  running_.store(false);
+  if (heartbeat_thread_.joinable()) {
+    heartbeat_thread_.request_stop();
+    heartbeat_thread_.join();
+  }
+  map_pool_.reset();
+  reduce_pool_.reset();
+  logWarn(kLog) << host_ << " abandoned (port still bound)";
+}
+
+void TaskTracker::crash() {
+  crashed_.store(true);
+  network_->setHostUp(host_, false);
+  running_.store(false);
+  if (heartbeat_thread_.joinable()) {
+    heartbeat_thread_.request_stop();
+    heartbeat_thread_.join();
+  }
+  map_pool_.reset();
+  reduce_pool_.reset();
+  outputs_.clear();  // the process died; its map outputs are gone
+  logWarn(kLog) << host_ << " crashed";
+}
+
+void TaskTracker::heartbeatLoop(std::stop_token token) {
+  const auto interval = std::chrono::milliseconds(
+      conf_.getInt("mapred.tasktracker.heartbeat.ms", 50));
+  while (!token.stop_requested()) {
+    interruptibleSleep(token, interval);
+    if (token.stop_requested() || !running_.load()) return;
+    try {
+      heartbeatOnce();
+    } catch (const NetworkError&) {
+      // JobTracker unreachable; retry next beat.
+    } catch (const std::exception& e) {
+      logWarn(kLog) << host_ << " heartbeat error: " << e.what();
+    }
+  }
+}
+
+void TaskTracker::heartbeatOnce() {
+  std::vector<TaskStatusReport> reports;
+  {
+    std::lock_guard<std::mutex> lock(reports_mutex_);
+    reports.swap(pending_reports_);
+  }
+  const uint32_t free_maps = map_slots_ - std::min(map_slots_, busy_maps_.load());
+  const uint32_t free_reduces =
+      reduce_slots_ - std::min(reduce_slots_, busy_reduces_.load());
+
+  TrackerHeartbeatReply reply;
+  try {
+    const Bytes raw = network_->call(
+        host_, jobtracker_host_, kJobTrackerPort, "heartbeat",
+        pack(host_, free_maps, free_reduces, reports));
+    reply = std::get<0>(unpack<TrackerHeartbeatReply>(raw));
+  } catch (...) {
+    // Re-queue the reports so they are not lost.
+    std::lock_guard<std::mutex> lock(reports_mutex_);
+    pending_reports_.insert(pending_reports_.begin(), reports.begin(),
+                            reports.end());
+    throw;
+  }
+
+  if (reply.reregister) {
+    network_->call(host_, jobtracker_host_, kJobTrackerPort,
+                   "registerTracker",
+                   pack(host_, map_slots_, reduce_slots_,
+                        conf_.get("dfs.datanode.rack", "/default-rack")));
+    return;
+  }
+  for (const JobId job : reply.purge_jobs) {
+    outputs_.purgeJob(job);
+  }
+  for (const auto& assignment : reply.assignments) {
+    runAssignment(assignment);
+  }
+}
+
+void TaskTracker::queueReport(TaskStatusReport report) {
+  std::lock_guard<std::mutex> lock(reports_mutex_);
+  pending_reports_.push_back(std::move(report));
+}
+
+void TaskTracker::chargeHeap(int64_t delta) {
+  const int64_t used = heap_used_.fetch_add(delta) + delta;
+  int64_t peak = heap_peak_.load();
+  while (used > peak && !heap_peak_.compare_exchange_weak(peak, used)) {
+  }
+  const int64_t budget =
+      conf_.getInt("mapred.tasktracker.memory.bytes",
+                   std::numeric_limits<int64_t>::max());
+  if (used <= budget) return;
+  const std::string policy =
+      conf_.get("mapred.tasktracker.oom.policy", "fail-task");
+  if (policy == "crash-tracker") {
+    // The heap-leak cascade: the whole daemon dies, taking its map outputs
+    // (and, on the real cluster, the co-located DataNode) with it.
+    logError(kLog) << host_ << " OOM (" << used << " > " << budget
+                   << " bytes): crashing tracker";
+    crashed_.store(true);
+    network_->setHostUp(host_, false);
+    running_.store(false);
+    heartbeat_thread_.request_stop();  // loop exits on its next wake-up
+    outputs_.clear();
+  }
+  throw OutOfMemoryError("task heap " + std::to_string(used) + " > budget " +
+                         std::to_string(budget));
+}
+
+void TaskTracker::runAssignment(const TaskAssignment& assignment) {
+  if (assignment.kind == AssignmentKind::kMap) {
+    ++busy_maps_;
+    map_pool_->submit([this, assignment] {
+      runMapAssignment(assignment);
+      --busy_maps_;
+    });
+  } else {
+    ++busy_reduces_;
+    reduce_pool_->submit([this, assignment] {
+      runReduceAssignment(assignment);
+      --busy_reduces_;
+    });
+  }
+}
+
+void TaskTracker::runMapAssignment(const TaskAssignment& assignment) {
+  TaskStatusReport report;
+  report.job = assignment.job;
+  report.task_index = assignment.task_index;
+  report.is_map = true;
+  report.attempt = assignment.attempt;
+  try {
+    const auto spec = registry_->get(assignment.job);
+    hdfs::DfsClient dfs(conf_, network_, host_, namenode_host_);
+    HdfsFs fs(std::move(dfs));
+    auto result = runMapTask(*spec, fs, assignment.split,
+                             [this](int64_t d) { chargeHeap(d); });
+    outputs_.put(assignment.job, assignment.task_index,
+                 std::move(result.partitions));
+    report.succeeded = true;
+    report.counters = result.counters.snapshot();
+    report.millis = result.millis;
+  } catch (const std::exception& e) {
+    report.succeeded = false;
+    report.error = e.what();
+  }
+  queueReport(std::move(report));
+}
+
+void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
+  TaskStatusReport report;
+  report.job = assignment.job;
+  report.task_index = assignment.task_index;
+  report.is_map = false;
+  report.attempt = assignment.attempt;
+  try {
+    const auto spec = registry_->get(assignment.job);
+    Counters shuffle_counters;
+
+    // Shuffle: pull this partition's run from every map's tracker.
+    std::vector<Bytes> runs;
+    runs.reserve(assignment.map_outputs.size());
+    for (const auto& location : assignment.map_outputs) {
+      try {
+        Bytes run = network_->call(
+            host_, location.host, kTaskTrackerPort, "getMapOutput",
+            pack(assignment.job, location.map_index,
+                 assignment.task_index),
+            "shuffle");
+        shuffle_counters.increment(counters::kShuffleGroup,
+                                   counters::kShuffleBytes,
+                                   static_cast<int64_t>(run.size()));
+        runs.push_back(std::move(run));
+      } catch (const std::exception& e) {
+        // Formatted so the JobTracker re-executes the source map.
+        throw IoError("fetch-failure host=" + location.host +
+                      " map=" + std::to_string(location.map_index) + ": " +
+                      e.what());
+      }
+    }
+
+    hdfs::DfsClient dfs(conf_, network_, host_, namenode_host_);
+    HdfsFs fs(std::move(dfs));
+    auto result =
+        runReduceTask(*spec, fs, assignment.task_index, assignment.attempt,
+                      runs, [this](int64_t d) { chargeHeap(d); });
+    result.counters.merge(shuffle_counters);
+    report.succeeded = true;
+    report.counters = result.counters.snapshot();
+    report.millis = result.millis;
+  } catch (const std::exception& e) {
+    report.succeeded = false;
+    report.error = e.what();
+  }
+  queueReport(std::move(report));
+}
+
+void TaskTracker::installRpc() {
+  network_->bind(host_, kTaskTrackerPort,
+                 [this](const net::RpcRequest& req) -> Bytes {
+    if (req.method == "getMapOutput") {
+      const auto [job, map_index, partition] =
+          unpack<uint32_t, uint32_t, uint32_t>(req.body);
+      return outputs_.get(job, map_index, partition);
+    }
+    throw InvalidArgumentError("tasktracker: unknown RPC method " +
+                               req.method);
+  });
+}
+
+}  // namespace mh::mr

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mh/common/bytes.h"
+
+/// \file network.h
+/// In-process cluster network fabric.
+///
+/// Every daemon in the live layer (NameNode, DataNode, JobTracker,
+/// TaskTracker) binds a (host, port) endpoint on a shared Network and talks
+/// to peers through it. The fabric provides the semantics the course's
+/// platform war stories depend on:
+///
+///  * **Port exclusivity** — binding an already-bound port throws, which is
+///    how leftover "ghost" Hadoop daemons break the next student's cluster
+///    (paper §II-B).
+///  * **Host liveness** — a crashed host stops answering; callers see a
+///    NetworkError, heartbeat listeners see staleness.
+///  * **Byte metering** — control-plane RPCs and bulk data transfers are
+///    counted per traffic tag ("shuffle", "replication", "staging", ...) and
+///    split into local (loopback) vs remote bytes, which is what the
+///    combiner and locality experiments report.
+///  * **Optional throttling** — a configurable per-link bandwidth and
+///    latency turn byte counts into realistic wall-clock costs when an
+///    experiment needs them (defaults are free/instant so unit tests fly).
+
+namespace mh::net {
+
+/// A control-plane message delivered to a bound endpoint.
+struct RpcRequest {
+  std::string method;     ///< e.g. "heartbeat", "getBlockLocations"
+  Bytes body;             ///< serialized arguments
+  std::string from_host;  ///< caller's host name
+};
+
+/// Endpoint handler: receives a request, returns a serialized response.
+/// Handlers run synchronously on the caller's thread; they may throw, and
+/// the exception propagates to the caller (mimicking an RPC fault).
+using RpcHandler = std::function<Bytes(const RpcRequest&)>;
+
+/// Accumulated traffic for one tag.
+struct TrafficStats {
+  uint64_t remote_bytes = 0;  ///< bytes that crossed between two hosts
+  uint64_t local_bytes = 0;   ///< loopback bytes (same host)
+  uint64_t messages = 0;      ///< RPC calls + bulk transfers
+};
+
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a host (idempotent). Hosts start up.
+  void addHost(const std::string& host);
+
+  /// Returns all registered host names, sorted.
+  std::vector<std::string> hosts() const;
+
+  /// Binds a handler to (host, port). Throws AlreadyExistsError if the port
+  /// is taken — the ghost-daemon failure mode.
+  void bind(const std::string& host, int port, RpcHandler handler);
+
+  /// Releases a port. Unknown endpoints are ignored (idempotent teardown).
+  void unbind(const std::string& host, int port);
+
+  /// Releases every port on a host — the batch scheduler's node-cleanup
+  /// epilogue that kills leftover ghost daemons. Returns how many ports
+  /// were freed.
+  size_t unbindAll(const std::string& host);
+
+  /// True if something is bound at (host, port).
+  bool isBound(const std::string& host, int port) const;
+
+  /// Marks a host down (crash) or back up. A down host keeps its bindings —
+  /// like a hung JVM — but refuses all traffic.
+  void setHostUp(const std::string& host, bool up);
+  bool hostUp(const std::string& host) const;
+
+  /// Synchronous RPC. Throws NetworkError when the destination host is down
+  /// or nothing is bound at the port. Request and response bytes are metered
+  /// under `tag` (control traffic defaults to "rpc"; data-plane calls pass
+  /// "read" / "pipeline" / "replication" / "shuffle" so experiments can
+  /// attribute traffic).
+  Bytes call(const std::string& from, const std::string& to, int port,
+             std::string method, Bytes body, std::string_view tag = "rpc");
+
+  /// Meters (and, if bandwidth is configured, throttles) a bulk data
+  /// movement of `bytes` between two hosts under `tag`. Throws NetworkError
+  /// when either end is down. The payload itself moves through direct
+  /// memory; only accounting and pacing happen here.
+  void transfer(const std::string& from, const std::string& to,
+                uint64_t bytes, std::string_view tag);
+
+  /// One-way propagation delay applied to every remote call/transfer.
+  void setLatencyMicros(int64_t micros) { latency_micros_ = micros; }
+
+  /// Per-link bandwidth in bytes/second; 0 disables pacing.
+  void setBandwidthBytesPerSec(uint64_t bps) { bandwidth_bps_ = bps; }
+
+  /// Snapshot of traffic per tag.
+  std::map<std::string, TrafficStats> stats() const;
+
+  /// Total remote bytes for one tag (0 if the tag never appeared).
+  uint64_t remoteBytes(std::string_view tag) const;
+  uint64_t localBytes(std::string_view tag) const;
+
+  void resetStats();
+
+ private:
+  void meter(const std::string& from, const std::string& to, uint64_t bytes,
+             std::string_view tag);
+  void pace(const std::string& from, const std::string& to,
+            uint64_t bytes) const;
+  void checkHostUpLocked(const std::string& host) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, bool> host_up_;
+  std::map<std::pair<std::string, int>, RpcHandler> endpoints_;
+  std::map<std::string, TrafficStats, std::less<>> traffic_;
+  int64_t latency_micros_ = 0;
+  uint64_t bandwidth_bps_ = 0;
+};
+
+}  // namespace mh::net

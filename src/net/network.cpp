@@ -1,0 +1,164 @@
+#include "mh/net/network.h"
+
+#include <chrono>
+#include <thread>
+
+#include "mh/common/error.h"
+
+namespace mh::net {
+
+void Network::addHost(const std::string& host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  host_up_.try_emplace(host, true);
+}
+
+std::vector<std::string> Network::hosts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(host_up_.size());
+  for (const auto& [host, up] : host_up_) out.push_back(host);
+  return out;
+}
+
+void Network::bind(const std::string& host, int port, RpcHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  host_up_.try_emplace(host, true);
+  const auto key = std::make_pair(host, port);
+  if (endpoints_.contains(key)) {
+    throw AlreadyExistsError("port " + std::to_string(port) +
+                             " already bound on " + host);
+  }
+  endpoints_.emplace(key, std::move(handler));
+}
+
+void Network::unbind(const std::string& host, int port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  endpoints_.erase(std::make_pair(host, port));
+}
+
+size_t Network::unbindAll(const std::string& host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t freed = 0;
+  for (auto it = endpoints_.begin(); it != endpoints_.end();) {
+    if (it->first.first == host) {
+      it = endpoints_.erase(it);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+bool Network::isBound(const std::string& host, int port) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoints_.contains(std::make_pair(host, port));
+}
+
+void Network::setHostUp(const std::string& host, bool up) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  host_up_[host] = up;
+}
+
+bool Network::hostUp(const std::string& host) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = host_up_.find(host);
+  return it != host_up_.end() && it->second;
+}
+
+void Network::checkHostUpLocked(const std::string& host) const {
+  const auto it = host_up_.find(host);
+  if (it == host_up_.end()) {
+    throw NetworkError("unknown host " + host);
+  }
+  if (!it->second) {
+    throw NetworkError("host " + host + " is down");
+  }
+}
+
+Bytes Network::call(const std::string& from, const std::string& to, int port,
+                    std::string method, Bytes body, std::string_view tag) {
+  RpcHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    checkHostUpLocked(from);
+    checkHostUpLocked(to);
+    const auto it = endpoints_.find(std::make_pair(to, port));
+    if (it == endpoints_.end()) {
+      throw NetworkError("connection refused: " + to + ":" +
+                         std::to_string(port));
+    }
+    handler = it->second;  // copy so the handler runs without the lock
+  }
+  meter(from, to, body.size() + method.size(), tag);
+  pace(from, to, body.size());
+  RpcRequest request{std::move(method), std::move(body), from};
+  Bytes response = handler(request);
+  meter(to, from, response.size(), tag);
+  pace(to, from, response.size());
+  return response;
+}
+
+void Network::transfer(const std::string& from, const std::string& to,
+                       uint64_t bytes, std::string_view tag) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    checkHostUpLocked(from);
+    checkHostUpLocked(to);
+  }
+  meter(from, to, bytes, tag);
+  pace(from, to, bytes);
+}
+
+void Network::meter(const std::string& from, const std::string& to,
+                    uint64_t bytes, std::string_view tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = traffic_.find(tag);
+  if (it == traffic_.end()) {
+    it = traffic_.emplace(std::string(tag), TrafficStats{}).first;
+  }
+  TrafficStats& stats = it->second;
+  if (from == to) {
+    stats.local_bytes += bytes;
+  } else {
+    stats.remote_bytes += bytes;
+  }
+  ++stats.messages;
+}
+
+void Network::pace(const std::string& from, const std::string& to,
+                   uint64_t bytes) const {
+  if (from == to) return;  // loopback: free
+  int64_t delay_micros = latency_micros_;
+  if (bandwidth_bps_ > 0) {
+    delay_micros += static_cast<int64_t>(
+        static_cast<double>(bytes) / static_cast<double>(bandwidth_bps_) * 1e6);
+  }
+  if (delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
+}
+
+std::map<std::string, TrafficStats> Network::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {traffic_.begin(), traffic_.end()};
+}
+
+uint64_t Network::remoteBytes(std::string_view tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = traffic_.find(tag);
+  return it == traffic_.end() ? 0 : it->second.remote_bytes;
+}
+
+uint64_t Network::localBytes(std::string_view tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = traffic_.find(tag);
+  return it == traffic_.end() ? 0 : it->second.local_bytes;
+}
+
+void Network::resetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  traffic_.clear();
+}
+
+}  // namespace mh::net

@@ -1,0 +1,152 @@
+#include "mh/sim/cluster_model.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "mh/common/error.h"
+
+namespace mh::sim {
+
+namespace {
+
+uint64_t blockCount(const ScanWorkload& workload) {
+  const auto total = static_cast<uint64_t>(workload.data_gb * kGB);
+  return std::max<uint64_t>(1, (total + workload.block_bytes - 1) /
+                                   workload.block_bytes);
+}
+
+double blockGb(const ScanWorkload& workload) {
+  return static_cast<double>(workload.block_bytes) / kGB;
+}
+
+}  // namespace
+
+ArchitectureResult simulateHadoopScan(const HadoopArchSpec& spec,
+                                      const ScanWorkload& workload) {
+  if (spec.nodes < 1) throw InvalidArgumentError("need >= 1 node");
+  Simulation sim;
+  Rng rng(spec.seed);
+
+  std::vector<std::unique_ptr<Resource>> disks;
+  std::vector<std::unique_ptr<Resource>> nics;
+  std::vector<std::unique_ptr<Resource>> computes;
+  for (int n = 0; n < spec.nodes; ++n) {
+    disks.push_back(std::make_unique<Resource>(
+        sim, "disk" + std::to_string(n), spec.hw.disk_bps));
+    nics.push_back(std::make_unique<Resource>(
+        sim, "nic" + std::to_string(n), spec.hw.nic_bps));
+    // "Compute" serves core-seconds: bandwidth = cores per wall second.
+    computes.push_back(std::make_unique<Resource>(
+        sim, "cpu" + std::to_string(n), static_cast<double>(spec.hw.cores)));
+  }
+  Resource core(sim, "core-switch",
+                spec.nodes * spec.hw.nic_bps / spec.oversubscription);
+
+  const uint64_t blocks = blockCount(workload);
+  const double compute_core_secs =
+      blockGb(workload) * workload.compute_secs_per_gb;
+
+  SimTime job_end = 0;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    const int node = static_cast<int>(b % static_cast<uint64_t>(spec.nodes));
+    SimTime read_done;
+    if (rng.uniform01() < spec.locality_fraction) {
+      read_done = disks[node]->reserve(workload.block_bytes);
+    } else {
+      // Remote read: the replica's disk, both NICs, and the core switch.
+      int src = node;
+      if (spec.nodes > 1) {
+        src = static_cast<int>(rng.uniform(spec.nodes - 1));
+        if (src >= node) ++src;
+      }
+      read_done = disks[src]->reserve(workload.block_bytes);
+      read_done = std::max(read_done,
+                           nics[src]->reserve(workload.block_bytes));
+      read_done = std::max(read_done, core.reserve(workload.block_bytes));
+      read_done =
+          std::max(read_done, nics[node]->reserve(workload.block_bytes));
+    }
+    job_end = std::max(
+        job_end,
+        computes[node]->reserveSecondsAfter(read_done, compute_core_secs));
+  }
+
+  ArchitectureResult result;
+  result.seconds = job_end;
+  result.aggregate_gbps = workload.data_gb / job_end;
+  result.network_gb = static_cast<double>(core.totalBytes()) / kGB;
+  double util = 0;
+  for (const auto& disk : disks) util += disk->busySeconds() / job_end;
+  result.avg_disk_util = util / spec.nodes;
+  return result;
+}
+
+ArchitectureResult simulateHpcScan(const HpcArchSpec& spec,
+                                   const ScanWorkload& workload) {
+  if (spec.compute_nodes < 1 || spec.storage_nodes < 1) {
+    throw InvalidArgumentError("need compute and storage nodes");
+  }
+  Simulation sim;
+
+  std::vector<std::unique_ptr<Resource>> storage_disks;
+  std::vector<std::unique_ptr<Resource>> storage_nics;
+  for (int s = 0; s < spec.storage_nodes; ++s) {
+    for (int d = 0; d < spec.storage_disks; ++d) {
+      storage_disks.push_back(std::make_unique<Resource>(
+          sim, "sdisk" + std::to_string(s) + "." + std::to_string(d),
+          spec.hw.disk_bps));
+    }
+    // Storage servers get a fatter pipe (10 GbE), as real parallel file
+    // systems do.
+    storage_nics.push_back(std::make_unique<Resource>(
+        sim, "snic" + std::to_string(s), 10 * spec.hw.nic_bps));
+  }
+  std::vector<std::unique_ptr<Resource>> compute_nics;
+  std::vector<std::unique_ptr<Resource>> computes;
+  for (int n = 0; n < spec.compute_nodes; ++n) {
+    compute_nics.push_back(std::make_unique<Resource>(
+        sim, "cnic" + std::to_string(n), spec.hw.nic_bps));
+    computes.push_back(std::make_unique<Resource>(
+        sim, "cpu" + std::to_string(n), static_cast<double>(spec.hw.cores)));
+  }
+  const int total_ports = spec.compute_nodes + spec.storage_nodes;
+  Resource core(sim, "core-switch",
+                total_ports * spec.hw.nic_bps / spec.oversubscription);
+
+  const uint64_t blocks = blockCount(workload);
+  const double compute_core_secs =
+      blockGb(workload) * workload.compute_secs_per_gb;
+
+  SimTime job_end = 0;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    const int node =
+        static_cast<int>(b % static_cast<uint64_t>(spec.compute_nodes));
+    const size_t disk_idx = b % storage_disks.size();
+    const size_t server_idx = disk_idx / spec.storage_disks;
+
+    // Every byte crosses: storage disk -> storage NIC -> core -> node NIC.
+    SimTime read_done = storage_disks[disk_idx]->reserve(workload.block_bytes);
+    read_done = std::max(
+        read_done, storage_nics[server_idx]->reserve(workload.block_bytes));
+    read_done = std::max(read_done, core.reserve(workload.block_bytes));
+    read_done =
+        std::max(read_done, compute_nics[node]->reserve(workload.block_bytes));
+    job_end = std::max(
+        job_end,
+        computes[node]->reserveSecondsAfter(read_done, compute_core_secs));
+  }
+
+  ArchitectureResult result;
+  result.seconds = job_end;
+  result.aggregate_gbps = workload.data_gb / job_end;
+  result.network_gb = static_cast<double>(core.totalBytes()) / kGB;
+  double util = 0;
+  for (const auto& disk : storage_disks) {
+    util += disk->busySeconds() / job_end;
+  }
+  result.avg_disk_util = util / static_cast<double>(storage_disks.size());
+  return result;
+}
+
+}  // namespace mh::sim

@@ -1,0 +1,292 @@
+#include "mh/sim/hdfs_model.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <set>
+
+#include "mh/common/error.h"
+
+namespace mh::sim {
+
+StagingResult simulateStaging(const StagingSpec& spec) {
+  if (spec.nodes < spec.replication) {
+    throw InvalidArgumentError("need nodes >= replication");
+  }
+  Simulation sim;
+  Rng rng(spec.seed);
+
+  Resource source(sim, "parallel-store", spec.source_bps);
+  Resource client_nic(sim, "client-nic", spec.client_nic_bps);
+  Resource core(sim, "core-switch",
+                (spec.nodes + 1) * spec.hw.nic_bps / spec.oversubscription);
+  std::vector<std::unique_ptr<Resource>> disks;
+  std::vector<std::unique_ptr<Resource>> nics;
+  for (int n = 0; n < spec.nodes; ++n) {
+    disks.push_back(std::make_unique<Resource>(
+        sim, "disk" + std::to_string(n), spec.hw.disk_bps));
+    nics.push_back(std::make_unique<Resource>(
+        sim, "nic" + std::to_string(n), spec.hw.nic_bps));
+  }
+
+  const auto total_bytes = static_cast<uint64_t>(spec.data_gb * kGB);
+  const uint64_t blocks =
+      std::max<uint64_t>(1, total_bytes / spec.block_bytes);
+  const int streams = std::max(1, spec.parallel_streams);
+  std::vector<SimTime> stream_ready(static_cast<size_t>(streams), 0.0);
+
+  SimTime job_end = 0;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    const auto stream = static_cast<size_t>(b % streams);
+    const SimTime ready = stream_ready[stream];
+
+    // Choose the replica pipeline: `replication` distinct nodes.
+    std::vector<int> targets;
+    while (targets.size() < static_cast<size_t>(spec.replication)) {
+      const int candidate = static_cast<int>(rng.uniform(spec.nodes));
+      if (std::find(targets.begin(), targets.end(), candidate) ==
+          targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+
+    // Source store read, client uplink, one core crossing per hop.
+    SimTime done = source.reserveAfter(ready, spec.block_bytes);
+    done = std::max(done, client_nic.reserveAfter(ready, spec.block_bytes));
+    for (int hop = 0; hop < spec.replication; ++hop) {
+      done = std::max(done, core.reserveAfter(ready, spec.block_bytes));
+    }
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const int node = targets[i];
+      // Receive...
+      done = std::max(done, nics[node]->reserveAfter(ready, spec.block_bytes));
+      // ...store...
+      done = std::max(done, disks[node]->reserveAfter(ready, spec.block_bytes));
+      // ...and forward to the next replica (all but the tail).
+      if (i + 1 < targets.size()) {
+        done = std::max(done,
+                        nics[node]->reserveAfter(ready, spec.block_bytes));
+      }
+    }
+    stream_ready[stream] = done;
+    job_end = std::max(job_end, done);
+  }
+
+  StagingResult result;
+  result.seconds = job_end;
+  result.effective_mbps = spec.data_gb * 1000.0 / job_end;
+  result.replication_gb = spec.data_gb * (spec.replication - 1);
+  return result;
+}
+
+RestartResult simulateRestart(const RestartSpec& spec) {
+  if (spec.nodes < 1) throw InvalidArgumentError("need >= 1 node");
+  Simulation sim;
+  Resource namenode(sim, "namenode-cpu", 1.0);  // serves seconds
+
+  struct Report {
+    SimTime scan_done;
+    uint64_t blocks;
+  };
+  std::vector<Report> reports;
+  uint64_t total_blocks = 0;
+  double slowest_scan = 0;
+  for (int n = 0; n < spec.nodes; ++n) {
+    // Slight per-node imbalance, as real block placement produces.
+    const double skew =
+        spec.nodes > 1
+            ? 0.9 + 0.2 * static_cast<double>(n) / (spec.nodes - 1)
+            : 1.0;
+    const double bytes = spec.per_node_gb * kGB * skew;
+    const auto blocks =
+        static_cast<uint64_t>(bytes / static_cast<double>(spec.block_bytes));
+    // The integrity check re-reads every replica against its checksums.
+    const double scan_secs = bytes / spec.hw.disk_bps;
+    reports.push_back({scan_secs, blocks});
+    total_blocks += blocks;
+    slowest_scan = std::max(slowest_scan, scan_secs);
+  }
+
+  // Reports are processed by the NameNode in arrival order; safe mode lifts
+  // when the threshold fraction of blocks has been reported.
+  std::sort(reports.begin(), reports.end(),
+            [](const Report& a, const Report& b) {
+              return a.scan_done < b.scan_done;
+            });
+  const auto needed = static_cast<uint64_t>(
+      spec.safemode_threshold * static_cast<double>(total_blocks));
+  uint64_t reported = 0;
+  SimTime exit_time = 0;
+  for (const Report& report : reports) {
+    const SimTime processed = namenode.reserveSecondsAfter(
+        report.scan_done,
+        static_cast<double>(report.blocks) * spec.namenode_secs_per_block);
+    reported += report.blocks;
+    if (reported >= needed && exit_time == 0) exit_time = processed;
+  }
+
+  RestartResult result;
+  result.seconds_to_safemode_exit = exit_time;
+  result.slowest_scan_seconds = slowest_scan;
+  result.total_blocks = total_blocks;
+  return result;
+}
+
+CollapseResult simulateDeadlineCollapse(const CollapseSpec& spec) {
+  if (spec.nodes < spec.replication) {
+    throw InvalidArgumentError("need nodes >= replication");
+  }
+  Rng rng(spec.seed);
+
+  struct BlockState {
+    std::vector<int> holders;
+    int live = 0;
+  };
+  std::vector<BlockState> blocks(spec.blocks);
+  std::vector<std::vector<uint32_t>> node_blocks(
+      static_cast<size_t>(spec.nodes));
+  for (uint32_t b = 0; b < spec.blocks; ++b) {
+    while (blocks[b].holders.size() <
+           static_cast<size_t>(spec.replication)) {
+      const int node = static_cast<int>(rng.uniform(spec.nodes));
+      auto& holders = blocks[b].holders;
+      if (std::find(holders.begin(), holders.end(), node) == holders.end()) {
+        holders.push_back(node);
+        node_blocks[static_cast<size_t>(node)].push_back(b);
+      }
+    }
+    blocks[b].live = spec.replication;
+  }
+
+  std::vector<bool> node_up(static_cast<size_t>(spec.nodes), true);
+  std::vector<double> node_up_at(static_cast<size_t>(spec.nodes), 0.0);
+  std::set<uint32_t> under_replicated;
+  std::set<uint32_t> ever_lost;
+
+  CollapseResult result;
+  const double horizon = spec.horizon_hours * 3600.0;
+  double t = 0;
+  double next_submission = rng.exponential(3600.0 / spec.submissions_per_hour);
+  double next_repair = -1;  // -1: no repair in flight
+
+  const auto upNodes = [&] {
+    int up = 0;
+    for (const bool b : node_up) up += b ? 1 : 0;
+    return up;
+  };
+  const auto scheduleRepair = [&](double now) {
+    if (under_replicated.empty() || next_repair >= 0) return;
+    const int up = upNodes();
+    if (up == 0) return;
+    const double rate = spec.recovery_bps * up;
+    next_repair = now + static_cast<double>(spec.block_bytes) / rate;
+  };
+
+  while (t < horizon) {
+    // Next event: submission, repair completion, or node recovery.
+    double next_event = next_submission;
+    if (next_repair >= 0) next_event = std::min(next_event, next_repair);
+    int recovering = -1;
+    for (int n = 0; n < spec.nodes; ++n) {
+      if (!node_up[static_cast<size_t>(n)] &&
+          node_up_at[static_cast<size_t>(n)] < next_event) {
+        next_event = node_up_at[static_cast<size_t>(n)];
+        recovering = n;
+      }
+    }
+    t = next_event;
+    if (t >= horizon) break;
+
+    if (recovering >= 0) {
+      // Node restart: its surviving replicas re-register unless the block
+      // has been healed to full replication meanwhile (the NameNode would
+      // invalidate the excess copy).
+      const auto node = static_cast<size_t>(recovering);
+      node_up[node] = true;
+      auto& held = node_blocks[node];
+      for (auto it = held.begin(); it != held.end();) {
+        BlockState& block = blocks[*it];
+        if (block.live >= spec.replication) {
+          block.holders.erase(std::find(block.holders.begin(),
+                                        block.holders.end(), recovering));
+          it = held.erase(it);
+          continue;
+        }
+        ++block.live;
+        if (block.live >= spec.replication) under_replicated.erase(*it);
+        ++it;
+      }
+      scheduleRepair(t);
+      continue;
+    }
+
+    if (next_repair >= 0 && t == next_repair) {
+      next_repair = -1;
+      // Heal one under-replicated block onto a random up node.
+      while (!under_replicated.empty()) {
+        const uint32_t b = *under_replicated.begin();
+        BlockState& block = blocks[b];
+        if (block.live == 0 || block.live >= spec.replication) {
+          under_replicated.erase(under_replicated.begin());
+          continue;  // unrepairable or already healed
+        }
+        std::vector<int> candidates;
+        for (int n = 0; n < spec.nodes; ++n) {
+          if (node_up[static_cast<size_t>(n)] &&
+              std::find(block.holders.begin(), block.holders.end(), n) ==
+                  block.holders.end()) {
+            candidates.push_back(n);
+          }
+        }
+        if (candidates.empty()) break;
+        const int target =
+            candidates[rng.uniform(candidates.size())];
+        block.holders.push_back(target);
+        node_blocks[static_cast<size_t>(target)].push_back(b);
+        ++block.live;
+        if (block.live >= spec.replication) {
+          under_replicated.erase(under_replicated.begin());
+        }
+        break;
+      }
+      scheduleRepair(t);
+      continue;
+    }
+
+    // Submission event.
+    next_submission =
+        t + rng.exponential(3600.0 / spec.submissions_per_hour);
+    std::vector<int> up_nodes;
+    for (int n = 0; n < spec.nodes; ++n) {
+      if (node_up[static_cast<size_t>(n)]) up_nodes.push_back(n);
+    }
+    if (up_nodes.empty()) continue;
+    if (!rng.chance(spec.crash_probability)) continue;
+
+    const int victim = up_nodes[rng.uniform(up_nodes.size())];
+    ++result.crashes;
+    node_up[static_cast<size_t>(victim)] = false;
+    node_up_at[static_cast<size_t>(victim)] = t + spec.node_restart_seconds;
+    for (const uint32_t b : node_blocks[static_cast<size_t>(victim)]) {
+      BlockState& block = blocks[b];
+      --block.live;
+      if (block.live < spec.replication) under_replicated.insert(b);
+      if (block.live == 0) {
+        ever_lost.insert(b);
+        if (!result.corrupted) {
+          result.corrupted = true;
+          result.hours_to_corruption = t / 3600.0;
+        }
+      }
+    }
+    result.max_under_replicated =
+        std::max(result.max_under_replicated,
+                 static_cast<uint64_t>(under_replicated.size()));
+    scheduleRepair(t);
+  }
+
+  result.lost_blocks = ever_lost.size();
+  return result;
+}
+
+}  // namespace mh::sim

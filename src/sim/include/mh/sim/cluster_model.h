@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mh/common/rng.h"
+#include "mh/sim/simulation.h"
+
+/// \file cluster_model.h
+/// The Figure-1 experiment: the same data-scan MapReduce workload on the
+/// two cluster designs the paper contrasts —
+///
+///  (a) a typical HPC cluster: diskless compute nodes, data on a few
+///      parallel-storage servers behind the interconnect; every byte
+///      crosses the network and the storage servers' disks are shared;
+///  (b) a Hadoop cluster: disks on the compute nodes, most reads local
+///      (data locality); only the non-local fraction crosses the network.
+///
+/// Hardware constants default to the paper's era: 100 MB/s SATA disks,
+/// 1 GbE NICs, an oversubscribed core switch.
+
+namespace mh::sim {
+
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+struct NodeHardware {
+  double disk_bps = 100 * kMB;  ///< one data disk
+  double nic_bps = 125 * kMB;   ///< 1 GbE
+  int cores = 8;
+};
+
+struct ScanWorkload {
+  double data_gb = 100.0;
+  /// CPU seconds to process one GB on one core (0 = pure I/O scan).
+  double compute_secs_per_gb = 2.0;
+  uint64_t block_bytes = 256ull * 1024 * 1024;
+};
+
+struct ArchitectureResult {
+  double seconds = 0;          ///< job completion time
+  double aggregate_gbps = 0;   ///< data GB / seconds
+  double network_gb = 0;       ///< bytes that crossed the core switch
+  double avg_disk_util = 0;    ///< mean busy fraction of data disks
+};
+
+/// Hadoop-style cluster: `nodes` compute+storage nodes; `locality_fraction`
+/// of blocks are read from the local disk (HDFS placement + JobTracker
+/// scheduling typically give >0.9), the rest from a random remote node.
+struct HadoopArchSpec {
+  int nodes = 8;
+  NodeHardware hw;
+  double locality_fraction = 0.95;
+  /// Core switch oversubscription: backplane = nodes * nic / factor.
+  double oversubscription = 4.0;
+  uint64_t seed = 1;
+};
+
+/// HPC-style cluster: `compute_nodes` diskless workers, data served by
+/// `storage_nodes` servers (each with `storage_disks` disks).
+struct HpcArchSpec {
+  int compute_nodes = 8;
+  int storage_nodes = 2;
+  int storage_disks = 4;  ///< disks per storage server (RAID-ish)
+  NodeHardware hw;
+  double oversubscription = 4.0;
+};
+
+ArchitectureResult simulateHadoopScan(const HadoopArchSpec& spec,
+                                      const ScanWorkload& workload);
+
+ArchitectureResult simulateHpcScan(const HpcArchSpec& spec,
+                                   const ScanWorkload& workload);
+
+}  // namespace mh::sim

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+/// \file simulation.h
+/// A small discrete-event simulation core for the experiments whose
+/// published numbers depend on 2014 cluster hardware at 171 GB scale —
+/// things a laptop cannot replay natively (DESIGN.md experiments F1, C5,
+/// C6, C7). Deterministic: no wall clock, no threads.
+
+namespace mh::sim {
+
+/// Simulated seconds.
+using SimTime = double;
+
+class Simulation {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now). Events at equal times
+  /// run in scheduling order.
+  void at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` `dt` seconds from now.
+  void after(SimTime dt, std::function<void()> fn) { at(now_ + dt, std::move(fn)); }
+
+  /// Runs until the event queue drains. Returns the final time.
+  SimTime run();
+
+  /// Runs until the queue drains or `deadline` passes.
+  SimTime runUntil(SimTime deadline);
+
+  uint64_t eventsProcessed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+/// A serial FIFO bandwidth resource: a disk, a NIC, a switch backplane, or
+/// a metadata CPU. Work is granted in request order; each request occupies
+/// the resource for bytes / bandwidth seconds.
+class Resource {
+ public:
+  Resource(Simulation& sim, std::string name, double bytes_per_sec);
+
+  /// Reserves `bytes` of service starting no earlier than now; returns the
+  /// completion time (does NOT schedule anything).
+  SimTime reserve(uint64_t bytes);
+
+  /// Reserves service time directly in seconds.
+  SimTime reserveSeconds(double seconds);
+
+  /// Reserves `bytes` of service starting no earlier than `earliest`
+  /// (dependency-ordered pipelines: compute cannot start before its read
+  /// finished). Returns the completion time.
+  SimTime reserveAfter(SimTime earliest, uint64_t bytes);
+  SimTime reserveSecondsAfter(SimTime earliest, double seconds);
+
+  /// Reserves and invokes `done` at completion.
+  void transfer(uint64_t bytes, std::function<void()> done);
+
+  const std::string& name() const { return name_; }
+  double bandwidth() const { return bytes_per_sec_; }
+  /// Total bytes served so far.
+  uint64_t totalBytes() const { return total_bytes_; }
+  /// Time the resource has spent busy.
+  double busySeconds() const { return busy_seconds_; }
+  /// When the resource next becomes free.
+  SimTime freeAt() const { return free_at_; }
+
+ private:
+  Simulation& sim_;
+  std::string name_;
+  double bytes_per_sec_;
+  SimTime free_at_ = 0;
+  uint64_t total_bytes_ = 0;
+  double busy_seconds_ = 0;
+};
+
+/// Moves `bytes` across several resources at once (disk + NICs + switch):
+/// each is charged the full byte count (cut-through, bottleneck-paced) and
+/// `done` fires when the slowest finishes.
+void transferThrough(Simulation& sim, const std::vector<Resource*>& path,
+                     uint64_t bytes, std::function<void()> done);
+
+}  // namespace mh::sim

@@ -1,0 +1,82 @@
+#include "mh/sim/simulation.h"
+
+#include <algorithm>
+
+#include "mh/common/error.h"
+
+namespace mh::sim {
+
+void Simulation::at(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    throw InvalidArgumentError("cannot schedule event in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+SimTime Simulation::run() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+  return now_;
+}
+
+SimTime Simulation::runUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+  now_ = std::max(now_, deadline);
+  return now_;
+}
+
+Resource::Resource(Simulation& sim, std::string name, double bytes_per_sec)
+    : sim_(sim), name_(std::move(name)), bytes_per_sec_(bytes_per_sec) {
+  if (bytes_per_sec_ <= 0) {
+    throw InvalidArgumentError("resource bandwidth must be positive");
+  }
+}
+
+SimTime Resource::reserve(uint64_t bytes) {
+  return reserveSeconds(static_cast<double>(bytes) / bytes_per_sec_);
+}
+
+SimTime Resource::reserveSeconds(double seconds) {
+  return reserveSecondsAfter(sim_.now(), seconds);
+}
+
+SimTime Resource::reserveAfter(SimTime earliest, uint64_t bytes) {
+  return reserveSecondsAfter(earliest,
+                             static_cast<double>(bytes) / bytes_per_sec_);
+}
+
+SimTime Resource::reserveSecondsAfter(SimTime earliest, double seconds) {
+  if (seconds < 0) throw InvalidArgumentError("negative service time");
+  const SimTime start = std::max({sim_.now(), earliest, free_at_});
+  free_at_ = start + seconds;
+  busy_seconds_ += seconds;
+  total_bytes_ += static_cast<uint64_t>(seconds * bytes_per_sec_);
+  return free_at_;
+}
+
+void Resource::transfer(uint64_t bytes, std::function<void()> done) {
+  const SimTime finish = reserve(bytes);
+  sim_.at(finish, std::move(done));
+}
+
+void transferThrough(Simulation& sim, const std::vector<Resource*>& path,
+                     uint64_t bytes, std::function<void()> done) {
+  SimTime finish = sim.now();
+  for (Resource* resource : path) {
+    finish = std::max(finish, resource->reserve(bytes));
+  }
+  sim.at(finish, std::move(done));
+}
+
+}  // namespace mh::sim

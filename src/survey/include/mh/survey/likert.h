@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mh/common/rng.h"
+#include "mh/common/stats.h"
+
+/// \file likert.h
+/// Calibrated Likert-response synthesis. The paper publishes only aggregate
+/// survey statistics (mean ± std over 29 returned forms); the raw responses
+/// are unavailable, so each table is reproduced by synthesizing a discrete
+/// response set whose statistics match the published aggregates and then
+/// re-running the identical estimator over it (DESIGN.md substitutions).
+
+namespace mh::survey {
+
+struct LikertSpec {
+  double lo = 0;    ///< smallest legal response
+  double hi = 10;   ///< largest legal response
+  double step = 1;  ///< response granularity (1 for integers)
+};
+
+/// Synthesizes `n` responses on the scale whose sample mean/stddev match
+/// the targets as closely as the discrete grid permits. Deterministic for
+/// a given rng state. Uses randomized initialization plus greedy
+/// coordinate moves minimizing (Δmean² + Δstd²).
+std::vector<double> synthesizeResponses(size_t n, double target_mean,
+                                        double target_std,
+                                        const LikertSpec& scale, Rng& rng);
+
+/// Mean/stddev of a response set (sample stddev, n-1), as the paper's
+/// tables report.
+RunningStat summarize(const std::vector<double>& responses);
+
+/// Synthesizes categorical choices with exact per-category counts, in a
+/// deterministically shuffled order (Table IV's 7/14/6/2 of 29).
+std::vector<size_t> synthesizeCategorical(const std::vector<uint64_t>& counts,
+                                          Rng& rng);
+
+}  // namespace mh::survey

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mh/survey/likert.h"
+
+/// \file paper_tables.h
+/// The published values of the paper's evaluation tables (I–V) and the
+/// machinery to regenerate each one from synthesized responses. N = 29
+/// returned surveys out of 39 students (§II-D).
+
+namespace mh::survey {
+
+inline constexpr size_t kRespondents = 29;
+
+/// One row of a mean±std table.
+struct AggregateRow {
+  std::string label;
+  double paper_mean;
+  double paper_std;
+};
+
+/// Table I — proficiency 0..10, before and after the module.
+struct ProficiencyRow {
+  std::string topic;
+  AggregateRow before;
+  AggregateRow after;
+};
+const std::vector<ProficiencyRow>& paperTable1();
+
+/// Table II — time to complete (1..4 banded scale).
+const std::vector<AggregateRow>& paperTable2();
+
+/// Table III — helpfulness of materials (1..4).
+const std::vector<AggregateRow>& paperTable3();
+
+/// Table IV — lowest level to teach: counts per category.
+struct LevelCount {
+  std::string level;
+  uint64_t count;
+};
+const std::vector<LevelCount>& paperTable4();
+
+/// Table V — ACM/IEEE PDC learning-outcome mapping (qualitative), extended
+/// with the artifact in THIS repository exercising each outcome.
+struct OutcomeRow {
+  std::string level;
+  std::string knowledge_area;
+  std::string knowledge_unit;
+  std::string outcome;
+  std::string repo_artifact;
+};
+const std::vector<OutcomeRow>& paperTable5();
+
+/// A regenerated mean±std row: paper value vs statistics recomputed over
+/// the synthesized responses.
+struct RegeneratedRow {
+  std::string label;
+  double paper_mean;
+  double paper_std;
+  double regen_mean;
+  double regen_std;
+  size_t n;
+};
+
+/// Synthesizes a response set for one aggregate row and recomputes it.
+RegeneratedRow regenerateRow(const AggregateRow& row, const LikertSpec& scale,
+                             uint64_t seed);
+
+/// Renders a paper-vs-regenerated table; `header` names the value column.
+std::string renderRegeneratedTable(const std::string& title,
+                                   const std::vector<RegeneratedRow>& rows);
+
+}  // namespace mh::survey

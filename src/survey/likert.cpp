@@ -1,0 +1,92 @@
+#include "mh/survey/likert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mh/common/error.h"
+
+namespace mh::survey {
+
+namespace {
+
+double objective(const std::vector<double>& responses, double target_mean,
+                 double target_std) {
+  RunningStat stat;
+  for (const double r : responses) stat.add(r);
+  const double dm = stat.mean() - target_mean;
+  const double ds = stat.stddev() - target_std;
+  return dm * dm + ds * ds;
+}
+
+double clampToGrid(double x, const LikertSpec& scale) {
+  const double snapped =
+      scale.lo + std::round((x - scale.lo) / scale.step) * scale.step;
+  return std::clamp(snapped, scale.lo, scale.hi);
+}
+
+}  // namespace
+
+std::vector<double> synthesizeResponses(size_t n, double target_mean,
+                                        double target_std,
+                                        const LikertSpec& scale, Rng& rng) {
+  if (n == 0) throw InvalidArgumentError("need >= 1 response");
+  if (!(scale.hi > scale.lo) || scale.step <= 0) {
+    throw InvalidArgumentError("bad Likert scale");
+  }
+  if (target_mean < scale.lo || target_mean > scale.hi) {
+    throw InvalidArgumentError("target mean outside the scale");
+  }
+
+  // Initialize near the target distribution.
+  std::vector<double> responses(n);
+  for (auto& r : responses) {
+    r = clampToGrid(rng.normal(target_mean, std::max(target_std, 1e-6)),
+                    scale);
+  }
+
+  // Greedy refinement: try moving single responses one step up/down.
+  double best = objective(responses, target_mean, target_std);
+  bool improved = true;
+  int rounds = 0;
+  while (improved && rounds < 200) {
+    improved = false;
+    ++rounds;
+    for (size_t i = 0; i < n; ++i) {
+      for (const double delta : {scale.step, -scale.step}) {
+        const double original = responses[i];
+        const double candidate = clampToGrid(original + delta, scale);
+        if (candidate == original) continue;
+        responses[i] = candidate;
+        const double score = objective(responses, target_mean, target_std);
+        if (score + 1e-12 < best) {
+          best = score;
+          improved = true;
+        } else {
+          responses[i] = original;
+        }
+      }
+    }
+  }
+  return responses;
+}
+
+RunningStat summarize(const std::vector<double>& responses) {
+  RunningStat stat;
+  for (const double r : responses) stat.add(r);
+  return stat;
+}
+
+std::vector<size_t> synthesizeCategorical(const std::vector<uint64_t>& counts,
+                                          Rng& rng) {
+  std::vector<size_t> out;
+  for (size_t category = 0; category < counts.size(); ++category) {
+    for (uint64_t i = 0; i < counts[category]; ++i) out.push_back(category);
+  }
+  // Fisher–Yates with the deterministic rng.
+  for (size_t i = out.size(); i > 1; --i) {
+    std::swap(out[i - 1], out[rng.uniform(i)]);
+  }
+  return out;
+}
+
+}  // namespace mh::survey

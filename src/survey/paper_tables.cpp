@@ -1,0 +1,109 @@
+#include "mh/survey/paper_tables.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mh::survey {
+
+const std::vector<ProficiencyRow>& paperTable1() {
+  static const std::vector<ProficiencyRow> kRows{
+      {"Java", {"Java/before", 6.6, 1.2}, {"Java/after", 7.3, 1.1}},
+      {"Linux", {"Linux/before", 5.86, 1.7}, {"Linux/after", 7.1, 1.7}},
+      {"Networking",
+       {"Networking/before", 4.38, 1.6},
+       {"Networking/after", 6.29, 1.5}},
+      {"Hadoop MapReduce",
+       {"Hadoop/before", 0.03, 0.2},
+       {"Hadoop/after", 4.53, 1.16}},
+  };
+  return kRows;
+}
+
+const std::vector<AggregateRow>& paperTable2() {
+  static const std::vector<AggregateRow> kRows{
+      {"First Assignment", 3.5, 0.7},
+      {"Second Assignment", 3.1, 0.9},
+      {"Set up Hadoop cluster", 2.5, 1.1},
+  };
+  return kRows;
+}
+
+const std::vector<AggregateRow>& paperTable3() {
+  static const std::vector<AggregateRow> kRows{
+      {"Lecture", 3.0, 0.9},
+      {"In-class lab", 3.6, 0.7},
+      {"Hadoop cluster tutorial", 2.9, 0.82},
+  };
+  return kRows;
+}
+
+const std::vector<LevelCount>& paperTable4() {
+  static const std::vector<LevelCount> kRows{
+      {"Senior", 7},
+      {"Junior", 14},
+      {"Sophomore", 6},
+      {"Freshman", 2},
+  };
+  return kRows;
+}
+
+const std::vector<OutcomeRow>& paperTable5() {
+  static const std::vector<OutcomeRow> kRows{
+      {"Familiarity", "Parallel & Distributed Computing",
+       "Parallelism Fundamentals",
+       "Distinguishing using computational resources for a faster answer "
+       "from managing efficient access to a shared resource",
+       "bench_fig1_architecture: HPC vs Hadoop scan on mh::sim"},
+      {"Familiarity", "Parallel & Distributed Computing",
+       "Parallel Architecture",
+       "Describe the key performance challenges in different memory and "
+       "distributed system topologies",
+       "mh::sim cluster models; net::Network byte metering"},
+      {"Familiarity/Usage", "Parallel & Distributed Computing",
+       "Parallel Performance", "Explain performance impacts of data locality",
+       "DATA_LOCAL_MAPS counters; bench_serial_vs_hdfs; local-read tests"},
+      {"Familiarity", "Information Management", "Distributed Databases",
+       "Explain the techniques used for data fragmentation, replication, "
+       "and allocation during the distributed database design process",
+       "mh::hdfs block placement, replication monitor, fsck"},
+      {"Usage/Assessment", "Parallel & Distributed Computing",
+       "Parallel Algorithms, Analysis, and Programming",
+       "Decompose a problem via map and reduce operations",
+       "mh::apps jobs (wordcount, airline, movies, music, gtrace)"},
+      {"Usage", "Parallel & Distributed Computing", "Parallel Performance",
+       "Observe how data distribution/layout can affect an algorithm's "
+       "communication costs",
+       "bench_combiner_tradeoff; bench_airline_variants shuffle bytes"},
+  };
+  return kRows;
+}
+
+RegeneratedRow regenerateRow(const AggregateRow& row, const LikertSpec& scale,
+                             uint64_t seed) {
+  Rng rng(seed);
+  const auto responses = synthesizeResponses(kRespondents, row.paper_mean,
+                                             row.paper_std, scale, rng);
+  const RunningStat stat = summarize(responses);
+  return RegeneratedRow{row.label,    row.paper_mean, row.paper_std,
+                        stat.mean(),  stat.stddev(),
+                        responses.size()};
+}
+
+std::string renderRegeneratedTable(const std::string& title,
+                                   const std::vector<RegeneratedRow>& rows) {
+  std::ostringstream out;
+  out << title << " (N=" << kRespondents << ")\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-28s %14s %16s\n", "Row",
+                "paper", "regenerated");
+  out << line;
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line), "  %-28s %8.2f±%-5.2f %8.2f±%-5.2f\n",
+                  row.label.c_str(), row.paper_mean, row.paper_std,
+                  row.regen_mean, row.regen_std);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace mh::survey

@@ -1,0 +1,129 @@
+#include "mh/apps/airline.h"
+
+#include <gtest/gtest.h>
+
+#include "apps_test_util.h"
+#include "mh/data/airline.h"
+
+namespace mh::apps {
+namespace {
+
+using testutil::LocalFsFixture;
+
+TEST(DelaySumTest, MonoidLaws) {
+  DelaySum a;
+  a.add(10);
+  a.add(20);
+  DelaySum b;
+  b.add(-5);
+  DelaySum ab = a;
+  ab.merge(b);
+  DelaySum ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);  // commutative
+  EXPECT_DOUBLE_EQ(ab.mean(), 25.0 / 3.0);
+  DelaySum with_identity = a;
+  with_identity.merge(DelaySum{});
+  EXPECT_EQ(with_identity, a);  // identity element
+}
+
+TEST(DelaySumTest, SerdeRoundTrip) {
+  DelaySum v;
+  v.add(12.5);
+  v.add(-3.25);
+  EXPECT_EQ(deserialize<DelaySum>(serialize(v)), v);
+}
+
+TEST(AirlineParseTest, RowHandling) {
+  std::string carrier;
+  double delay = 0;
+  EXPECT_TRUE(parseAirlineRow(
+      "2008,1,3,4,1829,WN,3920,HOU,LIT,14,9,393,0", carrier, delay));
+  EXPECT_EQ(carrier, "WN");
+  EXPECT_DOUBLE_EQ(delay, 14.0);
+
+  // Header, cancelled, NA delay, and garbage rows are skipped.
+  EXPECT_FALSE(parseAirlineRow(
+      "Year,Month,DayofMonth,DayOfWeek,DepTime,UniqueCarrier,FlightNum,"
+      "Origin,Dest,ArrDelay,DepDelay,Distance,Cancelled",
+      carrier, delay));
+  EXPECT_FALSE(parseAirlineRow("2008,1,3,4,NA,WN,1,HOU,LIT,NA,NA,393,1",
+                               carrier, delay));
+  EXPECT_FALSE(parseAirlineRow("garbage", carrier, delay));
+  EXPECT_FALSE(parseAirlineRow("", carrier, delay));
+}
+
+class AirlineJobTest : public LocalFsFixture {
+ protected:
+  /// Generates data, runs the chosen variant, returns computed means.
+  std::map<std::string, double> runVariant(AirlineVariant variant,
+                                           mr::JobResult* result_out = nullptr) {
+    data::AirlineGenerator gen({.seed = 31, .rows = 8'000, .num_carriers = 6});
+    fs_->writeFile(p("ontime.csv"), gen.generateCsv());
+    truth_ = gen.truth();
+    auto result = run(makeAirlineDelayJob(
+        variant, {p("ontime.csv")},
+        p(std::string("out-") + airlineVariantName(variant)), 2));
+    EXPECT_TRUE(result.succeeded()) << result.error;
+    if (result_out != nullptr) *result_out = result;
+    return parseAirlineOutput(
+        *fs_, p(std::string("out-") + airlineVariantName(variant)));
+  }
+
+  data::AirlineGroundTruth truth_;
+};
+
+TEST_F(AirlineJobTest, PlainVariantMatchesTruth) {
+  const auto means = runVariant(AirlineVariant::kPlain);
+  ASSERT_EQ(means.size(), truth_.mean_arr_delay.size());
+  for (const auto& [carrier, mean] : truth_.mean_arr_delay) {
+    EXPECT_NEAR(means.at(carrier), mean, 0.005) << carrier;
+  }
+}
+
+TEST_F(AirlineJobTest, AllThreeVariantsAgree) {
+  const auto v1 = runVariant(AirlineVariant::kPlain);
+  const auto v2 = runVariant(AirlineVariant::kCombiner);
+  const auto v3 = runVariant(AirlineVariant::kInMapper);
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(v2, v3);
+}
+
+TEST_F(AirlineJobTest, TrafficOrderingPlainWorstInMapperBest) {
+  mr::JobResult r1, r2, r3;
+  runVariant(AirlineVariant::kPlain, &r1);
+  runVariant(AirlineVariant::kCombiner, &r2);
+  runVariant(AirlineVariant::kInMapper, &r3);
+  using namespace mr::counters;
+  const auto shuffle1 = r1.counters.value(kShuffleGroup, kShuffleBytes);
+  const auto shuffle2 = r2.counters.value(kShuffleGroup, kShuffleBytes);
+  const auto shuffle3 = r3.counters.value(kShuffleGroup, kShuffleBytes);
+  // The §III-A lesson, quantified: each optimization cuts shuffle volume.
+  EXPECT_LT(shuffle2, shuffle1 / 4);
+  EXPECT_LE(shuffle3, shuffle2);
+}
+
+TEST_F(AirlineJobTest, InMapperVariantChargesHeap) {
+  // The in-mapper table must charge (and release) tracker heap.
+  data::AirlineGenerator gen({.seed = 32, .rows = 1'000, .num_carriers = 4});
+  fs_->writeFile(p("ontime.csv"), gen.generateCsv());
+  auto spec =
+      makeAirlineDelayJob(AirlineVariant::kInMapper, {p("ontime.csv")}, p("out"));
+  int64_t peak = 0;
+  int64_t current = 0;
+  // Run through the raw task runner to observe the heap callback.
+  mr::TextInputFormat format;
+  const auto splits = format.getSplits(*fs_, {p("ontime.csv")});
+  spec.validateAndDefault();
+  for (const auto& split : splits) {
+    mr::runMapTask(spec, *fs_, split, [&](int64_t delta) {
+      current += delta;
+      peak = std::max(peak, current);
+    });
+  }
+  EXPECT_GT(peak, 0);
+  EXPECT_EQ(current, 0);  // cleanup released everything
+}
+
+}  // namespace
+}  // namespace mh::apps

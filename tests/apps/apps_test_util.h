@@ -1,0 +1,54 @@
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <sstream>
+
+#include "mh/mr/local_runner.h"
+
+/// Shared fixture helpers for application tests: a temp-rooted LocalFs and
+/// part-file parsing.
+
+namespace mh::apps::testutil {
+
+class LocalFsFixture : public ::testing::Test {
+ protected:
+  LocalFsFixture() {
+    root_ = std::filesystem::temp_directory_path() /
+            ("mh_apps_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    fs_ = std::make_unique<mr::LocalFs>(8 * 1024);
+  }
+  ~LocalFsFixture() override { std::filesystem::remove_all(root_); }
+
+  std::string p(const std::string& name) { return (root_ / name).string(); }
+
+  mr::JobResult run(mr::JobSpec spec) {
+    mr::LocalJobRunner runner(*fs_);
+    return runner.run(std::move(spec));
+  }
+
+  /// Parses "key\trest-of-line" from all part files.
+  std::map<std::string, std::string> readOutput(const std::string& dir) {
+    std::map<std::string, std::string> out;
+    for (const auto& file : fs_->listFiles(dir)) {
+      const auto slash = file.find_last_of('/');
+      if (file.substr(slash + 1).rfind("part-", 0) != 0) continue;
+      const Bytes body = fs_->readRange(file, 0, fs_->fileLength(file));
+      std::istringstream lines{body};
+      std::string line;
+      while (std::getline(lines, line)) {
+        const auto tab = line.find('\t');
+        out[line.substr(0, tab)] =
+            tab == std::string::npos ? "" : line.substr(tab + 1);
+      }
+    }
+    return out;
+  }
+
+  std::filesystem::path root_;
+  std::unique_ptr<mr::LocalFs> fs_;
+};
+
+}  // namespace mh::apps::testutil

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "apps_test_util.h"
+#include "mh/apps/gtrace.h"
+#include "mh/apps/music.h"
+#include "mh/apps/select_max.h"
+#include "mh/data/gtrace.h"
+#include "mh/data/music.h"
+
+namespace mh::apps {
+namespace {
+
+using testutil::LocalFsFixture;
+
+class MusicJobTest : public LocalFsFixture {
+ protected:
+  void generate() {
+    data::MusicOptions options;
+    options.seed = 51;
+    options.num_users = 300;
+    options.num_songs = 120;
+    options.num_albums = 25;
+    options.num_ratings = 25'000;
+    gen_ = std::make_unique<data::MusicGenerator>(options);
+    fs_->writeFile(p("songs.tsv"), gen_->generateSongsTsv());
+    fs_->writeFile(p("ratings.tsv"), gen_->generateRatingsTsv());
+  }
+
+  std::unique_ptr<data::MusicGenerator> gen_;
+};
+
+TEST_F(MusicJobTest, SongTableLoads) {
+  generate();
+  const auto table = SongTable::load(*fs_, p("songs.tsv"));
+  EXPECT_EQ(table.size(), 120u);
+  EXPECT_EQ(table.album(1), gen_->albumOf(1));
+  EXPECT_EQ(table.album(9999), 0u);
+}
+
+TEST_F(MusicJobTest, AlbumAveragesMatchTruth) {
+  generate();
+  const auto result = run(makeAlbumAverageJob({p("ratings.tsv")},
+                                              p("songs.tsv"), p("out"), 2));
+  ASSERT_TRUE(result.succeeded()) << result.error;
+
+  const auto out = readOutput(p("out"));
+  const auto& truth = gen_->truth();
+  ASSERT_EQ(out.size(), truth.album_stats.size());
+  for (const auto& [album, stat] : truth.album_stats) {
+    EXPECT_NEAR(std::stod(out.at(std::to_string(album))), stat.mean(), 0.005)
+        << album;
+  }
+}
+
+TEST_F(MusicJobTest, BestAlbumViaSelectMaxChain) {
+  // Assignment 2 part 2, end to end: album averages, then the max.
+  generate();
+  ASSERT_TRUE(run(makeAlbumAverageJob({p("ratings.tsv")}, p("songs.tsv"),
+                                      p("means")))
+                  .succeeded());
+  ASSERT_TRUE(run(makeSelectMaxJob({p("means")}, p("best"))).succeeded());
+  const auto out = readOutput(p("best"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.contains(std::to_string(gen_->truth().best_album)));
+}
+
+TEST(ParseMusicTest, Rows) {
+  uint32_t user = 0;
+  uint32_t song = 0;
+  double rating = 0;
+  EXPECT_TRUE(parseMusicRating("7\t12\t85", user, song, rating));
+  EXPECT_EQ(user, 7u);
+  EXPECT_EQ(song, 12u);
+  EXPECT_DOUBLE_EQ(rating, 85.0);
+  EXPECT_FALSE(parseMusicRating("7,12,85", user, song, rating));
+  EXPECT_FALSE(parseMusicRating("", user, song, rating));
+}
+
+class GTraceJobTest : public LocalFsFixture {};
+
+TEST_F(GTraceJobTest, ParseSubmitEvents) {
+  uint64_t job = 0;
+  uint64_t task = 0;
+  EXPECT_TRUE(parseSubmitEvent("123,6000000001,4,0,SUBMIT,9", job, task));
+  EXPECT_EQ(job, 6000000001ull);
+  EXPECT_EQ(task, 4ull);
+  EXPECT_FALSE(parseSubmitEvent("123,6000000001,4,88,SCHEDULE,9", job, task));
+  EXPECT_FALSE(parseSubmitEvent("garbage", job, task));
+}
+
+TEST_F(GTraceJobTest, ResubmissionsMatchTruthAndWorstJobFound) {
+  data::GTraceGenerator gen(
+      {.seed = 61, .num_jobs = 60, .resubmit_probability = 0.25});
+  fs_->writeFile(p("trace.csv"), gen.generateCsv());
+
+  ASSERT_TRUE(
+      run(makeResubmissionJob({p("trace.csv")}, p("counts"), 2)).succeeded());
+  const auto out = readOutput(p("counts"));
+  const auto& truth = gen.truth();
+  ASSERT_EQ(out.size(), truth.resubmissions_per_job.size());
+  for (const auto& [job, resubmits] : truth.resubmissions_per_job) {
+    EXPECT_EQ(out.at(std::to_string(job)), std::to_string(resubmits)) << job;
+  }
+
+  // Chain the generic max job: "the job with the largest number of task
+  // resubmissions" (the Fall-2012 assignment question).
+  ASSERT_TRUE(run(makeSelectMaxJob({p("counts")}, p("worst"))).succeeded());
+  const auto worst = readOutput(p("worst"));
+  ASSERT_EQ(worst.size(), 1u);
+  const auto& [job_text, count_text] = *worst.begin();
+  EXPECT_EQ(std::stoull(count_text), truth.worst_job_resubmissions);
+  // Ties possible; verify the winner genuinely has the max count.
+  EXPECT_EQ(truth.resubmissions_per_job.at(std::stoull(job_text)),
+            truth.worst_job_resubmissions);
+}
+
+}  // namespace
+}  // namespace mh::apps

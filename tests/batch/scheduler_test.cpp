@@ -1,0 +1,155 @@
+#include "mh/batch/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+
+namespace mh::batch {
+namespace {
+
+Config fastCleanup() {
+  Config conf;
+  conf.setDouble("batch.cleanup.delay.secs", 900.0);
+  return conf;
+}
+
+TEST(BatchSchedulerTest, JobStartsImmediatelyWhenNodesFree) {
+  BatchScheduler scheduler(4, fastCleanup());
+  const auto id = scheduler.submit({.nodes = 2, .runtime_secs = 100});
+  EXPECT_EQ(scheduler.state(id), BatchJobState::kRunning);
+  EXPECT_EQ(scheduler.allocatedNodes(id).size(), 2u);
+  EXPECT_EQ(scheduler.freeNodes(), 2);
+}
+
+TEST(BatchSchedulerTest, JobCompletesAtRuntime) {
+  BatchScheduler scheduler(2, fastCleanup());
+  const auto id = scheduler.submit({.runtime_secs = 50});
+  scheduler.advanceTo(49);
+  EXPECT_EQ(scheduler.state(id), BatchJobState::kRunning);
+  scheduler.advanceTo(51);
+  EXPECT_EQ(scheduler.state(id), BatchJobState::kCompleted);
+  EXPECT_EQ(scheduler.freeNodes(), 2);
+}
+
+TEST(BatchSchedulerTest, WalltimeKillsLongJobs) {
+  BatchScheduler scheduler(1, fastCleanup());
+  const auto id = scheduler.submit(
+      {.walltime_secs = 100, .runtime_secs = 10'000});
+  scheduler.advanceTo(150);
+  EXPECT_EQ(scheduler.state(id), BatchJobState::kTimedOut);
+}
+
+TEST(BatchSchedulerTest, QueueDrainsAsNodesFree) {
+  BatchScheduler scheduler(2, fastCleanup());
+  const auto first = scheduler.submit({.nodes = 2, .runtime_secs = 100});
+  const auto second = scheduler.submit({.nodes = 2, .runtime_secs = 100});
+  EXPECT_EQ(scheduler.state(second), BatchJobState::kQueued);
+  EXPECT_EQ(scheduler.queuedJobs(), 1u);
+  scheduler.advanceTo(101);
+  EXPECT_EQ(scheduler.state(first), BatchJobState::kCompleted);
+  EXPECT_EQ(scheduler.state(second), BatchJobState::kRunning);
+}
+
+TEST(BatchSchedulerTest, HigherPriorityPreempts) {
+  // "their jobs can be preempted from the system by higher priority
+  // research jobs asking for more computational resources"
+  BatchScheduler scheduler(4, fastCleanup());
+  const auto student = scheduler.submit(
+      {.user = "student", .nodes = 4, .runtime_secs = 10'000, .priority = 0});
+  const auto research = scheduler.submit(
+      {.user = "research", .nodes = 4, .runtime_secs = 100, .priority = 10});
+  EXPECT_EQ(scheduler.state(student), BatchJobState::kPreempted);
+  EXPECT_EQ(scheduler.state(research), BatchJobState::kRunning);
+}
+
+TEST(BatchSchedulerTest, EqualPriorityDoesNotPreempt) {
+  BatchScheduler scheduler(2, fastCleanup());
+  const auto a = scheduler.submit({.nodes = 2, .runtime_secs = 1000});
+  const auto b = scheduler.submit({.nodes = 2, .runtime_secs = 10});
+  EXPECT_EQ(scheduler.state(a), BatchJobState::kRunning);
+  EXPECT_EQ(scheduler.state(b), BatchJobState::kQueued);
+}
+
+TEST(BatchSchedulerTest, PreemptedJobCanResubmit) {
+  BatchScheduler scheduler(2, fastCleanup());
+  scheduler.submit({.user = "student",
+                    .nodes = 2,
+                    .runtime_secs = 500,
+                    .priority = 0,
+                    .resubmit_on_preempt = true});
+  scheduler.submit(
+      {.user = "research", .nodes = 2, .runtime_secs = 50, .priority = 5});
+  // The student's resubmitted copy is queued, and runs after the research
+  // job finishes.
+  EXPECT_EQ(scheduler.queuedJobs(), 1u);
+  scheduler.advanceTo(60);
+  EXPECT_EQ(scheduler.queuedJobs(), 0u);
+}
+
+TEST(BatchSchedulerTest, UncleanExitLeavesDirtyNodesUntilEpilogue) {
+  std::vector<std::string> cleaned;
+  BatchCallbacks callbacks;
+  callbacks.on_cleanup = [&](const std::string& node) {
+    cleaned.push_back(node);
+  };
+  BatchScheduler scheduler(2, fastCleanup(), std::move(callbacks));
+  const auto id = scheduler.submit(
+      {.nodes = 2, .runtime_secs = 10, .clean_shutdown = false});
+  scheduler.advanceTo(11);
+  EXPECT_EQ(scheduler.state(id), BatchJobState::kCompleted);
+  // Nodes reassignable immediately (the paper's config) but still dirty.
+  EXPECT_EQ(scheduler.freeNodes(), 2);
+  EXPECT_EQ(scheduler.dirtyNodes().size(), 2u);
+  EXPECT_TRUE(cleaned.empty());
+  // The epilogue runs 900 s later.
+  scheduler.advanceTo(10 + 901);
+  EXPECT_TRUE(scheduler.dirtyNodes().empty());
+  EXPECT_EQ(cleaned.size(), 2u);
+}
+
+TEST(BatchSchedulerTest, HoldNodesDuringCleanupPolicy) {
+  Config conf = fastCleanup();
+  conf.setBool("batch.reassign.before.cleanup", false);
+  BatchScheduler scheduler(2, conf);
+  scheduler.submit({.nodes = 2, .runtime_secs = 10, .clean_shutdown = false});
+  scheduler.advanceTo(11);
+  // Nodes are held in cleanup: nothing reassignable until the epilogue.
+  EXPECT_EQ(scheduler.freeNodes(), 0);
+  const auto next = scheduler.submit({.nodes = 2, .runtime_secs = 10});
+  EXPECT_EQ(scheduler.state(next), BatchJobState::kQueued);
+  scheduler.advanceTo(10 + 901);
+  EXPECT_EQ(scheduler.state(next), BatchJobState::kRunning);
+}
+
+TEST(BatchSchedulerTest, CallbacksFireOnStartAndEnd) {
+  int starts = 0;
+  int ends = 0;
+  BatchCallbacks callbacks;
+  callbacks.on_start = [&](BatchJobId, const std::vector<std::string>& nodes) {
+    ++starts;
+    EXPECT_EQ(nodes.size(), 1u);
+  };
+  callbacks.on_end = [&](BatchJobId, const std::vector<std::string>&,
+                         EndReason reason) {
+    ++ends;
+    EXPECT_EQ(reason, EndReason::kCompleted);
+  };
+  BatchScheduler scheduler(1, fastCleanup(), std::move(callbacks));
+  scheduler.submit({.runtime_secs = 5});
+  scheduler.advanceTo(10);
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(ends, 1);
+}
+
+TEST(BatchSchedulerTest, InvalidRequestsThrow) {
+  BatchScheduler scheduler(2, fastCleanup());
+  EXPECT_THROW(scheduler.submit({.nodes = 3}), InvalidArgumentError);
+  EXPECT_THROW(scheduler.submit({.nodes = 0}), InvalidArgumentError);
+  EXPECT_THROW(scheduler.state(999), NotFoundError);
+  scheduler.advanceTo(10);
+  EXPECT_THROW(scheduler.advanceTo(5), InvalidArgumentError);
+  EXPECT_THROW(BatchScheduler(0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mh::batch

@@ -1,0 +1,97 @@
+#include "mh/common/blocking_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mh {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BlockingQueueTest, TryPopOnEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.tryPop().has_value());
+  q.push(5);
+  EXPECT_EQ(q.tryPop(), 5);
+}
+
+TEST(BlockingQueueTest, PopBlocksUntilPush) {
+  BlockingQueue<int> q;
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.push(99);
+  });
+  EXPECT_EQ(q.pop(), 99);
+  producer.join();
+}
+
+TEST(BlockingQueueTest, CloseWakesWaiters) {
+  BlockingQueue<int> q;
+  std::thread closer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+  });
+  EXPECT_FALSE(q.pop().has_value());
+  closer.join();
+}
+
+TEST(BlockingQueueTest, PushAfterCloseFails) {
+  BlockingQueue<int> q;
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BlockingQueueTest, DrainsRemainingAfterClose) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 1000;
+  constexpr int kProducers = 4;
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(received.load(), kProducers * kPerProducer);
+  EXPECT_EQ(sum.load(),
+            static_cast<long>(kProducers) * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+}  // namespace
+}  // namespace mh

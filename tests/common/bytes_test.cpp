@@ -1,0 +1,127 @@
+#include "mh/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace mh {
+namespace {
+
+TEST(ByteWriterTest, FixedWidthRoundTrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.writeU8(0xAB);
+  w.writeU32(0xDEADBEEF);
+  w.writeU64(0x0123456789ABCDEFull);
+  w.writeI32(-42);
+  w.writeI64(std::numeric_limits<int64_t>::min());
+  w.writeDouble(3.141592653589793);
+  w.writeBool(true);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.readU8(), 0xAB);
+  EXPECT_EQ(r.readU32(), 0xDEADBEEF);
+  EXPECT_EQ(r.readU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.readI32(), -42);
+  EXPECT_EQ(r.readI64(), std::numeric_limits<int64_t>::min());
+  EXPECT_DOUBLE_EQ(r.readDouble(), 3.141592653589793);
+  EXPECT_TRUE(r.readBool());
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteWriterTest, BigEndianLayout) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.writeU32(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x04);
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  for (uint64_t v : {0ull, 1ull, 100ull, 127ull}) {
+    Bytes buf;
+    ByteWriter w(buf);
+    w.writeVarU64(v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+    ByteReader r(buf);
+    EXPECT_EQ(r.readVarU64(), v);
+  }
+}
+
+TEST(VarintTest, BoundaryValuesRoundTrip) {
+  for (const uint64_t v : std::vector<uint64_t>{
+           127, 128, 16383, 16384, 0xFFFFFFFF,
+           std::numeric_limits<uint64_t>::max()}) {
+    Bytes buf;
+    ByteWriter w(buf);
+    w.writeVarU64(v);
+    ByteReader r(buf);
+    EXPECT_EQ(r.readVarU64(), v);
+    EXPECT_TRUE(r.atEnd());
+  }
+}
+
+TEST(VarintTest, SignedZigZagRoundTrip) {
+  for (const int64_t v : std::vector<int64_t>{
+           0, -1, 1, -64, 63, std::numeric_limits<int64_t>::min(),
+           std::numeric_limits<int64_t>::max()}) {
+    Bytes buf;
+    ByteWriter w(buf);
+    w.writeVarI64(v);
+    ByteReader r(buf);
+    EXPECT_EQ(r.readVarI64(), v);
+  }
+}
+
+TEST(VarintTest, NegativeOneIsCompact) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.writeVarI64(-1);
+  EXPECT_EQ(buf.size(), 1u);  // zig-zag maps -1 -> 1
+}
+
+TEST(ByteReaderTest, TruncatedInputThrows) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.writeU32(7);
+  ByteReader r(std::string_view(buf).substr(0, 2));
+  EXPECT_THROW(r.readU32(), InvalidArgumentError);
+}
+
+TEST(ByteReaderTest, MalformedVarintThrows) {
+  // Eleven continuation bytes: longer than any valid 64-bit varint.
+  Bytes buf(11, static_cast<char>(0x80));
+  ByteReader r(buf);
+  EXPECT_THROW(r.readVarU64(), InvalidArgumentError);
+}
+
+TEST(ByteReaderTest, BytesWithEmbeddedNulRoundTrip) {
+  const std::string payload("a\0b\0c", 5);
+  Bytes buf;
+  ByteWriter w(buf);
+  w.writeBytes(payload);
+  ByteReader r(buf);
+  EXPECT_EQ(r.readString(), payload);
+}
+
+TEST(ByteReaderTest, LengthPrefixedBytesPastEndThrows) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.writeVarU64(1000);  // claims 1000 bytes follow
+  buf += "short";
+  ByteReader r(buf);
+  EXPECT_THROW(r.readBytes(), InvalidArgumentError);
+}
+
+TEST(ByteReaderTest, RawReadTracksPosition) {
+  Bytes buf = "hello world";
+  ByteReader r(buf);
+  EXPECT_EQ(r.readRaw(5), "hello");
+  EXPECT_EQ(r.position(), 5u);
+  EXPECT_EQ(r.remaining(), 6u);
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,83 @@
+#include "mh/common/config.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+
+namespace mh {
+namespace {
+
+TEST(ConfigTest, GetWithDefault) {
+  Config c;
+  EXPECT_EQ(c.get("dfs.name", "fallback"), "fallback");
+  c.set("dfs.name", "value");
+  EXPECT_EQ(c.get("dfs.name", "fallback"), "value");
+}
+
+TEST(ConfigTest, LaterSetWins) {
+  Config c;
+  c.set("k", "1");
+  c.set("k", "2");
+  EXPECT_EQ(c.get("k"), "2");
+}
+
+TEST(ConfigTest, TypedGetters) {
+  Config c;
+  c.setInt("dfs.replication", 3);
+  c.setDouble("ratio", 0.75);
+  c.setBool("flag", true);
+  EXPECT_EQ(c.getInt("dfs.replication", 1), 3);
+  EXPECT_DOUBLE_EQ(c.getDouble("ratio", 0.0), 0.75);
+  EXPECT_TRUE(c.getBool("flag", false));
+}
+
+TEST(ConfigTest, TypedDefaults) {
+  Config c;
+  EXPECT_EQ(c.getInt("absent", 64), 64);
+  EXPECT_DOUBLE_EQ(c.getDouble("absent", 1.5), 1.5);
+  EXPECT_FALSE(c.getBool("absent", false));
+}
+
+TEST(ConfigTest, BoolAcceptsVariants) {
+  Config c;
+  c.set("a", "YES");
+  c.set("b", "0");
+  c.set("c", "True");
+  EXPECT_TRUE(c.getBool("a", false));
+  EXPECT_FALSE(c.getBool("b", true));
+  EXPECT_TRUE(c.getBool("c", false));
+}
+
+TEST(ConfigTest, MalformedValuesThrow) {
+  Config c;
+  c.set("n", "12x");
+  c.set("d", "one.five");
+  c.set("b", "maybe");
+  EXPECT_THROW(c.getInt("n", 0), InvalidArgumentError);
+  EXPECT_THROW(c.getDouble("d", 0), InvalidArgumentError);
+  EXPECT_THROW(c.getBool("b", false), InvalidArgumentError);
+}
+
+TEST(ConfigTest, MergeOverwrites) {
+  Config a, b;
+  a.set("x", "1");
+  a.set("y", "1");
+  b.set("y", "2");
+  b.set("z", "2");
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), "1");
+  EXPECT_EQ(a.get("y"), "2");
+  EXPECT_EQ(a.get("z"), "2");
+}
+
+TEST(ConfigTest, ContainsAndRaw) {
+  Config c;
+  EXPECT_FALSE(c.contains("k"));
+  c.set("k", "");
+  EXPECT_TRUE(c.contains("k"));
+  EXPECT_TRUE(c.getRaw("k").has_value());
+  EXPECT_FALSE(c.getRaw("missing").has_value());
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,41 @@
+#include "mh/common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mh {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 (iSCSI) test vectors for CRC-32C.
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, SeedChainsIncrementalComputation) {
+  const std::string data = "hello, distributed world";
+  const uint32_t whole = crc32c(data);
+  const uint32_t part1 = crc32c(data.substr(0, 7));
+  const uint32_t chained = crc32c(data.substr(7), part1);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32cTest, SingleBitFlipDetected) {
+  std::string data(4096, 'a');
+  const uint32_t clean = crc32c(data);
+  for (size_t pos : {0u, 511u, 512u, 4095u}) {
+    std::string corrupt = data;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x01);
+    EXPECT_NE(crc32c(corrupt), clean) << "flip at " << pos;
+  }
+}
+
+TEST(Crc32cTest, OrderMatters) {
+  EXPECT_NE(crc32c("ab"), crc32c("ba"));
+}
+
+}  // namespace
+}  // namespace mh

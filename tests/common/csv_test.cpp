@@ -1,0 +1,48 @@
+#include "mh/common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+
+namespace mh {
+namespace {
+
+TEST(CsvTest, SimpleFields) {
+  const auto f = parseCsvLine("2008,1,3,WN,810.0");
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_EQ(f[0], "2008");
+  EXPECT_EQ(f[3], "WN");
+}
+
+TEST(CsvTest, QuotedCommaAndQuote) {
+  const auto f =
+      parseCsvLine(R"csv(1,"Toy Story (1995)","Adventure|""Kids""")csv");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "Toy Story (1995)");
+  EXPECT_EQ(f[2], "Adventure|\"Kids\"");
+}
+
+TEST(CsvTest, EmptyFields) {
+  const auto f = parseCsvLine(",,");
+  ASSERT_EQ(f.size(), 3u);
+  for (const auto& x : f) EXPECT_TRUE(x.empty());
+}
+
+TEST(CsvTest, UnbalancedQuoteThrows) {
+  EXPECT_THROW(parseCsvLine("a,\"unterminated"), InvalidArgumentError);
+}
+
+TEST(CsvTest, FormatQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(formatCsvLine({"a", "b"}), "a,b");
+  EXPECT_EQ(formatCsvLine({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(formatCsvLine({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, RoundTripPreservesFields) {
+  const std::vector<std::string> in{"plain", "with,comma", "with\"quote",
+                                    "", "multi\nline"};
+  EXPECT_EQ(parseCsvLine(formatCsvLine(in)), in);
+}
+
+}  // namespace
+}  // namespace mh

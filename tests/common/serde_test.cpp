@@ -1,0 +1,82 @@
+#include "mh/common/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace mh {
+namespace {
+
+TEST(SerdeTest, PrimitiveRoundTrips) {
+  EXPECT_EQ(deserialize<int64_t>(serialize<int64_t>(-123456789)), -123456789);
+  EXPECT_EQ(deserialize<int32_t>(serialize<int32_t>(-7)), -7);
+  EXPECT_EQ(deserialize<uint64_t>(serialize<uint64_t>(1ull << 63)), 1ull << 63);
+  EXPECT_DOUBLE_EQ(deserialize<double>(serialize<double>(-2.5e300)), -2.5e300);
+  EXPECT_EQ(deserialize<bool>(serialize<bool>(true)), true);
+  EXPECT_EQ(deserialize<std::string>(serialize<std::string>("shuffle")),
+            "shuffle");
+}
+
+TEST(SerdeTest, PairRoundTrip) {
+  using P = std::pair<std::string, int64_t>;
+  const P in{"DL", 42};
+  EXPECT_EQ((deserialize<P>(serialize<P>(in))), in);
+}
+
+TEST(SerdeTest, NestedPairRoundTrip) {
+  using P = std::pair<std::pair<int64_t, int64_t>, std::string>;
+  const P in{{5, -5}, "x"};
+  EXPECT_EQ((deserialize<P>(serialize<P>(in))), in);
+}
+
+TEST(SerdeTest, TrailingBytesRejected) {
+  Bytes buf = serialize<int64_t>(9);
+  buf.push_back('x');
+  EXPECT_THROW(deserialize<int64_t>(buf), InvalidArgumentError);
+}
+
+// This mirrors the course's "write a custom Hadoop Value class" exercise:
+// a struct with its own Serde used as a combiner-friendly partial aggregate.
+struct DelaySum {
+  double sum = 0;
+  int64_t count = 0;
+  bool operator==(const DelaySum&) const = default;
+};
+
+}  // namespace
+
+template <>
+struct Serde<DelaySum> {
+  static void encode(ByteWriter& w, const DelaySum& v) {
+    w.writeDouble(v.sum);
+    w.writeVarI64(v.count);
+  }
+  static DelaySum decode(ByteReader& r) {
+    DelaySum v;
+    v.sum = r.readDouble();
+    v.count = r.readVarI64();
+    return v;
+  }
+};
+
+namespace {
+
+TEST(SerdeTest, CustomValueClassRoundTrip) {
+  const DelaySum in{123.5, 42};
+  EXPECT_EQ(deserialize<DelaySum>(serialize<DelaySum>(in)), in);
+}
+
+TEST(SerdeTest, StreamOfHeterogeneousValues) {
+  Bytes buf;
+  ByteWriter w(buf);
+  Serde<std::string>::encode(w, "key");
+  Serde<DelaySum>::encode(w, DelaySum{1.0, 1});
+  Serde<int64_t>::encode(w, -9);
+
+  ByteReader r(buf);
+  EXPECT_EQ(deserializeFrom<std::string>(r), "key");
+  EXPECT_EQ(deserializeFrom<DelaySum>(r), (DelaySum{1.0, 1}));
+  EXPECT_EQ(deserializeFrom<int64_t>(r), -9);
+  EXPECT_TRUE(r.atEnd());
+}
+
+}  // namespace
+}  // namespace mh

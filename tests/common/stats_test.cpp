@@ -1,0 +1,112 @@
+#include "mh/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+#include "mh/common/rng.h"
+
+namespace mh {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSmallSample) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddevPopulation(), 2.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  Rng rng(101);
+  RunningStat whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10, 3);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bucket 0
+  h.add(1.99);  // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  EXPECT_EQ(h.bucketCount(0), 2);
+  EXPECT_EQ(h.bucketCount(1), 1);
+  EXPECT_EQ(h.bucketCount(4), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(HistogramTest, OutOfRangeClamps) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bucketCount(0), 1);
+  EXPECT_EQ(h.bucketCount(1), 1);
+}
+
+TEST(HistogramTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgumentError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgumentError);
+}
+
+TEST(HistogramTest, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.7);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 25), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 100), 9.0);
+}
+
+TEST(PercentileTest, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 50), InvalidArgumentError);
+}
+
+TEST(FormatMeanStdTest, MatchesPaperStyle) {
+  EXPECT_EQ(formatMeanStd(6.6, 1.2, 1), "6.6±1.2");
+  EXPECT_EQ(formatMeanStd(0.03, 0.2, 2), "0.03±0.20");
+}
+
+}  // namespace
+}  // namespace mh

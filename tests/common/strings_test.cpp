@@ -1,0 +1,75 @@
+#include "mh/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace mh {
+namespace {
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  const auto parts = splitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitStringTest, NoDelimiterYieldsWhole) {
+  const auto parts = splitString("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  const auto parts = splitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWhitespaceTest, EmptyAndAllSpace) {
+  EXPECT_TRUE(splitWhitespace("").empty());
+  EXPECT_TRUE(splitWhitespace(" \t\n").empty());
+}
+
+TEST(TrimTest, Basics) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(JoinStringsTest, Basics) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(joinStrings({"only"}, ","), "only");
+}
+
+TEST(FormatBytesTest, Units) {
+  EXPECT_EQ(formatBytes(0), "0.00 B");
+  EXPECT_EQ(formatBytes(1024), "1.00 KiB");
+  EXPECT_EQ(formatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(formatBytes(64ull * 1024 * 1024 * 1024), "64.0 GiB");
+}
+
+TEST(FormatMillisTest, Scales) {
+  EXPECT_EQ(formatMillis(1500), "1.500s");
+  EXPECT_EQ(formatMillis(61'000), "1m 1s");
+  EXPECT_EQ(formatMillis(3'661'000), "1h 1m 1s");
+}
+
+TEST(ToLowerAsciiTest, OnlyAscii) {
+  EXPECT_EQ(toLowerAscii("WordCount"), "wordcount");
+  EXPECT_EQ(toLowerAscii("123-XYZ"), "123-xyz");
+}
+
+TEST(IsDigitsTest, Basics) {
+  EXPECT_TRUE(isDigits("12345"));
+  EXPECT_FALSE(isDigits(""));
+  EXPECT_FALSE(isDigits("12a"));
+  EXPECT_FALSE(isDigits("-1"));
+}
+
+}  // namespace
+}  // namespace mh

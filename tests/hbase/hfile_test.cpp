@@ -1,0 +1,87 @@
+#include "mh/hbase/hfile.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "mh/common/error.h"
+
+namespace mh::hbase {
+namespace {
+
+std::vector<Cell> sampleCells() {
+  std::vector<Cell> cells{
+      {"row1", "a", 3, CellType::kPut, "v3"},
+      {"row1", "a", 1, CellType::kPut, "v1"},
+      {"row1", "b", 2, CellType::kDelete, ""},
+      {"row2", "a", 4, CellType::kPut, std::string("bin\0ary", 7)},
+  };
+  std::sort(cells.begin(), cells.end());
+  return cells;
+}
+
+TEST(CellTest, OrderingIsRowColumnThenNewestFirst) {
+  const Cell old_cell{"r", "c", 1, CellType::kPut, ""};
+  const Cell new_cell{"r", "c", 9, CellType::kPut, ""};
+  EXPECT_LT(new_cell, old_cell);  // newest first within a coordinate
+  const Cell other_col{"r", "d", 1, CellType::kPut, ""};
+  EXPECT_LT(new_cell, other_col);
+  EXPECT_LT(old_cell, other_col);
+  const Cell other_row{"s", "a", 1, CellType::kPut, ""};
+  EXPECT_LT(other_col, other_row);
+}
+
+TEST(CellTest, SerdeRoundTrip) {
+  const Cell cell{"row", "col", 42, CellType::kDelete,
+                  std::string("x\0y", 3)};
+  EXPECT_EQ(deserialize<Cell>(serialize(cell)), cell);
+}
+
+TEST(HFileTest, EncodeDecodeRoundTrip) {
+  const auto cells = sampleCells();
+  EXPECT_EQ(decodeHFile(encodeHFile(cells)), cells);
+}
+
+TEST(HFileTest, EmptyFileRoundTrip) {
+  EXPECT_TRUE(decodeHFile(encodeHFile({})).empty());
+}
+
+TEST(HFileTest, UnsortedCellsRejected) {
+  std::vector<Cell> cells{
+      {"z", "a", 1, CellType::kPut, ""},
+      {"a", "a", 2, CellType::kPut, ""},
+  };
+  EXPECT_THROW(encodeHFile(cells), InvalidArgumentError);
+}
+
+TEST(HFileTest, CorruptionDetected) {
+  Bytes data = encodeHFile(sampleCells());
+  data[10] = static_cast<char>(data[10] ^ 0x40);
+  EXPECT_THROW(decodeHFile(data), ChecksumError);
+}
+
+TEST(HFileTest, TruncationDetected) {
+  Bytes data = encodeHFile(sampleCells());
+  data.resize(data.size() - 3);
+  EXPECT_THROW(decodeHFile(data), Error);
+}
+
+TEST(HFileTest, BadMagicRejected) {
+  Bytes data = encodeHFile(sampleCells());
+  data[0] = 'X';
+  EXPECT_THROW(decodeHFile(data), Error);
+}
+
+TEST(HFileTest, WriteReadThroughFileSystem) {
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("mh_hfile_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(root);
+  mr::LocalFs local;
+  const auto cells = sampleCells();
+  writeHFile(local, (root / "hfile-1").string(), cells);
+  EXPECT_EQ(readHFile(local, (root / "hfile-1").string()), cells);
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace mh::hbase

@@ -1,0 +1,219 @@
+#include "mh/hdfs/block_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mh/common/error.h"
+
+namespace mh::hdfs {
+namespace {
+
+TEST(BlockManagerTest, AllocateAssignsUniqueIds) {
+  BlockManager bm;
+  const Block a = bm.allocateBlock(3);
+  const Block b = bm.allocateBlock(3);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_TRUE(bm.contains(a.id));
+  EXPECT_EQ(bm.blockCount(), 2u);
+  EXPECT_EQ(bm.expectedReplication(a.id), 3u);
+}
+
+TEST(BlockManagerTest, CommitSetsSize) {
+  BlockManager bm;
+  const Block a = bm.allocateBlock(1);
+  bm.commitBlock(a.id, 4096);
+  EXPECT_EQ(bm.blockSize(a.id), 4096u);
+  EXPECT_THROW(bm.commitBlock(999, 1), NotFoundError);
+}
+
+TEST(BlockManagerTest, ReplicaLifecycle) {
+  BlockManager bm;
+  const Block a = bm.allocateBlock(2);
+  bm.addReplica(a.id, "n1");
+  bm.addReplica(a.id, "n2");
+  bm.addReplica(a.id, "n1");  // duplicate is fine
+  EXPECT_EQ(bm.liveReplicas(a.id).size(), 2u);
+  bm.removeReplica(a.id, "n1");
+  EXPECT_EQ(bm.liveReplicas(a.id), std::vector<std::string>{"n2"});
+}
+
+TEST(BlockManagerTest, StaleReplicaForUnknownBlockIgnored) {
+  BlockManager bm;
+  bm.addReplica(42, "n1");  // block never allocated
+  EXPECT_TRUE(bm.liveReplicas(42).empty());
+}
+
+TEST(BlockManagerTest, UnderOverMissingClassification) {
+  BlockManager bm;
+  const Block under = bm.allocateBlock(3);
+  const Block full = bm.allocateBlock(2);
+  const Block over = bm.allocateBlock(1);
+  const Block missing = bm.allocateBlock(2);
+
+  bm.addReplica(under.id, "n1");
+  bm.addReplica(full.id, "n1");
+  bm.addReplica(full.id, "n2");
+  bm.addReplica(over.id, "n1");
+  bm.addReplica(over.id, "n2");
+
+  EXPECT_EQ(bm.underReplicated(), std::vector<BlockId>{under.id});
+  EXPECT_EQ(bm.overReplicated(), std::vector<BlockId>{over.id});
+  EXPECT_EQ(bm.missing(), std::vector<BlockId>{missing.id});
+  EXPECT_EQ(bm.reportedBlocks(), 3u);
+}
+
+TEST(BlockManagerTest, DataNodeDeathDropsItsReplicas) {
+  BlockManager bm;
+  const Block a = bm.allocateBlock(2);
+  const Block b = bm.allocateBlock(2);
+  bm.addReplica(a.id, "dead");
+  bm.addReplica(a.id, "n2");
+  bm.addReplica(b.id, "n2");
+
+  const auto affected = bm.removeAllReplicasOn("dead");
+  EXPECT_EQ(affected, std::vector<BlockId>{a.id});
+  EXPECT_EQ(bm.liveReplicas(a.id), std::vector<std::string>{"n2"});
+}
+
+TEST(BlockManagerTest, CorruptReplicaIsNotLive) {
+  BlockManager bm;
+  const Block a = bm.allocateBlock(2);
+  bm.addReplica(a.id, "n1");
+  bm.addReplica(a.id, "n2");
+  bm.markCorrupt(a.id, "n1");
+  EXPECT_TRUE(bm.isCorrupt(a.id, "n1"));
+  EXPECT_EQ(bm.liveReplicas(a.id), std::vector<std::string>{"n2"});
+  EXPECT_EQ(bm.corruptReplicas(a.id), std::vector<std::string>{"n1"});
+  EXPECT_EQ(bm.withCorruptReplicas(), std::vector<BlockId>{a.id});
+  // Corrupt replica makes the block under-replicated (1 live < 2 expected).
+  EXPECT_EQ(bm.underReplicated(), std::vector<BlockId>{a.id});
+}
+
+TEST(BlockManagerTest, FreshReplicaClearsCorruption) {
+  BlockManager bm;
+  const Block a = bm.allocateBlock(1);
+  bm.markCorrupt(a.id, "n1");
+  bm.addReplica(a.id, "n1");  // re-replicated / rewritten
+  EXPECT_FALSE(bm.isCorrupt(a.id, "n1"));
+  EXPECT_EQ(bm.liveReplicas(a.id).size(), 1u);
+}
+
+TEST(BlockManagerTest, RemoveBlockForgetsEverything) {
+  BlockManager bm;
+  const Block a = bm.allocateBlock(1);
+  bm.addReplica(a.id, "n1");
+  bm.removeBlock(a.id);
+  EXPECT_FALSE(bm.contains(a.id));
+  EXPECT_TRUE(bm.liveReplicas(a.id).empty());
+  EXPECT_THROW(bm.expectedReplication(a.id), NotFoundError);
+}
+
+TEST(BlockManagerTest, RegisterBlockFromImageBumpsNextId) {
+  BlockManager bm;
+  bm.registerBlock({100, 512}, 3);
+  const Block fresh = bm.allocateBlock(1);
+  EXPECT_GT(fresh.id, 100u);
+  EXPECT_EQ(bm.blockSize(100), 512u);
+}
+
+// ---------------------------------------------------------------- placement
+
+TEST(PlacementTest, PrefersWriterHost) {
+  Rng rng(1);
+  const std::vector<PlacementCandidate> candidates{
+      {"n1", 100}, {"n2", 100}, {"n3", 100}};
+  for (int i = 0; i < 20; ++i) {
+    const auto targets = choosePlacement(candidates, 2, "n2", {}, rng);
+    ASSERT_GE(targets.size(), 1u);
+    EXPECT_EQ(targets[0], "n2");
+  }
+}
+
+TEST(PlacementTest, WriterNotADataNodeIsIgnored) {
+  Rng rng(2);
+  const std::vector<PlacementCandidate> candidates{{"n1", 10}, {"n2", 10}};
+  const auto targets = choosePlacement(candidates, 2, "client", {}, rng);
+  EXPECT_EQ(targets.size(), 2u);
+  EXPECT_NE(targets[0], "client");
+}
+
+TEST(PlacementTest, TargetsAreDistinct) {
+  Rng rng(3);
+  const std::vector<PlacementCandidate> candidates{
+      {"n1", 5}, {"n2", 5}, {"n3", 5}, {"n4", 5}};
+  for (int i = 0; i < 50; ++i) {
+    auto targets = choosePlacement(candidates, 3, "n1", {}, rng);
+    std::sort(targets.begin(), targets.end());
+    EXPECT_EQ(std::unique(targets.begin(), targets.end()), targets.end());
+  }
+}
+
+TEST(PlacementTest, ExcludedHostsNeverChosen) {
+  Rng rng(4);
+  const std::vector<PlacementCandidate> candidates{
+      {"n1", 5}, {"n2", 5}, {"n3", 5}};
+  for (int i = 0; i < 50; ++i) {
+    const auto targets = choosePlacement(candidates, 3, "n1", {"n2"}, rng);
+    for (const auto& t : targets) EXPECT_NE(t, "n2");
+  }
+}
+
+TEST(PlacementTest, SmallClusterYieldsFewerTargets) {
+  Rng rng(5);
+  const std::vector<PlacementCandidate> candidates{{"n1", 5}};
+  const auto targets = choosePlacement(candidates, 3, "", {}, rng);
+  EXPECT_EQ(targets.size(), 1u);
+}
+
+TEST(PlacementTest, SecondReplicaGoesOffRack) {
+  Rng rng(7);
+  const std::vector<PlacementCandidate> candidates{
+      {"a1", 10, "/rackA"}, {"a2", 10, "/rackA"},
+      {"b1", 10, "/rackB"}, {"b2", 10, "/rackB"}};
+  for (int i = 0; i < 50; ++i) {
+    const auto targets = choosePlacement(candidates, 2, "a1", {}, rng);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0], "a1");
+    EXPECT_TRUE(targets[1] == "b1" || targets[1] == "b2") << targets[1];
+  }
+}
+
+TEST(PlacementTest, ThirdReplicaSharesTheSecondRack) {
+  Rng rng(8);
+  const std::vector<PlacementCandidate> candidates{
+      {"a1", 10, "/rackA"}, {"a2", 10, "/rackA"},
+      {"b1", 10, "/rackB"}, {"b2", 10, "/rackB"},
+      {"c1", 10, "/rackC"}, {"c2", 10, "/rackC"}};
+  for (int i = 0; i < 50; ++i) {
+    const auto targets = choosePlacement(candidates, 3, "a1", {}, rng);
+    ASSERT_EQ(targets.size(), 3u);
+    // targets[1] is off /rackA; targets[2] shares targets[1]'s rack.
+    EXPECT_NE(targets[1][0], 'a');
+    EXPECT_EQ(targets[1][0], targets[2][0]) << targets[1] << " " << targets[2];
+    EXPECT_NE(targets[1], targets[2]);
+  }
+}
+
+TEST(PlacementTest, SingleRackFallsBackGracefully) {
+  Rng rng(9);
+  const std::vector<PlacementCandidate> candidates{
+      {"n1", 10, "/only"}, {"n2", 10, "/only"}, {"n3", 10, "/only"}};
+  const auto targets = choosePlacement(candidates, 3, "n1", {}, rng);
+  EXPECT_EQ(targets.size(), 3u);  // no off-rack candidates, but still 3
+}
+
+TEST(PlacementTest, FreeSpaceBiasesSelection) {
+  Rng rng(6);
+  const std::vector<PlacementCandidate> candidates{{"big", 1'000'000},
+                                                   {"tiny", 1}};
+  int big_first = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto targets = choosePlacement(candidates, 1, "", {}, rng);
+    if (targets.at(0) == "big") ++big_first;
+  }
+  EXPECT_GT(big_first, 180);  // overwhelmingly the roomy node
+}
+
+}  // namespace
+}  // namespace mh::hdfs

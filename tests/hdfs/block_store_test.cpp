@@ -1,0 +1,173 @@
+#include "mh/hdfs/block_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "mh/common/error.h"
+#include "mh/common/rng.h"
+
+namespace mh::hdfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+Bytes randomPayload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Bytes out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>(rng.uniform(256)));
+  }
+  return out;
+}
+
+// Parameterized over both store implementations: the contract is identical.
+class BlockStoreTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "file") {
+      root_ = fs::temp_directory_path() /
+              ("mh_bs_" + std::to_string(::getpid()) + "_" +
+               ::testing::UnitTest::GetInstance()->current_test_info()->name());
+      fs::remove_all(root_);
+      store_ = std::make_unique<FileBlockStore>(root_);
+    } else {
+      store_ = std::make_unique<MemBlockStore>();
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!root_.empty()) fs::remove_all(root_);
+  }
+
+  std::unique_ptr<BlockStore> store_;
+  fs::path root_;
+};
+
+TEST_P(BlockStoreTest, WriteReadRoundTrip) {
+  const Bytes payload = randomPayload(10'000, 1);
+  store_->writeBlock(7, payload);
+  EXPECT_EQ(store_->readBlock(7), payload);
+  EXPECT_EQ(store_->blockSize(7), payload.size());
+  EXPECT_TRUE(store_->hasBlock(7));
+}
+
+TEST_P(BlockStoreTest, EmptyBlock) {
+  store_->writeBlock(1, "");
+  EXPECT_EQ(store_->readBlock(1), "");
+  EXPECT_EQ(store_->blockSize(1), 0u);
+}
+
+TEST_P(BlockStoreTest, MissingBlockThrows) {
+  EXPECT_THROW(store_->readBlock(99), NotFoundError);
+  EXPECT_THROW(store_->blockSize(99), NotFoundError);
+  EXPECT_FALSE(store_->hasBlock(99));
+}
+
+TEST_P(BlockStoreTest, OverwriteReplacesContent) {
+  store_->writeBlock(3, "old");
+  store_->writeBlock(3, "new content");
+  EXPECT_EQ(store_->readBlock(3), "new content");
+}
+
+TEST_P(BlockStoreTest, DeleteRemovesBlock) {
+  store_->writeBlock(5, "x");
+  store_->deleteBlock(5);
+  EXPECT_FALSE(store_->hasBlock(5));
+  EXPECT_THROW(store_->readBlock(5), NotFoundError);
+}
+
+TEST_P(BlockStoreTest, ListBlocksSorted) {
+  store_->writeBlock(30, "c");
+  store_->writeBlock(10, "a");
+  store_->writeBlock(20, "b");
+  const auto ids = store_->listBlocks();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 10u);
+  EXPECT_EQ(ids[1], 20u);
+  EXPECT_EQ(ids[2], 30u);
+}
+
+TEST_P(BlockStoreTest, UsedBytesSumsPayloads) {
+  store_->writeBlock(1, Bytes(100, 'a'));
+  store_->writeBlock(2, Bytes(250, 'b'));
+  EXPECT_EQ(store_->usedBytes(), 350u);
+}
+
+TEST_P(BlockStoreTest, CorruptionDetectedOnRead) {
+  const Bytes payload = randomPayload(4096, 2);
+  store_->writeBlock(9, payload);
+  store_->corruptBlock(9, 1000);
+  EXPECT_THROW(store_->readBlock(9), ChecksumError);
+}
+
+TEST_P(BlockStoreTest, CorruptionInLastPartialChunkDetected) {
+  // 1000 bytes = one full 512B chunk + one partial chunk.
+  store_->writeBlock(9, randomPayload(1000, 3));
+  store_->corruptBlock(9, 990);
+  EXPECT_THROW(store_->readBlock(9), ChecksumError);
+}
+
+TEST_P(BlockStoreTest, ScanAllFindsOnlyCorruptBlocks) {
+  store_->writeBlock(1, randomPayload(2048, 4));
+  store_->writeBlock(2, randomPayload(2048, 5));
+  store_->writeBlock(3, randomPayload(2048, 6));
+  store_->corruptBlock(2, 17);
+  const auto bad = store_->scanAll();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], 2u);
+}
+
+TEST_P(BlockStoreTest, ReadRange) {
+  store_->writeBlock(4, "0123456789");
+  EXPECT_EQ(store_->readBlockRange(4, 0, 4), "0123");
+  EXPECT_EQ(store_->readBlockRange(4, 5, 100), "56789");
+  EXPECT_EQ(store_->readBlockRange(4, 10, 5), "");
+  EXPECT_THROW(store_->readBlockRange(4, 11, 1), InvalidArgumentError);
+}
+
+TEST_P(BlockStoreTest, CorruptMissingBlockThrows) {
+  EXPECT_THROW(store_->corruptBlock(42, 0), NotFoundError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, BlockStoreTest,
+                         ::testing::Values("mem", "file"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(FileBlockStoreTest, AdoptsExistingBlocksOnRestart) {
+  const fs::path root =
+      fs::temp_directory_path() / ("mh_bs_restart_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  {
+    FileBlockStore store(root);
+    store.writeBlock(11, "persisted");
+  }
+  {
+    FileBlockStore store(root);  // simulated DataNode restart
+    ASSERT_TRUE(store.hasBlock(11));
+    EXPECT_EQ(store.readBlock(11), "persisted");
+  }
+  fs::remove_all(root);
+}
+
+TEST(ChunkChecksumTest, ChunkCountMatchesPayload) {
+  EXPECT_EQ(chunkChecksums("").size(), 1u);
+  EXPECT_EQ(chunkChecksums(Bytes(512, 'x')).size(), 1u);
+  EXPECT_EQ(chunkChecksums(Bytes(513, 'x')).size(), 2u);
+  EXPECT_EQ(chunkChecksums(Bytes(5 * 512, 'x')).size(), 5u);
+}
+
+TEST(ChunkChecksumTest, VerifyDetectsWrongChunkCount) {
+  const Bytes data(600, 'x');
+  auto crcs = chunkChecksums(data);
+  crcs.pop_back();
+  EXPECT_THROW(verifyChunks(1, data, crcs), ChecksumError);
+}
+
+}  // namespace
+}  // namespace mh::hdfs

@@ -1,0 +1,158 @@
+#include "mh/hdfs/fs_shell.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "mh/hdfs/mini_cluster.h"
+
+namespace mh::hdfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FsShellTest : public ::testing::Test {
+ protected:
+  FsShellTest() {
+    Config conf;
+    conf.setInt("dfs.replication", 2);
+    conf.setInt("dfs.blocksize", 512);
+    conf.setInt("dfs.heartbeat.interval.ms", 20);
+    cluster_ = std::make_unique<MiniDfsCluster>(
+        MiniDfsOptions{.num_datanodes = 2, .conf = conf});
+    client_ = std::make_unique<DfsClient>(cluster_->client());
+    shell_ = std::make_unique<FsShell>(*client_);
+    tmp_ = fs::temp_directory_path() /
+           ("mh_shell_" + std::to_string(::getpid()));
+    fs::create_directories(tmp_);
+  }
+
+  ~FsShellTest() override { fs::remove_all(tmp_); }
+
+  std::string localFile(const std::string& name, const std::string& body) {
+    const auto path = tmp_ / name;
+    std::ofstream out(path);
+    out << body;
+    return path.string();
+  }
+
+  std::unique_ptr<MiniDfsCluster> cluster_;
+  std::unique_ptr<DfsClient> client_;
+  std::unique_ptr<FsShell> shell_;
+  fs::path tmp_;
+};
+
+TEST_F(FsShellTest, PutCatGetRoundTrip) {
+  const std::string local = localFile("in.txt", "hello hdfs\n");
+  EXPECT_EQ(shell_->run({"-put", local, "/in.txt"}).code, 0);
+
+  const auto cat = shell_->run({"-cat", "/in.txt"});
+  EXPECT_EQ(cat.code, 0);
+  EXPECT_EQ(cat.output, "hello hdfs\n");
+
+  const std::string out = (tmp_ / "out.txt").string();
+  EXPECT_EQ(shell_->run({"-copyToLocal", "/in.txt", out}).code, 0);
+  std::ifstream in(out);
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(body, "hello hdfs\n");
+}
+
+TEST_F(FsShellTest, LsShowsEntries) {
+  shell_->run({"-mkdir", "/data"});
+  shell_->run({"-touchz", "/data/a"});
+  shell_->run({"-touchz", "/data/b"});
+  const auto result = shell_->run({"-ls", "/data"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.output.find("Found 2 items"), std::string::npos);
+  EXPECT_NE(result.output.find("/data/a"), std::string::npos);
+}
+
+TEST_F(FsShellTest, LsrWalksTree) {
+  shell_->run({"-touchz", "/x/deep/file"});
+  const auto result = shell_->run({"-lsr", "/"});
+  EXPECT_NE(result.output.find("/x/deep/file"), std::string::npos);
+}
+
+TEST_F(FsShellTest, RmAndRmr) {
+  shell_->run({"-touchz", "/d/f"});
+  EXPECT_EQ(shell_->run({"-rm", "/d"}).code, 1);  // non-empty dir
+  EXPECT_EQ(shell_->run({"-rmr", "/d"}).code, 0);
+  EXPECT_EQ(shell_->run({"-rm", "/d"}).code, 1);  // already gone
+}
+
+TEST_F(FsShellTest, MvRenames) {
+  shell_->run({"-touchz", "/old"});
+  EXPECT_EQ(shell_->run({"-mv", "/old", "/new"}).code, 0);
+  EXPECT_EQ(shell_->run({"-cat", "/new"}).code, 0);
+  EXPECT_EQ(shell_->run({"-cat", "/old"}).code, 1);
+}
+
+TEST_F(FsShellTest, DuSumsLengths) {
+  const std::string local = localFile("d.txt", std::string(1500, 'x'));
+  shell_->run({"-put", local, "/data/d.txt"});
+  const auto result = shell_->run({"-du", "/data"});
+  EXPECT_NE(result.output.find("1500\t/data/d.txt"), std::string::npos);
+}
+
+TEST_F(FsShellTest, ReportListsDataNodes) {
+  const auto result = shell_->run({"-report"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.output.find("Datanodes available: 2"), std::string::npos);
+  EXPECT_NE(result.output.find("node01"), std::string::npos);
+  EXPECT_NE(result.output.find("Rack: /rack0"), std::string::npos);
+}
+
+TEST_F(FsShellTest, FsckReportsHealthy) {
+  const std::string local = localFile("f.txt", "body");
+  shell_->run({"-put", local, "/f.txt"});
+  ASSERT_TRUE(cluster_->waitHealthy());
+  const auto result = shell_->run({"-fsck"});
+  EXPECT_NE(result.output.find("HEALTHY"), std::string::npos);
+}
+
+TEST_F(FsShellTest, SafemodeToggle) {
+  EXPECT_NE(shell_->run({"-safemode", "get"}).output.find("OFF"),
+            std::string::npos);
+  shell_->run({"-safemode", "enter"});
+  EXPECT_NE(shell_->run({"-safemode", "get"}).output.find("ON"),
+            std::string::npos);
+  EXPECT_EQ(shell_->run({"-mkdir", "/nope"}).code, 1);  // safe mode blocks it
+  shell_->run({"-safemode", "leave"});
+  EXPECT_EQ(shell_->run({"-mkdir", "/yes"}).code, 0);
+}
+
+TEST_F(FsShellTest, SetrepStatTailCount) {
+  const std::string local = localFile("big.txt", std::string(2000, 'z'));
+  shell_->run({"-put", local, "/data/big.txt"});
+
+  auto result = shell_->run({"-stat", "/data/big.txt"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.output.find("2000\t2\t512"), std::string::npos);
+  EXPECT_NE(shell_->run({"-stat", "/data"}).output.find("directory"),
+            std::string::npos);
+
+  result = shell_->run({"-setrep", "1", "/data/big.txt"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(shell_->run({"-stat", "/data/big.txt"}).output.find("2000\t1\t"),
+            std::string::npos);
+  EXPECT_EQ(shell_->run({"-setrep", "x", "/data/big.txt"}).code, 1);
+
+  result = shell_->run({"-tail", "/data/big.txt"});
+  EXPECT_EQ(result.output.size(), 1024u);  // last KiB only
+
+  result = shell_->run({"-count", "/data"});
+  EXPECT_NE(result.output.find("1\t2000\t/data"), std::string::npos);
+}
+
+TEST_F(FsShellTest, ErrorsAreResultsNotExceptions) {
+  EXPECT_EQ(shell_->run({"-cat", "/ghost"}).code, 1);
+  EXPECT_EQ(shell_->run({"-put", "/no/such/local", "/x"}).code, 1);
+  EXPECT_EQ(shell_->run({"-frobnicate"}).code, 1);
+  EXPECT_EQ(shell_->run({"-ls"}).code, 1);  // missing arg
+  EXPECT_EQ(shell_->run({}).code, 1);
+}
+
+}  // namespace
+}  // namespace mh::hdfs

@@ -1,0 +1,217 @@
+#include "mh/hive/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "mh/common/error.h"
+#include "mh/data/airline.h"
+#include "mh/data/music.h"
+#include "mh/mr/local_runner.h"
+#include "mh/mr/mini_mr_cluster.h"
+
+namespace mh::hive {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kOnTimeDdl =
+    "CREATE EXTERNAL TABLE ontime ("
+    "  year INT, month INT, dayofmonth INT, dayofweek INT, deptime INT,"
+    "  uniquecarrier STRING, flightnum INT, origin STRING, dest STRING,"
+    "  arrdelay DOUBLE, depdelay DOUBLE, distance INT, cancelled INT)"
+    " ROW FORMAT DELIMITED FIELDS TERMINATED BY ','"
+    " LOCATION '%s'";
+
+class HiveDriverTest : public ::testing::Test {
+ protected:
+  HiveDriverTest() {
+    root_ = fs::temp_directory_path() /
+            ("mh_hive_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    local_ = std::make_unique<mr::LocalFs>(128 * 1024);
+    generator_ = std::make_unique<data::AirlineGenerator>(
+        data::AirlineOptions{.seed = 77, .rows = 8000, .num_carriers = 6});
+    local_->writeFile((root_ / "ontime.csv").string(),
+                      generator_->generateCsv());
+    driver_ = std::make_unique<Driver>(
+        Catalog{}, *local_,
+        [this](mr::JobSpec spec) {
+          mr::LocalJobRunner runner(*local_);
+          return runner.run(std::move(spec));
+        },
+        (root_ / "scratch").string());
+    char ddl[1024];
+    std::snprintf(ddl, sizeof(ddl), kOnTimeDdl,
+                  (root_ / "ontime.csv").string().c_str());
+    driver_->execute(ddl);
+  }
+
+  ~HiveDriverTest() override { fs::remove_all(root_); }
+
+  fs::path root_;
+  std::unique_ptr<mr::LocalFs> local_;
+  std::unique_ptr<data::AirlineGenerator> generator_;
+  std::unique_ptr<Driver> driver_;
+};
+
+TEST_F(HiveDriverTest, CountStarMatchesRows) {
+  const auto result = driver_->execute("SELECT COUNT(*) FROM ontime");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], "8000");
+  EXPECT_EQ(result.header, std::vector<std::string>{"COUNT(*)"});
+}
+
+TEST_F(HiveDriverTest, TheAirlineLabInOneLine) {
+  // "average delay time for each individual airline" — the entire §III-A
+  // lab as one SQL statement, checked against the generator's truth.
+  const auto result = driver_->execute(
+      "SELECT uniquecarrier, AVG(arrdelay) FROM ontime "
+      "WHERE cancelled = 0 GROUP BY uniquecarrier");
+  const auto& truth = generator_->truth().mean_arr_delay;
+  ASSERT_EQ(result.rows.size(), truth.size());
+  for (const auto& row : result.rows) {
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_NEAR(std::stod(row[1]), truth.at(row[0]), 0.005) << row[0];
+  }
+}
+
+TEST_F(HiveDriverTest, WorstCarrierViaOrderByLimit) {
+  const auto result = driver_->execute(
+      "SELECT uniquecarrier, AVG(arrdelay) AS meandelay FROM ontime "
+      "WHERE cancelled = 0 GROUP BY uniquecarrier "
+      "ORDER BY meandelay DESC LIMIT 1");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], generator_->truth().worst_carrier);
+}
+
+TEST_F(HiveDriverTest, CountPerGroupMatchesTruth) {
+  const auto result = driver_->execute(
+      "SELECT uniquecarrier, COUNT(*) FROM ontime WHERE cancelled = 0 "
+      "GROUP BY uniquecarrier");
+  const auto& truth = generator_->truth().flights;
+  ASSERT_EQ(result.rows.size(), truth.size());
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(std::stoull(row[1]), truth.at(row[0])) << row[0];
+  }
+}
+
+TEST_F(HiveDriverTest, MinMaxSumAggregates) {
+  const auto result = driver_->execute(
+      "SELECT MIN(arrdelay), MAX(arrdelay), SUM(arrdelay), COUNT(arrdelay) "
+      "FROM ontime WHERE uniquecarrier = 'AA' AND cancelled = 0");
+  ASSERT_EQ(result.rows.size(), 1u);
+  const double min = std::stod(result.rows[0][0]);
+  const double max = std::stod(result.rows[0][1]);
+  const double sum = std::stod(result.rows[0][2]);
+  const auto count = std::stoll(result.rows[0][3]);
+  EXPECT_LT(min, max);
+  const auto& truth = generator_->truth();
+  EXPECT_EQ(count, static_cast<int64_t>(truth.flights.at("AA")));
+  EXPECT_NEAR(sum / static_cast<double>(count),
+              truth.mean_arr_delay.at("AA"), 0.005);
+}
+
+TEST_F(HiveDriverTest, NumericPredicatesFilter) {
+  const auto all = driver_->execute("SELECT COUNT(*) FROM ontime");
+  const auto some = driver_->execute(
+      "SELECT COUNT(*) FROM ontime WHERE distance > 1000");
+  const auto none = driver_->execute(
+      "SELECT COUNT(*) FROM ontime WHERE distance > 99999");
+  EXPECT_LT(std::stoll(some.rows[0][0]), std::stoll(all.rows[0][0]));
+  EXPECT_GT(std::stoll(some.rows[0][0]), 0);
+  EXPECT_EQ(none.rows[0][0], "0");
+}
+
+TEST_F(HiveDriverTest, NullsAreSkippedByAggregatesAndPredicates) {
+  // Cancelled rows carry ArrDelay = "NA": COUNT(*) sees the row, aggregates
+  // and comparisons on the NULL column do not.
+  const auto rows = driver_->execute(
+      "SELECT COUNT(*) FROM ontime WHERE cancelled = 1");
+  const auto delays = driver_->execute(
+      "SELECT COUNT(arrdelay) FROM ontime WHERE cancelled = 1");
+  EXPECT_GT(std::stoll(rows.rows[0][0]), 0);
+  EXPECT_EQ(delays.rows[0][0], "0");
+}
+
+TEST_F(HiveDriverTest, MultiColumnGroupBy) {
+  const auto result = driver_->execute(
+      "SELECT uniquecarrier, month, COUNT(*) FROM ontime "
+      "WHERE cancelled = 0 GROUP BY uniquecarrier, month");
+  // 6 carriers x 12 months of data -> up to 72 groups; counts must sum to
+  // the total non-cancelled row count.
+  int64_t sum = 0;
+  std::set<std::pair<std::string, std::string>> groups;
+  for (const auto& row : result.rows) {
+    ASSERT_EQ(row.size(), 3u);
+    sum += std::stoll(row[2]);
+    EXPECT_TRUE(groups.insert({row[0], row[1]}).second) << "dup group";
+  }
+  int64_t expected = 0;
+  for (const auto& [carrier, n] : generator_->truth().flights) {
+    expected += static_cast<int64_t>(n);
+  }
+  EXPECT_EQ(sum, expected);
+  EXPECT_GT(groups.size(), 60u);
+}
+
+TEST_F(HiveDriverTest, SemanticErrorsThrow) {
+  EXPECT_THROW(driver_->execute("SELECT nope FROM ontime GROUP BY nope2"),
+               InvalidArgumentError);
+  EXPECT_THROW(driver_->execute(
+                   "SELECT uniquecarrier FROM ontime"),  // not in GROUP BY
+               InvalidArgumentError);
+  EXPECT_THROW(driver_->execute("SELECT COUNT(*) FROM missing"),
+               NotFoundError);
+  // Duplicate CREATE.
+  EXPECT_THROW(driver_->execute("CREATE TABLE ontime (a INT) LOCATION '/x'"),
+               AlreadyExistsError);
+}
+
+TEST_F(HiveDriverTest, CountersComeFromTheUnderlyingJob) {
+  const auto result = driver_->execute("SELECT COUNT(*) FROM ontime");
+  using namespace mr::counters;
+  EXPECT_GT(result.counters.value(kTaskGroup, kMapInputRecords), 8000);
+}
+
+TEST(HiveOnClusterTest, QueryRunsOnLiveMiniCluster) {
+  Config conf;
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 64 * 1024);
+  conf.setInt("mapred.tasktracker.heartbeat.ms", 20);
+  conf.setInt("dfs.heartbeat.interval.ms", 20);
+  mr::MiniMrCluster cluster({.num_nodes = 3, .conf = conf});
+
+  data::MusicGenerator generator({.seed = 5,
+                                  .num_users = 100,
+                                  .num_songs = 80,
+                                  .num_albums = 10,
+                                  .num_ratings = 10'000});
+  generator.generateSongsTsv();
+  cluster.client().writeFile("/warehouse/ratings.tsv",
+                             generator.generateRatingsTsv());
+
+  mr::HdfsFs hdfs(cluster.client());
+  Driver driver(
+      Catalog{}, hdfs,
+      [&cluster](mr::JobSpec spec) { return cluster.runJob(std::move(spec)); },
+      "/tmp/hive");
+  driver.execute(
+      "CREATE EXTERNAL TABLE ratings (userid INT, songid INT, rating INT) "
+      "ROW FORMAT DELIMITED FIELDS TERMINATED BY '\\t' "
+      "LOCATION '/warehouse/ratings.tsv'");
+
+  const auto result = driver.execute(
+      "SELECT songid, COUNT(*), AVG(rating) FROM ratings GROUP BY songid "
+      "ORDER BY 2 DESC LIMIT 5");
+  ASSERT_EQ(result.rows.size(), 5u);
+  // Rows are sorted by count descending.
+  EXPECT_GE(std::stoll(result.rows[0][1]), std::stoll(result.rows[4][1]));
+  const auto total = driver.execute("SELECT COUNT(*) FROM ratings");
+  EXPECT_EQ(total.rows[0][0], "10000");
+}
+
+}  // namespace
+}  // namespace mh::hive

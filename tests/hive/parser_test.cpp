@@ -1,0 +1,125 @@
+#include "mh/hive/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+
+namespace mh::hive {
+namespace {
+
+TEST(ParserTest, MinimalSelect) {
+  const Query q = parseQuery("SELECT COUNT(*) FROM ontime");
+  ASSERT_EQ(q.items.size(), 1u);
+  EXPECT_EQ(q.items[0].agg, AggFn::kCount);
+  EXPECT_TRUE(q.items[0].column.empty());
+  EXPECT_EQ(q.table, "ontime");
+  EXPECT_TRUE(q.where.empty());
+  EXPECT_TRUE(q.group_by.empty());
+}
+
+TEST(ParserTest, TheAirlineLabQuery) {
+  const Query q = parseQuery(
+      "SELECT uniquecarrier, AVG(arrdelay) FROM ontime "
+      "WHERE cancelled = 0 GROUP BY uniquecarrier");
+  ASSERT_EQ(q.items.size(), 2u);
+  EXPECT_EQ(q.items[0].agg, AggFn::kNone);
+  EXPECT_EQ(q.items[0].column, "uniquecarrier");
+  EXPECT_EQ(q.items[1].agg, AggFn::kAvg);
+  EXPECT_EQ(q.items[1].column, "arrdelay");
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where[0].column, "cancelled");
+  EXPECT_EQ(q.where[0].op, CompareOp::kEq);
+  EXPECT_EQ(q.where[0].literal, "0");
+  EXPECT_EQ(q.group_by, std::vector<std::string>{"uniquecarrier"});
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  const Query q = parseQuery(
+      "select Carrier, sum(Delay) from T where x >= 5 and y != 'NA' "
+      "group by Carrier order by 2 desc limit 3;");
+  EXPECT_EQ(q.items[0].column, "carrier");
+  EXPECT_EQ(q.items[1].agg, AggFn::kSum);
+  ASSERT_EQ(q.where.size(), 2u);
+  EXPECT_EQ(q.where[0].op, CompareOp::kGe);
+  EXPECT_EQ(q.where[1].op, CompareOp::kNe);
+  EXPECT_EQ(q.where[1].literal, "NA");
+  ASSERT_TRUE(q.order_by.has_value());
+  EXPECT_EQ(q.order_by->select_index, 1u);
+  EXPECT_TRUE(q.order_by->descending);
+  EXPECT_EQ(q.limit, 3u);
+}
+
+TEST(ParserTest, AliasAndOrderByAlias) {
+  const Query q = parseQuery(
+      "SELECT carrier, AVG(delay) AS meandelay FROM t GROUP BY carrier "
+      "ORDER BY meandelay");
+  EXPECT_EQ(q.items[1].alias, "meandelay");
+  ASSERT_TRUE(q.order_by.has_value());
+  EXPECT_EQ(q.order_by->select_index, 1u);
+}
+
+TEST(ParserTest, AllComparators) {
+  for (const auto& [text, op] :
+       std::vector<std::pair<std::string, CompareOp>>{
+           {"=", CompareOp::kEq}, {"!=", CompareOp::kNe},
+           {"<>", CompareOp::kNe}, {"<", CompareOp::kLt},
+           {"<=", CompareOp::kLe}, {">", CompareOp::kGt},
+           {">=", CompareOp::kGe}}) {
+    const Query q = parseQuery("SELECT COUNT(*) FROM t WHERE c " + text + " 1");
+    EXPECT_EQ(q.where[0].op, op) << text;
+  }
+}
+
+TEST(ParserTest, SyntaxErrorsThrow) {
+  EXPECT_THROW(parseQuery("FROM t"), InvalidArgumentError);
+  EXPECT_THROW(parseQuery("SELECT FROM t"), InvalidArgumentError);
+  EXPECT_THROW(parseQuery("SELECT a"), InvalidArgumentError);
+  EXPECT_THROW(parseQuery("SELECT AVG(*) FROM t"), InvalidArgumentError);
+  EXPECT_THROW(parseQuery("SELECT a FROM t WHERE"), InvalidArgumentError);
+  EXPECT_THROW(parseQuery("SELECT a FROM t GROUP a"), InvalidArgumentError);
+  EXPECT_THROW(parseQuery("SELECT a FROM t ORDER BY 5"), InvalidArgumentError);
+  EXPECT_THROW(parseQuery("SELECT a FROM t LIMIT x"), InvalidArgumentError);
+  EXPECT_THROW(parseQuery("SELECT a FROM t garbage"), InvalidArgumentError);
+  EXPECT_THROW(parseQuery("SELECT a FROM t WHERE s = 'unterminated"),
+               InvalidArgumentError);
+}
+
+TEST(ParserTest, CreateTable) {
+  const TableDef table = parseCreateTable(
+      "CREATE EXTERNAL TABLE OnTime (Year INT, UniqueCarrier STRING, "
+      "ArrDelay DOUBLE) ROW FORMAT DELIMITED FIELDS TERMINATED BY ',' "
+      "LOCATION '/data/ontime.csv';");
+  EXPECT_EQ(table.name, "ontime");
+  ASSERT_EQ(table.columns.size(), 3u);
+  EXPECT_EQ(table.columns[0].name, "year");
+  EXPECT_EQ(table.columns[0].type, ColumnType::kInt);
+  EXPECT_EQ(table.columns[1].type, ColumnType::kString);
+  EXPECT_EQ(table.columns[2].type, ColumnType::kDouble);
+  EXPECT_EQ(table.delimiter, ',');
+  EXPECT_EQ(table.location, "/data/ontime.csv");
+}
+
+TEST(ParserTest, CreateTableTabDelimiter) {
+  const TableDef table = parseCreateTable(
+      "CREATE TABLE r (userid INT, songid INT, rating INT) "
+      "ROW FORMAT DELIMITED FIELDS TERMINATED BY '\\t' "
+      "LOCATION '/data/ratings.tsv'");
+  EXPECT_EQ(table.delimiter, '\t');
+}
+
+TEST(ParserTest, CreateTableErrors) {
+  EXPECT_THROW(parseCreateTable("CREATE TABLE t (a BLOB) LOCATION '/x'"),
+               InvalidArgumentError);
+  EXPECT_THROW(parseCreateTable("CREATE TABLE t (a INT)"),
+               InvalidArgumentError);
+  EXPECT_THROW(parseCreateTable("CREATE TABLE t (a INT) LOCATION noquotes"),
+               InvalidArgumentError);
+}
+
+TEST(ParserTest, IsCreateStatement) {
+  EXPECT_TRUE(isCreateStatement("  create table x (a INT) LOCATION '/x'"));
+  EXPECT_FALSE(isCreateStatement("SELECT 1 FROM t"));
+}
+
+}  // namespace
+}  // namespace mh::hive

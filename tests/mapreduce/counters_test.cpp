@@ -1,0 +1,79 @@
+#include "mh/mr/counters.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mh::mr {
+namespace {
+
+TEST(CountersTest, IncrementAndRead) {
+  Counters c;
+  EXPECT_EQ(c.value("task", "MAP_INPUT_RECORDS"), 0);
+  c.increment("task", "MAP_INPUT_RECORDS");
+  c.increment("task", "MAP_INPUT_RECORDS", 9);
+  EXPECT_EQ(c.value("task", "MAP_INPUT_RECORDS"), 10);
+}
+
+TEST(CountersTest, GroupsAreIndependent) {
+  Counters c;
+  c.increment("a", "X", 1);
+  c.increment("b", "X", 2);
+  EXPECT_EQ(c.value("a", "X"), 1);
+  EXPECT_EQ(c.value("b", "X"), 2);
+}
+
+TEST(CountersTest, MergeAdds) {
+  Counters a, b;
+  a.increment("g", "n", 5);
+  b.increment("g", "n", 7);
+  b.increment("g", "other", 1);
+  a.merge(b);
+  EXPECT_EQ(a.value("g", "n"), 12);
+  EXPECT_EQ(a.value("g", "other"), 1);
+}
+
+TEST(CountersTest, SnapshotRoundTrip) {
+  Counters c;
+  c.increment("task", "A", 3);
+  c.increment("job", "B", -4);
+  const Counters restored = Counters::fromSnapshot(c.snapshot());
+  EXPECT_EQ(restored.value("task", "A"), 3);
+  EXPECT_EQ(restored.value("job", "B"), -4);
+  EXPECT_EQ(restored.snapshot(), c.snapshot());
+}
+
+TEST(CountersTest, CopySemantics) {
+  Counters a;
+  a.increment("g", "n", 2);
+  Counters b = a;
+  b.increment("g", "n", 1);
+  EXPECT_EQ(a.value("g", "n"), 2);
+  EXPECT_EQ(b.value("g", "n"), 3);
+  a = b;
+  EXPECT_EQ(a.value("g", "n"), 3);
+}
+
+TEST(CountersTest, RenderContainsGroupsAndValues) {
+  Counters c;
+  c.increment("shuffle", "SHUFFLE_BYTES", 12345);
+  const std::string text = c.render();
+  EXPECT_NE(text.find("shuffle"), std::string::npos);
+  EXPECT_NE(text.find("SHUFFLE_BYTES=12345"), std::string::npos);
+}
+
+TEST(CountersTest, ConcurrentIncrementsDontLose) {
+  Counters c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10'000; ++i) c.increment("g", "n");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value("g", "n"), 80'000);
+}
+
+}  // namespace
+}  // namespace mh::mr

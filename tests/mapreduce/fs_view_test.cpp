@@ -1,0 +1,137 @@
+#include "mh/mr/fs_view.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "mh/common/error.h"
+#include "mh/hdfs/mini_cluster.h"
+
+namespace mh::mr {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LocalFsTest : public ::testing::Test {
+ protected:
+  LocalFsTest() {
+    root_ = fs::temp_directory_path() /
+            ("mh_fsview_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~LocalFsTest() override { fs::remove_all(root_); }
+
+  std::string p(const std::string& name) { return (root_ / name).string(); }
+
+  fs::path root_;
+};
+
+TEST_F(LocalFsTest, WriteReadRange) {
+  LocalFs local;
+  local.writeFile(p("f.txt"), "0123456789");
+  EXPECT_EQ(local.fileLength(p("f.txt")), 10u);
+  EXPECT_EQ(local.readRange(p("f.txt"), 2, 3), "234");
+  EXPECT_EQ(local.readRange(p("f.txt"), 8, 100), "89");  // short read at EOF
+  EXPECT_TRUE(local.exists(p("f.txt")));
+}
+
+TEST_F(LocalFsTest, WriteCreatesParents) {
+  LocalFs local;
+  local.writeFile(p("a/b/c.txt"), "x");
+  EXPECT_TRUE(local.exists(p("a/b/c.txt")));
+}
+
+TEST_F(LocalFsTest, ListFilesRecursesSorted) {
+  LocalFs local;
+  local.writeFile(p("dir/b.txt"), "b");
+  local.writeFile(p("dir/sub/a.txt"), "a");
+  const auto files = local.listFiles(p("dir"));
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_TRUE(files[0].ends_with("b.txt"));
+  EXPECT_TRUE(files[1].ends_with("a.txt"));  // sub/ sorts after b.txt
+  EXPECT_THROW(local.listFiles(p("ghost")), NotFoundError);
+}
+
+TEST_F(LocalFsTest, SplitsCoverFileExactly) {
+  LocalFs local(100);
+  local.writeFile(p("f"), std::string(250, 'x'));
+  const auto splits = local.splitsForFile(p("f"));
+  ASSERT_EQ(splits.size(), 3u);
+  EXPECT_EQ(splits[0].offset, 0u);
+  EXPECT_EQ(splits[0].length, 100u);
+  EXPECT_EQ(splits[2].offset, 200u);
+  EXPECT_EQ(splits[2].length, 50u);
+  EXPECT_TRUE(splits[0].hosts.empty());  // no locality on local FS
+}
+
+TEST_F(LocalFsTest, EmptyFileHasNoSplits) {
+  LocalFs local;
+  local.writeFile(p("empty"), "");
+  EXPECT_TRUE(local.splitsForFile(p("empty")).empty());
+}
+
+TEST_F(LocalFsTest, RenameAndRemove) {
+  LocalFs local;
+  local.writeFile(p("src"), "data");
+  local.rename(p("src"), p("dst"));
+  EXPECT_FALSE(local.exists(p("src")));
+  EXPECT_TRUE(local.exists(p("dst")));
+  local.remove(p("dst"));
+  EXPECT_FALSE(local.exists(p("dst")));
+}
+
+TEST(HdfsFsTest, MirrorsLocalSemanticsOverHdfs) {
+  Config conf;
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 64);
+  hdfs::MiniDfsCluster cluster({.num_datanodes = 2, .conf = conf});
+  HdfsFs view(cluster.client());
+
+  view.writeFile("/data/f.txt", "0123456789");
+  EXPECT_EQ(view.fileLength("/data/f.txt"), 10u);
+  EXPECT_EQ(view.readRange("/data/f.txt", 3, 4), "3456");
+  EXPECT_TRUE(view.exists("/data/f.txt"));
+  EXPECT_EQ(view.listFiles("/data"), std::vector<std::string>{"/data/f.txt"});
+
+  view.rename("/data/f.txt", "/data/g.txt");
+  EXPECT_FALSE(view.exists("/data/f.txt"));
+  view.remove("/data");
+  EXPECT_FALSE(view.exists("/data"));
+}
+
+TEST(HdfsFsTest, SplitsAreBlocksWithHosts) {
+  Config conf;
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 64);
+  hdfs::MiniDfsCluster cluster({.num_datanodes = 3, .conf = conf});
+  HdfsFs view(cluster.client());
+  view.writeFile("/big", std::string(200, 'x'));
+
+  const auto splits = view.splitsForFile("/big");
+  ASSERT_EQ(splits.size(), 4u);  // 64+64+64+8
+  EXPECT_EQ(splits[0].length, 64u);
+  EXPECT_EQ(splits[3].length, 8u);
+  EXPECT_EQ(splits[1].offset, 64u);
+  for (const auto& split : splits) {
+    EXPECT_EQ(split.hosts.size(), 2u);  // replication factor
+  }
+}
+
+TEST(HdfsFsTest, ReadRangeCrossesBlockBoundaries) {
+  Config conf;
+  conf.setInt("dfs.blocksize", 16);
+  conf.setInt("dfs.replication", 1);
+  hdfs::MiniDfsCluster cluster({.num_datanodes = 1, .conf = conf});
+  HdfsFs view(cluster.client());
+  std::string payload;
+  for (int i = 0; i < 10; ++i) payload += "0123456789";
+  view.writeFile("/f", payload);
+  // A range spanning blocks 0..3.
+  EXPECT_EQ(view.readRange("/f", 10, 45), payload.substr(10, 45));
+  EXPECT_EQ(view.readRange("/f", 0, 100), payload);
+  EXPECT_EQ(view.readRange("/f", 95, 100), payload.substr(95));
+}
+
+}  // namespace
+}  // namespace mh::mr

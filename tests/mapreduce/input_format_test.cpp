@@ -1,0 +1,166 @@
+#include "mh/mr/input_format.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "mh/common/rng.h"
+#include "mh/mr/output_format.h"
+
+namespace mh::mr {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TextInputTest : public ::testing::Test {
+ protected:
+  TextInputTest() {
+    root_ = fs::temp_directory_path() /
+            ("mh_input_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~TextInputTest() override { fs::remove_all(root_); }
+
+  std::string writeInput(const std::string& body, uint64_t split_size) {
+    local_ = std::make_unique<LocalFs>(split_size);
+    const std::string path = (root_ / "input.txt").string();
+    local_->writeFile(path, body);
+    return path;
+  }
+
+  /// Reads every line produced across ALL splits of the file.
+  std::vector<std::string> allLines(const std::string& path) {
+    TextInputFormat format;
+    std::vector<std::string> lines;
+    for (const auto& split : local_->splitsForFile(path)) {
+      const auto reader = format.createReader(*local_, split);
+      Bytes key;
+      Bytes value;
+      while (reader->next(key, value)) {
+        lines.push_back(value);
+      }
+    }
+    return lines;
+  }
+
+  fs::path root_;
+  std::unique_ptr<LocalFs> local_;
+};
+
+TEST_F(TextInputTest, SingleSplitBasicLines) {
+  const auto path = writeInput("one\ntwo\nthree\n", 1024);
+  const auto lines = allLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST_F(TextInputTest, MissingFinalNewline) {
+  const auto path = writeInput("a\nb", 1024);
+  const auto lines = allLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST_F(TextInputTest, CrLfStripped) {
+  const auto path = writeInput("a\r\nb\r\n", 1024);
+  const auto lines = allLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST_F(TextInputTest, EmptyLinesAreRecords) {
+  const auto path = writeInput("a\n\nb\n", 1024);
+  const auto lines = allLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "");
+}
+
+TEST_F(TextInputTest, KeysAreByteOffsets) {
+  const auto path = writeInput("aa\nbbb\ncc\n", 1024);
+  TextInputFormat format;
+  const auto splits = local_->splitsForFile(path);
+  const auto reader = format.createReader(*local_, splits[0]);
+  Bytes key;
+  Bytes value;
+  std::vector<int64_t> offsets;
+  while (reader->next(key, value)) {
+    offsets.push_back(MrCodec<int64_t>::dec(key));
+  }
+  EXPECT_EQ(offsets, (std::vector<int64_t>{0, 3, 7}));
+}
+
+// The heart of the split contract: every line is read exactly once no
+// matter where split boundaries fall. Sweep split sizes as a property test.
+class SplitBoundaryTest : public TextInputTest,
+                          public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(SplitBoundaryTest, EveryLineExactlyOnce) {
+  Rng rng(GetParam());
+  std::string body;
+  std::vector<std::string> expected;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    std::string line = "line-" + std::to_string(i);
+    const auto extra = rng.uniform(20);
+    line.append(extra, 'x');
+    expected.push_back(line);
+    body += line;
+    body.push_back('\n');
+  }
+  const auto path = writeInput(body, GetParam());
+  EXPECT_EQ(allLines(path), expected) << "split size " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitSizes, SplitBoundaryTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 100, 1000,
+                                           4096, 1 << 20));
+
+TEST_F(TextInputTest, LineLongerThanSplitReadOnce) {
+  std::string long_line(500, 'L');
+  const auto path = writeInput("short\n" + long_line + "\nend\n", 64);
+  const auto lines = allLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "short");
+  EXPECT_EQ(lines[1], long_line);
+  EXPECT_EQ(lines[2], "end");
+}
+
+TEST_F(TextInputTest, GetSplitsExpandsDirectoriesAndSkipsUnderscore) {
+  local_ = std::make_unique<LocalFs>(1024);
+  local_->writeFile((root_ / "dir/a.txt").string(), "a\n");
+  local_->writeFile((root_ / "dir/b.txt").string(), "b\n");
+  local_->writeFile((root_ / "dir/_SUCCESS").string(), "marker\n");
+  local_->writeFile((root_ / "dir/.hidden").string(), "x\n");
+  TextInputFormat format;
+  const auto splits = format.getSplits(*local_, {(root_ / "dir").string()});
+  EXPECT_EQ(splits.size(), 2u);
+}
+
+TEST_F(TextInputTest, KvFormatsRoundTripThroughFiles) {
+  local_ = std::make_unique<LocalFs>(1024);
+  const std::string dir = (root_ / "kvout").string();
+  KvOutputFormat out_format;
+  auto writer = out_format.createWriter(*local_, dir, 0, 0);
+  writer->write("k1", "v1");
+  writer->write("k2", std::string("v\02", 3));
+  writer->close();
+
+  KvInputFormat in_format;
+  const auto path = dir + "/part-00000";
+  InputSplit split{path, 0, local_->fileLength(path), {}};
+  const auto reader = in_format.createReader(*local_, split);
+  Bytes key;
+  Bytes value;
+  ASSERT_TRUE(reader->next(key, value));
+  EXPECT_EQ(key, "k1");
+  ASSERT_TRUE(reader->next(key, value));
+  EXPECT_EQ(value, std::string("v\02", 3));
+  EXPECT_FALSE(reader->next(key, value));
+}
+
+}  // namespace
+}  // namespace mh::mr

@@ -1,0 +1,68 @@
+#include "mh/mr/kv_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+#include "mh/common/rng.h"
+
+namespace mh::mr {
+namespace {
+
+TEST(KvStreamTest, RoundTrip) {
+  const std::vector<KeyValue> records{
+      {"alpha", "1"}, {"", "empty key"}, {"beta", ""}, {"b\0in", "v\0al"}};
+  EXPECT_EQ(decodeKvRun(encodeKvRun(records)), records);
+}
+
+TEST(KvStreamTest, EmptyRun) {
+  EXPECT_TRUE(decodeKvRun("").empty());
+  EXPECT_TRUE(encodeKvRun({}).empty());
+}
+
+TEST(KvStreamTest, StreamingReaderMatchesDecode) {
+  Bytes run;
+  KvWriter writer(run);
+  writer.write("k1", "v1");
+  writer.write("k2", "v2");
+  KvReader reader(run);
+  std::string_view k;
+  std::string_view v;
+  ASSERT_TRUE(reader.next(k, v));
+  EXPECT_EQ(k, "k1");
+  EXPECT_EQ(v, "v1");
+  ASSERT_TRUE(reader.next(k, v));
+  EXPECT_EQ(k, "k2");
+  ASSERT_FALSE(reader.next(k, v));
+}
+
+TEST(KvStreamTest, TornFrameThrows) {
+  Bytes run;
+  KvWriter writer(run);
+  writer.write("key", "value");
+  run.resize(run.size() - 2);
+  EXPECT_THROW(decodeKvRun(run), InvalidArgumentError);
+}
+
+TEST(KvStreamTest, RandomizedRoundTripProperty) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<KeyValue> records;
+    const int n = static_cast<int>(rng.uniform(200));
+    for (int i = 0; i < n; ++i) {
+      KeyValue kv;
+      const auto klen = rng.uniform(30);
+      const auto vlen = rng.uniform(100);
+      for (uint64_t j = 0; j < klen; ++j) {
+        kv.key.push_back(static_cast<char>(rng.uniform(256)));
+      }
+      for (uint64_t j = 0; j < vlen; ++j) {
+        kv.value.push_back(static_cast<char>(rng.uniform(256)));
+      }
+      records.push_back(std::move(kv));
+    }
+    EXPECT_EQ(decodeKvRun(encodeKvRun(records)), records);
+  }
+}
+
+}  // namespace
+}  // namespace mh::mr

@@ -1,0 +1,81 @@
+#include "mh/mr/output_format.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace mh::mr {
+namespace {
+
+namespace fs = std::filesystem;
+
+class OutputFormatTest : public ::testing::Test {
+ protected:
+  OutputFormatTest() {
+    root_ = fs::temp_directory_path() /
+            ("mh_output_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    out_dir_ = (root_ / "out").string();
+  }
+  ~OutputFormatTest() override { fs::remove_all(root_); }
+
+  fs::path root_;
+  std::string out_dir_;
+  LocalFs local_;
+};
+
+TEST_F(OutputFormatTest, PartNames) {
+  EXPECT_EQ(OutputFormat::partName(0), "part-00000");
+  EXPECT_EQ(OutputFormat::partName(42), "part-00042");
+}
+
+TEST_F(OutputFormatTest, TextFormatTabSeparated) {
+  TextOutputFormat format;
+  auto writer = format.createWriter(local_, out_dir_, 3, 0);
+  writer->write("the", "120");
+  writer->write("keyonly", "");
+  writer->close();
+  const auto body = local_.readRange(out_dir_ + "/part-00003", 0, 1 << 20);
+  EXPECT_EQ(body, "the\t120\nkeyonly\n");
+}
+
+TEST_F(OutputFormatTest, NothingVisibleBeforeClose) {
+  TextOutputFormat format;
+  auto writer = format.createWriter(local_, out_dir_, 0, 0);
+  writer->write("k", "v");
+  EXPECT_FALSE(local_.exists(out_dir_ + "/part-00000"));
+  writer->close();
+  EXPECT_TRUE(local_.exists(out_dir_ + "/part-00000"));
+  // No temporary litter left behind.
+  for (const auto& f : local_.listFiles(out_dir_)) {
+    EXPECT_EQ(f.find("_temporary"), std::string::npos) << f;
+  }
+}
+
+TEST_F(OutputFormatTest, RetriedAttemptReplacesPartFile) {
+  TextOutputFormat format;
+  {
+    auto writer = format.createWriter(local_, out_dir_, 0, 0);
+    writer->write("old", "1");
+    writer->close();
+  }
+  {
+    auto writer = format.createWriter(local_, out_dir_, 0, 1);
+    writer->write("new", "2");
+    writer->close();
+  }
+  const auto body = local_.readRange(out_dir_ + "/part-00000", 0, 1 << 20);
+  EXPECT_EQ(body, "new\t2\n");
+}
+
+TEST_F(OutputFormatTest, CloseIsIdempotent) {
+  TextOutputFormat format;
+  auto writer = format.createWriter(local_, out_dir_, 0, 0);
+  writer->write("k", "v");
+  writer->close();
+  writer->close();  // must not throw or duplicate
+  EXPECT_EQ(local_.readRange(out_dir_ + "/part-00000", 0, 100), "k\tv\n");
+}
+
+}  // namespace
+}  // namespace mh::mr

@@ -1,0 +1,181 @@
+#include "mh/net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mh/common/error.h"
+
+namespace mh::net {
+namespace {
+
+Bytes echoHandler(const RpcRequest& req) {
+  return req.method + ":" + req.body + "@" + req.from_host;
+}
+
+TEST(NetworkTest, CallReachesBoundHandler) {
+  Network net;
+  net.bind("nn", 8020, echoHandler);
+  net.addHost("client");
+  const Bytes reply = net.call("client", "nn", 8020, "ls", "/user");
+  EXPECT_EQ(reply, "ls:/user@client");
+}
+
+TEST(NetworkTest, ConnectionRefusedWhenUnbound) {
+  Network net;
+  net.addHost("nn");
+  net.addHost("client");
+  EXPECT_THROW(net.call("client", "nn", 8020, "ls", ""), NetworkError);
+}
+
+TEST(NetworkTest, PortConflictThrows) {
+  // The ghost-daemon failure mode from the paper: a leftover daemon still
+  // bound to the Hadoop ports blocks the next cluster from starting.
+  Network net;
+  net.bind("node01", 50010, echoHandler);
+  EXPECT_THROW(net.bind("node01", 50010, echoHandler), AlreadyExistsError);
+  // A different node or port is fine.
+  net.bind("node02", 50010, echoHandler);
+  net.bind("node01", 50020, echoHandler);
+}
+
+TEST(NetworkTest, UnbindFreesPort) {
+  Network net;
+  net.bind("n", 1, echoHandler);
+  EXPECT_TRUE(net.isBound("n", 1));
+  net.unbind("n", 1);
+  EXPECT_FALSE(net.isBound("n", 1));
+  net.bind("n", 1, echoHandler);  // rebind succeeds
+}
+
+TEST(NetworkTest, UnbindUnknownIsNoop) {
+  Network net;
+  net.unbind("ghost", 9);  // must not throw
+}
+
+TEST(NetworkTest, DownHostRefusesTraffic) {
+  Network net;
+  net.bind("dn", 50010, echoHandler);
+  net.addHost("client");
+  net.setHostUp("dn", false);
+  EXPECT_THROW(net.call("client", "dn", 50010, "read", ""), NetworkError);
+  EXPECT_THROW(net.transfer("client", "dn", 100, "staging"), NetworkError);
+  // Recovery: bindings survive the outage (hung-JVM semantics).
+  net.setHostUp("dn", true);
+  EXPECT_EQ(net.call("client", "dn", 50010, "read", "x"), "read:x@client");
+}
+
+TEST(NetworkTest, DownCallerAlsoRefused) {
+  Network net;
+  net.bind("dn", 50010, echoHandler);
+  net.addHost("client");
+  net.setHostUp("client", false);
+  EXPECT_THROW(net.call("client", "dn", 50010, "read", ""), NetworkError);
+}
+
+TEST(NetworkTest, UnknownHostThrows) {
+  Network net;
+  net.bind("dn", 1, echoHandler);
+  EXPECT_THROW(net.call("nobody", "dn", 1, "m", ""), NetworkError);
+}
+
+TEST(NetworkTest, HandlerExceptionPropagates) {
+  Network net;
+  net.bind("nn", 8020, [](const RpcRequest&) -> Bytes {
+    throw IllegalStateError("safe mode");
+  });
+  net.addHost("client");
+  EXPECT_THROW(net.call("client", "nn", 8020, "mkdir", "/x"),
+               IllegalStateError);
+}
+
+TEST(NetworkTest, TransferMetersRemoteVsLocal) {
+  Network net;
+  net.addHost("a");
+  net.addHost("b");
+  net.transfer("a", "b", 1000, "shuffle");
+  net.transfer("a", "a", 400, "shuffle");
+  EXPECT_EQ(net.remoteBytes("shuffle"), 1000u);
+  EXPECT_EQ(net.localBytes("shuffle"), 400u);
+  EXPECT_EQ(net.remoteBytes("replication"), 0u);
+}
+
+TEST(NetworkTest, RpcBytesAreMetered) {
+  Network net;
+  net.bind("nn", 8020, echoHandler);
+  net.addHost("client");
+  net.call("client", "nn", 8020, "method", "0123456789");
+  EXPECT_GE(net.remoteBytes("rpc"), 10u);
+}
+
+TEST(NetworkTest, StatsSnapshotAndReset) {
+  Network net;
+  net.addHost("a");
+  net.addHost("b");
+  net.transfer("a", "b", 5, "staging");
+  auto stats = net.stats();
+  ASSERT_TRUE(stats.contains("staging"));
+  EXPECT_EQ(stats["staging"].messages, 1u);
+  net.resetStats();
+  EXPECT_EQ(net.remoteBytes("staging"), 0u);
+}
+
+TEST(NetworkTest, BandwidthThrottleAddsDelay) {
+  Network net;
+  net.addHost("a");
+  net.addHost("b");
+  net.setBandwidthBytesPerSec(1'000'000);  // 1 MB/s
+  const auto start = std::chrono::steady_clock::now();
+  net.transfer("a", "b", 50'000, "staging");  // expect ~50 ms
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_GE(elapsed, 40);
+}
+
+TEST(NetworkTest, LoopbackIsNotThrottled) {
+  Network net;
+  net.addHost("a");
+  net.setBandwidthBytesPerSec(1000);  // absurdly slow
+  const auto start = std::chrono::steady_clock::now();
+  net.transfer("a", "a", 1'000'000, "shuffle");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_LT(elapsed, 50);
+}
+
+TEST(NetworkTest, ConcurrentCallsAreSafe) {
+  Network net;
+  std::atomic<int> hits{0};
+  net.bind("nn", 8020, [&hits](const RpcRequest&) -> Bytes {
+    ++hits;
+    return "ok";
+  });
+  for (int i = 0; i < 8; ++i) net.addHost("c" + std::to_string(i));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&net, i] {
+      const std::string host = "c" + std::to_string(i);
+      for (int k = 0; k < 200; ++k) {
+        net.call(host, "nn", 8020, "hb", "beat");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hits.load(), 1600);
+}
+
+TEST(NetworkTest, HostsAreSorted) {
+  Network net;
+  net.addHost("b");
+  net.addHost("a");
+  net.addHost("b");  // idempotent
+  const auto h = net.hosts();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], "a");
+  EXPECT_EQ(h[1], "b");
+}
+
+}  // namespace
+}  // namespace mh::net

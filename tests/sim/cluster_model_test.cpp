@@ -1,0 +1,145 @@
+#include "mh/sim/cluster_model.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+
+namespace mh::sim {
+namespace {
+
+TEST(HadoopScanTest, PerfectLocalityHitsDiskBound) {
+  HadoopArchSpec spec;
+  spec.nodes = 8;
+  spec.locality_fraction = 1.0;
+  ScanWorkload workload;
+  workload.data_gb = 80.0;
+  workload.compute_secs_per_gb = 0.0;  // pure I/O
+  const auto result = simulateHadoopScan(spec, workload);
+  // 10 GB per node at 100 MB/s = ~100 seconds (± block-granularity skew:
+  // 299 blocks don't divide evenly over 8 nodes).
+  EXPECT_NEAR(result.seconds, 100.0, 4.0);
+  EXPECT_GT(result.avg_disk_util, 0.95);
+  EXPECT_DOUBLE_EQ(result.network_gb, 0.0);
+}
+
+TEST(HadoopScanTest, LocalityFractionControlsNetworkBytes) {
+  ScanWorkload workload;
+  workload.data_gb = 50.0;
+  HadoopArchSpec local;
+  local.locality_fraction = 0.95;
+  HadoopArchSpec remote;
+  remote.locality_fraction = 0.25;
+  const auto local_result = simulateHadoopScan(local, workload);
+  const auto remote_result = simulateHadoopScan(remote, workload);
+  EXPECT_LT(local_result.network_gb, remote_result.network_gb / 5);
+  EXPECT_LE(local_result.seconds, remote_result.seconds);
+}
+
+TEST(HadoopScanTest, ScalesOutWithNodes) {
+  ScanWorkload workload;
+  workload.data_gb = 100.0;
+  HadoopArchSpec small;
+  small.nodes = 4;
+  HadoopArchSpec big;
+  big.nodes = 16;
+  const auto small_result = simulateHadoopScan(small, workload);
+  const auto big_result = simulateHadoopScan(big, workload);
+  // Near-linear scaling on a data-local scan.
+  EXPECT_GT(small_result.seconds / big_result.seconds, 3.0);
+}
+
+TEST(HpcScanTest, StorageServersBottleneckDataIntensiveScan) {
+  ScanWorkload workload;
+  workload.data_gb = 80.0;
+  workload.compute_secs_per_gb = 0.0;
+
+  HpcArchSpec hpc;
+  hpc.compute_nodes = 8;
+  hpc.storage_nodes = 2;
+  hpc.storage_disks = 4;
+  const auto hpc_result = simulateHpcScan(hpc, workload);
+
+  HadoopArchSpec hadoop;
+  hadoop.nodes = 8;
+  hadoop.locality_fraction = 0.95;
+  const auto hadoop_result = simulateHadoopScan(hadoop, workload);
+
+  // Figure 1's point: on data-intensive work the Hadoop layout wins.
+  EXPECT_LT(hadoop_result.seconds, hpc_result.seconds);
+  // And every byte crossed the HPC core switch.
+  EXPECT_NEAR(hpc_result.network_gb, workload.data_gb, 1.0);
+}
+
+TEST(HpcScanTest, ComputeBoundWorkEqualizesArchitectures) {
+  // When compute dominates, the storage layout stops mattering — the flip
+  // side of Figure 1 ("sometimes fails to support data-intensive
+  // computing" implies compute-intensive is fine).
+  ScanWorkload workload;
+  workload.data_gb = 10.0;
+  workload.compute_secs_per_gb = 400.0;  // heavy CPU per GB
+
+  HpcArchSpec hpc;
+  const auto hpc_result = simulateHpcScan(hpc, workload);
+  HadoopArchSpec hadoop;
+  const auto hadoop_result = simulateHadoopScan(hadoop, workload);
+  const double ratio = hpc_result.seconds / hadoop_result.seconds;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(HpcScanTest, MoreStorageServersHelp) {
+  // With a non-blocking core (oversubscription 1) the storage servers'
+  // disks are the bottleneck, so tripling them should show clearly.
+  ScanWorkload workload;
+  workload.data_gb = 80.0;
+  workload.compute_secs_per_gb = 0.0;
+  HpcArchSpec two;
+  two.storage_nodes = 2;
+  two.storage_disks = 2;
+  two.oversubscription = 1.0;
+  HpcArchSpec six = two;
+  six.storage_nodes = 6;
+  EXPECT_GT(simulateHpcScan(two, workload).seconds,
+            simulateHpcScan(six, workload).seconds * 1.5);
+}
+
+TEST(HpcScanTest, CoreOversubscriptionCapsThroughput) {
+  // With the default 4:1 oversubscribed core, adding storage servers
+  // barely helps — the fabric is the ceiling (why HPC sites buy fat
+  // interconnects, and why Hadoop avoids needing one).
+  ScanWorkload workload;
+  workload.data_gb = 80.0;
+  workload.compute_secs_per_gb = 0.0;
+  HpcArchSpec two;
+  two.storage_nodes = 2;
+  HpcArchSpec six;
+  six.storage_nodes = 6;
+  const double ratio = simulateHpcScan(two, workload).seconds /
+                       simulateHpcScan(six, workload).seconds;
+  EXPECT_LT(ratio, 1.5);
+}
+
+TEST(ArchSpecTest, InvalidSpecsThrow) {
+  ScanWorkload workload;
+  HadoopArchSpec bad_hadoop;
+  bad_hadoop.nodes = 0;
+  EXPECT_THROW(simulateHadoopScan(bad_hadoop, workload),
+               InvalidArgumentError);
+  HpcArchSpec bad_hpc;
+  bad_hpc.storage_nodes = 0;
+  EXPECT_THROW(simulateHpcScan(bad_hpc, workload), InvalidArgumentError);
+}
+
+TEST(ArchSpecTest, DeterministicForSeed) {
+  ScanWorkload workload;
+  workload.data_gb = 30.0;
+  HadoopArchSpec spec;
+  spec.locality_fraction = 0.7;
+  const auto a = simulateHadoopScan(spec, workload);
+  const auto b = simulateHadoopScan(spec, workload);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_DOUBLE_EQ(a.network_gb, b.network_gb);
+}
+
+}  // namespace
+}  // namespace mh::sim

@@ -1,0 +1,149 @@
+#include "mh/sim/hdfs_model.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+
+namespace mh::sim {
+namespace {
+
+TEST(StagingTest, PaperScaleShapes) {
+  // C5: "it can take over an hour" to stage the 171 GB Google trace…
+  StagingSpec google;
+  google.data_gb = 171.0;
+  const auto google_result = simulateStaging(google);
+  EXPECT_GT(google_result.seconds, 3600.0);
+
+  // …while the 10 GB Yahoo data loads "in less than five minutes".
+  StagingSpec yahoo = google;
+  yahoo.data_gb = 10.0;
+  const auto yahoo_result = simulateStaging(yahoo);
+  EXPECT_LT(yahoo_result.seconds, 300.0);
+}
+
+TEST(StagingTest, TimeScalesWithData) {
+  StagingSpec spec;
+  spec.data_gb = 20.0;
+  const double t20 = simulateStaging(spec).seconds;
+  spec.data_gb = 40.0;
+  const double t40 = simulateStaging(spec).seconds;
+  EXPECT_NEAR(t40 / t20, 2.0, 0.2);
+}
+
+TEST(StagingTest, SourceStoreIsTheBottleneck) {
+  // The shared parallel file system's per-job read rate dominates staging;
+  // a faster client NIC alone changes nothing.
+  StagingSpec spec;
+  spec.data_gb = 10.0;
+  const double base = simulateStaging(spec).seconds;
+  StagingSpec fat_nic = spec;
+  fat_nic.client_nic_bps *= 10;
+  EXPECT_NEAR(simulateStaging(fat_nic).seconds, base, base * 0.05);
+  StagingSpec fast_source = spec;
+  fast_source.source_bps *= 10;
+  EXPECT_GT(base / simulateStaging(fast_source).seconds, 2.0);
+}
+
+TEST(StagingTest, ReplicationAddsClusterTrafficNotClientTime) {
+  StagingSpec r1;
+  r1.data_gb = 10.0;
+  r1.replication = 1;
+  StagingSpec r3 = r1;
+  r3.replication = 3;
+  const auto result1 = simulateStaging(r1);
+  const auto result3 = simulateStaging(r3);
+  EXPECT_DOUBLE_EQ(result1.replication_gb, 0.0);
+  EXPECT_DOUBLE_EQ(result3.replication_gb, 20.0);
+  // Pipelining hides most replica cost from the client.
+  EXPECT_LT(result3.seconds, result1.seconds * 2.0);
+}
+
+TEST(StagingTest, InvalidSpecThrows) {
+  StagingSpec spec;
+  spec.nodes = 2;
+  spec.replication = 3;
+  EXPECT_THROW(simulateStaging(spec), InvalidArgumentError);
+}
+
+TEST(RestartTest, PaperClusterTakesAboutFifteenMinutes) {
+  // C6: 8 nodes × 850 GB disks holding 171 GB at 3x replication
+  // (~64 GB/node). The paper observed >= 15 minutes to verify and report.
+  RestartSpec spec;
+  spec.nodes = 8;
+  spec.per_node_gb = 64.0;
+  const auto result = simulateRestart(spec);
+  EXPECT_GT(result.seconds_to_safemode_exit, 600.0);   // > 10 min
+  EXPECT_LT(result.seconds_to_safemode_exit, 1800.0);  // < 30 min
+  EXPECT_GT(result.total_blocks, 5000u);
+}
+
+TEST(RestartTest, ScanTimeScalesWithPerNodeData) {
+  RestartSpec small;
+  small.per_node_gb = 10.0;
+  RestartSpec large;
+  large.per_node_gb = 100.0;
+  EXPECT_GT(simulateRestart(large).seconds_to_safemode_exit,
+            simulateRestart(small).seconds_to_safemode_exit * 5);
+}
+
+TEST(RestartTest, SafemodeExitAfterSlowestNeededReport) {
+  RestartSpec spec;
+  spec.per_node_gb = 32.0;
+  const auto result = simulateRestart(spec);
+  EXPECT_GE(result.seconds_to_safemode_exit, result.slowest_scan_seconds);
+}
+
+TEST(CollapseTest, DeadlineStormCorruptsTheCluster) {
+  // C7: deadline night — frequent buggy submissions crash daemons faster
+  // than re-replication heals. One third of the class finished; the
+  // cluster ended corrupt.
+  CollapseSpec storm;
+  storm.submissions_per_hour = 60.0;
+  storm.crash_probability = 0.5;
+  const auto result = simulateDeadlineCollapse(storm);
+  EXPECT_TRUE(result.corrupted);
+  EXPECT_GT(result.crashes, 0);
+  EXPECT_GT(result.max_under_replicated, 0u);
+}
+
+TEST(CollapseTest, GentleLoadSurvives) {
+  CollapseSpec calm;
+  calm.submissions_per_hour = 2.0;
+  calm.crash_probability = 0.05;
+  calm.node_restart_seconds = 120.0;
+  const auto result = simulateDeadlineCollapse(calm);
+  EXPECT_FALSE(result.corrupted);
+  EXPECT_EQ(result.lost_blocks, 0u);
+}
+
+TEST(CollapseTest, FasterRecoveryRaisesSurvival) {
+  CollapseSpec slow_heal;
+  slow_heal.submissions_per_hour = 30.0;
+  slow_heal.crash_probability = 0.4;
+  slow_heal.recovery_bps = 1 * kMB;
+  CollapseSpec fast_heal = slow_heal;
+  fast_heal.recovery_bps = 400 * kMB;
+  fast_heal.node_restart_seconds = 60.0;
+
+  int slow_corrupt = 0;
+  int fast_corrupt = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    slow_heal.seed = seed;
+    fast_heal.seed = seed;
+    slow_corrupt += simulateDeadlineCollapse(slow_heal).corrupted ? 1 : 0;
+    fast_corrupt += simulateDeadlineCollapse(fast_heal).corrupted ? 1 : 0;
+  }
+  EXPECT_GT(slow_corrupt, fast_corrupt);
+}
+
+TEST(CollapseTest, DeterministicForSeed) {
+  CollapseSpec spec;
+  const auto a = simulateDeadlineCollapse(spec);
+  const auto b = simulateDeadlineCollapse(spec);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.lost_blocks, b.lost_blocks);
+}
+
+}  // namespace
+}  // namespace mh::sim

@@ -1,0 +1,101 @@
+#include "mh/sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+
+namespace mh::sim {
+namespace {
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, EqualTimesRunInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(1.0, [&] {
+    ++fired;
+    sim.after(1.0, [&] { ++fired; });
+  });
+  EXPECT_DOUBLE_EQ(sim.run(), 2.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, PastSchedulingThrows) {
+  Simulation sim;
+  sim.at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(1.0, [] {}), InvalidArgumentError);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  sim.runUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ResourceTest, SerialReservationsQueue) {
+  Simulation sim;
+  Resource disk(sim, "disk", 100.0);  // 100 B/s
+  EXPECT_DOUBLE_EQ(disk.reserve(100), 1.0);
+  EXPECT_DOUBLE_EQ(disk.reserve(100), 2.0);  // queued behind the first
+  EXPECT_DOUBLE_EQ(disk.busySeconds(), 2.0);
+}
+
+TEST(ResourceTest, ReserveAfterHonorsDependency) {
+  Simulation sim;
+  Resource cpu(sim, "cpu", 1.0);
+  EXPECT_DOUBLE_EQ(cpu.reserveSecondsAfter(5.0, 2.0), 7.0);
+  // Next reservation queues behind it even with an earlier dependency.
+  EXPECT_DOUBLE_EQ(cpu.reserveSecondsAfter(0.0, 1.0), 8.0);
+}
+
+TEST(ResourceTest, TransferSchedulesCompletion) {
+  Simulation sim;
+  Resource nic(sim, "nic", 1000.0);
+  double completed_at = -1;
+  nic.transfer(500, [&] { completed_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(completed_at, 0.5);
+}
+
+TEST(ResourceTest, InvalidBandwidthThrows) {
+  Simulation sim;
+  EXPECT_THROW(Resource(sim, "x", 0.0), InvalidArgumentError);
+  EXPECT_THROW(Resource(sim, "x", -1.0), InvalidArgumentError);
+}
+
+TEST(ResourceTest, TransferThroughPacedByBottleneck) {
+  Simulation sim;
+  Resource fast(sim, "fast", 1000.0);
+  Resource slow(sim, "slow", 100.0);
+  double completed_at = -1;
+  transferThrough(sim, {&fast, &slow}, 100, [&] { completed_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(completed_at, 1.0);  // the slow hop dominates
+}
+
+}  // namespace
+}  // namespace mh::sim

@@ -1,0 +1,101 @@
+#include "mh/survey/likert.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mh/common/error.h"
+
+namespace mh::survey {
+namespace {
+
+TEST(LikertTest, ResponsesStayOnGrid) {
+  Rng rng(1);
+  const LikertSpec scale{1, 4, 1};
+  const auto responses = synthesizeResponses(29, 3.1, 0.9, scale, rng);
+  ASSERT_EQ(responses.size(), 29u);
+  for (const double r : responses) {
+    EXPECT_GE(r, 1.0);
+    EXPECT_LE(r, 4.0);
+    EXPECT_DOUBLE_EQ(r, std::round(r));
+  }
+}
+
+TEST(LikertTest, StatisticsMatchTargets) {
+  Rng rng(2);
+  const LikertSpec scale{0, 10, 1};
+  const auto responses = synthesizeResponses(29, 6.6, 1.2, scale, rng);
+  const auto stat = summarize(responses);
+  EXPECT_NEAR(stat.mean(), 6.6, 0.05);
+  EXPECT_NEAR(stat.stddev(), 1.2, 0.1);
+}
+
+// Every aggregate row the paper publishes must be reachable — sweep them.
+struct Target {
+  double mean;
+  double std;
+  double lo;
+  double hi;
+};
+
+class LikertTargetTest : public ::testing::TestWithParam<Target> {};
+
+TEST_P(LikertTargetTest, PaperTargetsAreSynthesizable) {
+  const auto& t = GetParam();
+  Rng rng(42);
+  const LikertSpec scale{t.lo, t.hi, 1};
+  const auto responses = synthesizeResponses(29, t.mean, t.std, scale, rng);
+  const auto stat = summarize(responses);
+  EXPECT_NEAR(stat.mean(), t.mean, 0.05) << "mean target " << t.mean;
+  EXPECT_NEAR(stat.stddev(), t.std, 0.12) << "std target " << t.std;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, LikertTargetTest,
+    ::testing::Values(
+        // Table I proficiency rows (0..10), before and after.
+        Target{6.6, 1.2, 0, 10}, Target{7.3, 1.1, 0, 10},
+        Target{5.86, 1.7, 0, 10}, Target{7.1, 1.7, 0, 10},
+        Target{4.38, 1.6, 0, 10}, Target{6.29, 1.5, 0, 10},
+        Target{0.03, 0.2, 0, 10}, Target{4.53, 1.16, 0, 10},
+        // Table II time-to-complete rows (1..4 bands).
+        Target{3.5, 0.7, 1, 4}, Target{3.1, 0.9, 1, 4},
+        Target{2.5, 1.1, 1, 4},
+        // Table III helpfulness rows (1..4).
+        Target{3.0, 0.9, 1, 4}, Target{3.6, 0.7, 1, 4},
+        Target{2.9, 0.82, 1, 4}));
+
+TEST(LikertTest, BadInputsThrow) {
+  Rng rng(3);
+  const LikertSpec scale{0, 10, 1};
+  EXPECT_THROW(synthesizeResponses(0, 5, 1, scale, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(synthesizeResponses(10, 99, 1, scale, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(synthesizeResponses(10, 5, 1, {5, 5, 1}, rng),
+               InvalidArgumentError);
+  EXPECT_THROW(synthesizeResponses(10, 5, 1, {0, 10, 0}, rng),
+               InvalidArgumentError);
+}
+
+TEST(LikertTest, CategoricalCountsAreExact) {
+  Rng rng(4);
+  const auto labels = synthesizeCategorical({7, 14, 6, 2}, rng);
+  ASSERT_EQ(labels.size(), 29u);
+  std::vector<int> counts(4, 0);
+  for (const size_t label : labels) ++counts.at(label);
+  EXPECT_EQ(counts, (std::vector<int>{7, 14, 6, 2}));
+  // Shuffled, not sorted (very likely for any real shuffle).
+  EXPECT_FALSE(std::is_sorted(labels.begin(), labels.end()));
+}
+
+TEST(LikertTest, DeterministicForRngState) {
+  Rng a(5), b(5);
+  const LikertSpec scale{1, 4, 1};
+  EXPECT_EQ(synthesizeResponses(29, 2.5, 1.1, scale, a),
+            synthesizeResponses(29, 2.5, 1.1, scale, b));
+}
+
+}  // namespace
+}  // namespace mh::survey

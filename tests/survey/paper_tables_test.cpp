@@ -1,0 +1,86 @@
+#include "mh/survey/paper_tables.h"
+
+#include <gtest/gtest.h>
+
+namespace mh::survey {
+namespace {
+
+TEST(PaperTablesTest, PublishedValuesPresent) {
+  ASSERT_EQ(paperTable1().size(), 4u);
+  EXPECT_EQ(paperTable1()[0].topic, "Java");
+  EXPECT_DOUBLE_EQ(paperTable1()[0].before.paper_mean, 6.6);
+  EXPECT_DOUBLE_EQ(paperTable1()[3].after.paper_mean, 4.53);
+
+  ASSERT_EQ(paperTable2().size(), 3u);
+  EXPECT_DOUBLE_EQ(paperTable2()[0].paper_mean, 3.5);
+
+  ASSERT_EQ(paperTable3().size(), 3u);
+  EXPECT_DOUBLE_EQ(paperTable3()[1].paper_mean, 3.6);
+
+  ASSERT_EQ(paperTable4().size(), 4u);
+  uint64_t total = 0;
+  for (const auto& row : paperTable4()) total += row.count;
+  EXPECT_EQ(total, kRespondents);
+
+  ASSERT_EQ(paperTable5().size(), 6u);
+  for (const auto& row : paperTable5()) {
+    EXPECT_FALSE(row.outcome.empty());
+    EXPECT_FALSE(row.repo_artifact.empty());
+  }
+}
+
+TEST(PaperTablesTest, RegenerationMatchesEveryTable1Row) {
+  const LikertSpec scale{0, 10, 1};
+  uint64_t seed = 100;
+  for (const auto& row : paperTable1()) {
+    for (const auto* agg : {&row.before, &row.after}) {
+      const auto regen = regenerateRow(*agg, scale, seed++);
+      EXPECT_NEAR(regen.regen_mean, agg->paper_mean, 0.05) << agg->label;
+      EXPECT_NEAR(regen.regen_std, agg->paper_std, 0.12) << agg->label;
+      EXPECT_EQ(regen.n, kRespondents);
+    }
+  }
+}
+
+TEST(PaperTablesTest, RegenerationMatchesTables2And3) {
+  const LikertSpec scale{1, 4, 1};
+  uint64_t seed = 200;
+  for (const auto* table : {&paperTable2(), &paperTable3()}) {
+    for (const auto& row : *table) {
+      const auto regen = regenerateRow(row, scale, seed++);
+      EXPECT_NEAR(regen.regen_mean, row.paper_mean, 0.05) << row.label;
+      EXPECT_NEAR(regen.regen_std, row.paper_std, 0.12) << row.label;
+    }
+  }
+}
+
+TEST(PaperTablesTest, RenderShowsPaperAndRegeneratedColumns) {
+  const LikertSpec scale{1, 4, 1};
+  std::vector<RegeneratedRow> rows;
+  for (const auto& row : paperTable2()) {
+    rows.push_back(regenerateRow(row, scale, 7));
+  }
+  const std::string text = renderRegeneratedTable("Table II", rows);
+  EXPECT_NE(text.find("Table II"), std::string::npos);
+  EXPECT_NE(text.find("paper"), std::string::npos);
+  EXPECT_NE(text.find("regenerated"), std::string::npos);
+  EXPECT_NE(text.find("First Assignment"), std::string::npos);
+  EXPECT_NE(text.find("3.5"), std::string::npos);
+}
+
+TEST(PaperTablesTest, MajorityChoseJuniorOrHigher) {
+  // The observation the paper draws from Table IV.
+  uint64_t junior_plus = 0;
+  uint64_t total = 0;
+  for (const auto& row : paperTable4()) {
+    total += row.count;
+    if (row.level == "Junior" || row.level == "Senior") {
+      junior_plus += row.count;
+    }
+  }
+  EXPECT_GT(junior_plus * 2, total);                   // majority
+  EXPECT_GT((total - junior_plus) * 4, total);         // >25% lower levels
+}
+
+}  // namespace
+}  // namespace mh::survey
