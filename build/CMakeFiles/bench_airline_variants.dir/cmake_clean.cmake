@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_airline_variants.dir/bench/bench_airline_variants.cpp.o"
+  "CMakeFiles/bench_airline_variants.dir/bench/bench_airline_variants.cpp.o.d"
+  "bench/bench_airline_variants"
+  "bench/bench_airline_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_airline_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_combiner_tradeoff.dir/bench/bench_combiner_tradeoff.cpp.o"
+  "CMakeFiles/bench_combiner_tradeoff.dir/bench/bench_combiner_tradeoff.cpp.o.d"
+  "bench/bench_combiner_tradeoff"
+  "bench/bench_combiner_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combiner_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_combiner_tradeoff.
+# This may be replaced when dependencies are built.

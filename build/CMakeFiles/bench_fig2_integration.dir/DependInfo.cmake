@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_integration.cpp" "CMakeFiles/bench_fig2_integration.dir/bench/bench_fig2_integration.cpp.o" "gcc" "CMakeFiles/bench_fig2_integration.dir/bench/bench_fig2_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mh_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/mh_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/mh_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mh_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/mh_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

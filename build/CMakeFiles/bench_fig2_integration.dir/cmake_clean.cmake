@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_integration.dir/bench/bench_fig2_integration.cpp.o"
+  "CMakeFiles/bench_fig2_integration.dir/bench/bench_fig2_integration.cpp.o.d"
+  "bench/bench_fig2_integration"
+  "bench/bench_fig2_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ghost_daemons.dir/bench/bench_ghost_daemons.cpp.o"
+  "CMakeFiles/bench_ghost_daemons.dir/bench/bench_ghost_daemons.cpp.o.d"
+  "bench/bench_ghost_daemons"
+  "bench/bench_ghost_daemons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ghost_daemons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_restart_recovery.dir/bench/bench_restart_recovery.cpp.o"
+  "CMakeFiles/bench_restart_recovery.dir/bench/bench_restart_recovery.cpp.o.d"
+  "bench/bench_restart_recovery"
+  "bench/bench_restart_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restart_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

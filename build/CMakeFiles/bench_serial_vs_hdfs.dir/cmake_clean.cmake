@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serial_vs_hdfs.dir/bench/bench_serial_vs_hdfs.cpp.o"
+  "CMakeFiles/bench_serial_vs_hdfs.dir/bench/bench_serial_vs_hdfs.cpp.o.d"
+  "bench/bench_serial_vs_hdfs"
+  "bench/bench_serial_vs_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serial_vs_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sidedata.dir/bench/bench_sidedata.cpp.o"
+  "CMakeFiles/bench_sidedata.dir/bench/bench_sidedata.cpp.o.d"
+  "bench/bench_sidedata"
+  "bench/bench_sidedata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sidedata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_staging.dir/bench/bench_staging.cpp.o"
+  "CMakeFiles/bench_staging.dir/bench/bench_staging.cpp.o.d"
+  "bench/bench_staging"
+  "bench/bench_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

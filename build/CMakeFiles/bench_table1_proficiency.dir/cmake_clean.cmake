@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_proficiency.dir/bench/bench_table1_proficiency.cpp.o"
+  "CMakeFiles/bench_table1_proficiency.dir/bench/bench_table1_proficiency.cpp.o.d"
+  "bench/bench_table1_proficiency"
+  "bench/bench_table1_proficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_proficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

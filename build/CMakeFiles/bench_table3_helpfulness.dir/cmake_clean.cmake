@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_helpfulness.dir/bench/bench_table3_helpfulness.cpp.o"
+  "CMakeFiles/bench_table3_helpfulness.dir/bench/bench_table3_helpfulness.cpp.o.d"
+  "bench/bench_table3_helpfulness"
+  "bench/bench_table3_helpfulness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_helpfulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

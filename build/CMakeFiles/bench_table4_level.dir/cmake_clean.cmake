@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_level.dir/bench/bench_table4_level.cpp.o"
+  "CMakeFiles/bench_table4_level.dir/bench/bench_table4_level.cpp.o.d"
+  "bench/bench_table4_level"
+  "bench/bench_table4_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

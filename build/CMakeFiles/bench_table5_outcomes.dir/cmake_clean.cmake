@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_outcomes.dir/bench/bench_table5_outcomes.cpp.o"
+  "CMakeFiles/bench_table5_outcomes.dir/bench/bench_table5_outcomes.cpp.o.d"
+  "bench/bench_table5_outcomes"
+  "bench/bench_table5_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airline_analysis.dir/airline_analysis.cpp.o"
+  "CMakeFiles/airline_analysis.dir/airline_analysis.cpp.o.d"
+  "airline_analysis"
+  "airline_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airline_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbase_lecture.dir/hbase_lecture.cpp.o"
+  "CMakeFiles/hbase_lecture.dir/hbase_lecture.cpp.o.d"
+  "hbase_lecture"
+  "hbase_lecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbase_lecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

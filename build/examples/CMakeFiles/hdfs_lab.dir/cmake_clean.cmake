@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdfs_lab.dir/hdfs_lab.cpp.o"
+  "CMakeFiles/hdfs_lab.dir/hdfs_lab.cpp.o.d"
+  "hdfs_lab"
+  "hdfs_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdfs_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

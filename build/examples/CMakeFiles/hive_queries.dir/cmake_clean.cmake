@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_queries.dir/hive_queries.cpp.o"
+  "CMakeFiles/hive_queries.dir/hive_queries.cpp.o.d"
+  "hive_queries"
+  "hive_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_assignment.dir/movie_assignment.cpp.o"
+  "CMakeFiles/movie_assignment.dir/movie_assignment.cpp.o.d"
+  "movie_assignment"
+  "movie_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

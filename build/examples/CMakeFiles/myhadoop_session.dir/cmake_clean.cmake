@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myhadoop_session.dir/myhadoop_session.cpp.o"
+  "CMakeFiles/myhadoop_session.dir/myhadoop_session.cpp.o.d"
+  "myhadoop_session"
+  "myhadoop_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myhadoop_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("net")
+subdirs("hdfs")
+subdirs("mapreduce")
+subdirs("data")
+subdirs("apps")
+subdirs("sim")
+subdirs("batch")
+subdirs("hbase")
+subdirs("hive")
+subdirs("survey")

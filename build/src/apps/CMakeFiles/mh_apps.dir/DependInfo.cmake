@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/airline.cpp" "src/apps/CMakeFiles/mh_apps.dir/airline.cpp.o" "gcc" "src/apps/CMakeFiles/mh_apps.dir/airline.cpp.o.d"
+  "/root/repo/src/apps/gtrace.cpp" "src/apps/CMakeFiles/mh_apps.dir/gtrace.cpp.o" "gcc" "src/apps/CMakeFiles/mh_apps.dir/gtrace.cpp.o.d"
+  "/root/repo/src/apps/movies.cpp" "src/apps/CMakeFiles/mh_apps.dir/movies.cpp.o" "gcc" "src/apps/CMakeFiles/mh_apps.dir/movies.cpp.o.d"
+  "/root/repo/src/apps/music.cpp" "src/apps/CMakeFiles/mh_apps.dir/music.cpp.o" "gcc" "src/apps/CMakeFiles/mh_apps.dir/music.cpp.o.d"
+  "/root/repo/src/apps/select_max.cpp" "src/apps/CMakeFiles/mh_apps.dir/select_max.cpp.o" "gcc" "src/apps/CMakeFiles/mh_apps.dir/select_max.cpp.o.d"
+  "/root/repo/src/apps/wordcount.cpp" "src/apps/CMakeFiles/mh_apps.dir/wordcount.cpp.o" "gcc" "src/apps/CMakeFiles/mh_apps.dir/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/mh_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/mh_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mh_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_apps.dir/airline.cpp.o"
+  "CMakeFiles/mh_apps.dir/airline.cpp.o.d"
+  "CMakeFiles/mh_apps.dir/gtrace.cpp.o"
+  "CMakeFiles/mh_apps.dir/gtrace.cpp.o.d"
+  "CMakeFiles/mh_apps.dir/movies.cpp.o"
+  "CMakeFiles/mh_apps.dir/movies.cpp.o.d"
+  "CMakeFiles/mh_apps.dir/music.cpp.o"
+  "CMakeFiles/mh_apps.dir/music.cpp.o.d"
+  "CMakeFiles/mh_apps.dir/select_max.cpp.o"
+  "CMakeFiles/mh_apps.dir/select_max.cpp.o.d"
+  "CMakeFiles/mh_apps.dir/wordcount.cpp.o"
+  "CMakeFiles/mh_apps.dir/wordcount.cpp.o.d"
+  "libmh_apps.a"
+  "libmh_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_batch.dir/myhadoop.cpp.o"
+  "CMakeFiles/mh_batch.dir/myhadoop.cpp.o.d"
+  "CMakeFiles/mh_batch.dir/scheduler.cpp.o"
+  "CMakeFiles/mh_batch.dir/scheduler.cpp.o.d"
+  "libmh_batch.a"
+  "libmh_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_common.dir/config.cpp.o"
+  "CMakeFiles/mh_common.dir/config.cpp.o.d"
+  "CMakeFiles/mh_common.dir/crc32.cpp.o"
+  "CMakeFiles/mh_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/mh_common.dir/csv.cpp.o"
+  "CMakeFiles/mh_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mh_common.dir/log.cpp.o"
+  "CMakeFiles/mh_common.dir/log.cpp.o.d"
+  "CMakeFiles/mh_common.dir/stats.cpp.o"
+  "CMakeFiles/mh_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mh_common.dir/strings.cpp.o"
+  "CMakeFiles/mh_common.dir/strings.cpp.o.d"
+  "CMakeFiles/mh_common.dir/threadpool.cpp.o"
+  "CMakeFiles/mh_common.dir/threadpool.cpp.o.d"
+  "libmh_common.a"
+  "libmh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/airline.cpp" "src/data/CMakeFiles/mh_data.dir/airline.cpp.o" "gcc" "src/data/CMakeFiles/mh_data.dir/airline.cpp.o.d"
+  "/root/repo/src/data/gtrace.cpp" "src/data/CMakeFiles/mh_data.dir/gtrace.cpp.o" "gcc" "src/data/CMakeFiles/mh_data.dir/gtrace.cpp.o.d"
+  "/root/repo/src/data/movies.cpp" "src/data/CMakeFiles/mh_data.dir/movies.cpp.o" "gcc" "src/data/CMakeFiles/mh_data.dir/movies.cpp.o.d"
+  "/root/repo/src/data/music.cpp" "src/data/CMakeFiles/mh_data.dir/music.cpp.o" "gcc" "src/data/CMakeFiles/mh_data.dir/music.cpp.o.d"
+  "/root/repo/src/data/text_corpus.cpp" "src/data/CMakeFiles/mh_data.dir/text_corpus.cpp.o" "gcc" "src/data/CMakeFiles/mh_data.dir/text_corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

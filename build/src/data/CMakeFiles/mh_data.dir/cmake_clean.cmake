@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_data.dir/airline.cpp.o"
+  "CMakeFiles/mh_data.dir/airline.cpp.o.d"
+  "CMakeFiles/mh_data.dir/gtrace.cpp.o"
+  "CMakeFiles/mh_data.dir/gtrace.cpp.o.d"
+  "CMakeFiles/mh_data.dir/movies.cpp.o"
+  "CMakeFiles/mh_data.dir/movies.cpp.o.d"
+  "CMakeFiles/mh_data.dir/music.cpp.o"
+  "CMakeFiles/mh_data.dir/music.cpp.o.d"
+  "CMakeFiles/mh_data.dir/text_corpus.cpp.o"
+  "CMakeFiles/mh_data.dir/text_corpus.cpp.o.d"
+  "libmh_data.a"
+  "libmh_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_hbase.dir/hfile.cpp.o"
+  "CMakeFiles/mh_hbase.dir/hfile.cpp.o.d"
+  "CMakeFiles/mh_hbase.dir/table.cpp.o"
+  "CMakeFiles/mh_hbase.dir/table.cpp.o.d"
+  "CMakeFiles/mh_hbase.dir/table_input_format.cpp.o"
+  "CMakeFiles/mh_hbase.dir/table_input_format.cpp.o.d"
+  "libmh_hbase.a"
+  "libmh_hbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_hbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

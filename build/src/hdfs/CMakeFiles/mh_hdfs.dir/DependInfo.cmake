@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdfs/block_manager.cpp" "src/hdfs/CMakeFiles/mh_hdfs.dir/block_manager.cpp.o" "gcc" "src/hdfs/CMakeFiles/mh_hdfs.dir/block_manager.cpp.o.d"
+  "/root/repo/src/hdfs/block_store.cpp" "src/hdfs/CMakeFiles/mh_hdfs.dir/block_store.cpp.o" "gcc" "src/hdfs/CMakeFiles/mh_hdfs.dir/block_store.cpp.o.d"
+  "/root/repo/src/hdfs/datanode.cpp" "src/hdfs/CMakeFiles/mh_hdfs.dir/datanode.cpp.o" "gcc" "src/hdfs/CMakeFiles/mh_hdfs.dir/datanode.cpp.o.d"
+  "/root/repo/src/hdfs/dfs_client.cpp" "src/hdfs/CMakeFiles/mh_hdfs.dir/dfs_client.cpp.o" "gcc" "src/hdfs/CMakeFiles/mh_hdfs.dir/dfs_client.cpp.o.d"
+  "/root/repo/src/hdfs/fs_shell.cpp" "src/hdfs/CMakeFiles/mh_hdfs.dir/fs_shell.cpp.o" "gcc" "src/hdfs/CMakeFiles/mh_hdfs.dir/fs_shell.cpp.o.d"
+  "/root/repo/src/hdfs/mini_cluster.cpp" "src/hdfs/CMakeFiles/mh_hdfs.dir/mini_cluster.cpp.o" "gcc" "src/hdfs/CMakeFiles/mh_hdfs.dir/mini_cluster.cpp.o.d"
+  "/root/repo/src/hdfs/namenode.cpp" "src/hdfs/CMakeFiles/mh_hdfs.dir/namenode.cpp.o" "gcc" "src/hdfs/CMakeFiles/mh_hdfs.dir/namenode.cpp.o.d"
+  "/root/repo/src/hdfs/namespace.cpp" "src/hdfs/CMakeFiles/mh_hdfs.dir/namespace.cpp.o" "gcc" "src/hdfs/CMakeFiles/mh_hdfs.dir/namespace.cpp.o.d"
+  "/root/repo/src/hdfs/types.cpp" "src/hdfs/CMakeFiles/mh_hdfs.dir/types.cpp.o" "gcc" "src/hdfs/CMakeFiles/mh_hdfs.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mh_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

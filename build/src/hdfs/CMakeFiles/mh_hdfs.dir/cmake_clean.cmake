@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_hdfs.dir/block_manager.cpp.o"
+  "CMakeFiles/mh_hdfs.dir/block_manager.cpp.o.d"
+  "CMakeFiles/mh_hdfs.dir/block_store.cpp.o"
+  "CMakeFiles/mh_hdfs.dir/block_store.cpp.o.d"
+  "CMakeFiles/mh_hdfs.dir/datanode.cpp.o"
+  "CMakeFiles/mh_hdfs.dir/datanode.cpp.o.d"
+  "CMakeFiles/mh_hdfs.dir/dfs_client.cpp.o"
+  "CMakeFiles/mh_hdfs.dir/dfs_client.cpp.o.d"
+  "CMakeFiles/mh_hdfs.dir/fs_shell.cpp.o"
+  "CMakeFiles/mh_hdfs.dir/fs_shell.cpp.o.d"
+  "CMakeFiles/mh_hdfs.dir/mini_cluster.cpp.o"
+  "CMakeFiles/mh_hdfs.dir/mini_cluster.cpp.o.d"
+  "CMakeFiles/mh_hdfs.dir/namenode.cpp.o"
+  "CMakeFiles/mh_hdfs.dir/namenode.cpp.o.d"
+  "CMakeFiles/mh_hdfs.dir/namespace.cpp.o"
+  "CMakeFiles/mh_hdfs.dir/namespace.cpp.o.d"
+  "CMakeFiles/mh_hdfs.dir/types.cpp.o"
+  "CMakeFiles/mh_hdfs.dir/types.cpp.o.d"
+  "libmh_hdfs.a"
+  "libmh_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

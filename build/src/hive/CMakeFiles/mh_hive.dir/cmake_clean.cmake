@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_hive.dir/ast.cpp.o"
+  "CMakeFiles/mh_hive.dir/ast.cpp.o.d"
+  "CMakeFiles/mh_hive.dir/driver.cpp.o"
+  "CMakeFiles/mh_hive.dir/driver.cpp.o.d"
+  "CMakeFiles/mh_hive.dir/parser.cpp.o"
+  "CMakeFiles/mh_hive.dir/parser.cpp.o.d"
+  "CMakeFiles/mh_hive.dir/schema.cpp.o"
+  "CMakeFiles/mh_hive.dir/schema.cpp.o.d"
+  "libmh_hive.a"
+  "libmh_hive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_hive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

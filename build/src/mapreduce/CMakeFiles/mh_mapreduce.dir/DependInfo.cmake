@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/counters.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/counters.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/counters.cpp.o.d"
+  "/root/repo/src/mapreduce/fs_view.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/fs_view.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/fs_view.cpp.o.d"
+  "/root/repo/src/mapreduce/input_format.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/input_format.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/input_format.cpp.o.d"
+  "/root/repo/src/mapreduce/job.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/job.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/job.cpp.o.d"
+  "/root/repo/src/mapreduce/job_tracker.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/job_tracker.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/job_tracker.cpp.o.d"
+  "/root/repo/src/mapreduce/kv_stream.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/kv_stream.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/kv_stream.cpp.o.d"
+  "/root/repo/src/mapreduce/local_runner.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/local_runner.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/local_runner.cpp.o.d"
+  "/root/repo/src/mapreduce/mini_mr_cluster.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/mini_mr_cluster.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/mini_mr_cluster.cpp.o.d"
+  "/root/repo/src/mapreduce/output_format.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/output_format.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/output_format.cpp.o.d"
+  "/root/repo/src/mapreduce/task_runner.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/task_runner.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/task_runner.cpp.o.d"
+  "/root/repo/src/mapreduce/task_tracker.cpp" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/task_tracker.cpp.o" "gcc" "src/mapreduce/CMakeFiles/mh_mapreduce.dir/task_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/mh_hdfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

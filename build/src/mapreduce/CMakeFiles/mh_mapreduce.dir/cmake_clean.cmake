@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_mapreduce.dir/counters.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/counters.cpp.o.d"
+  "CMakeFiles/mh_mapreduce.dir/fs_view.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/fs_view.cpp.o.d"
+  "CMakeFiles/mh_mapreduce.dir/input_format.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/input_format.cpp.o.d"
+  "CMakeFiles/mh_mapreduce.dir/job.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/job.cpp.o.d"
+  "CMakeFiles/mh_mapreduce.dir/job_tracker.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/job_tracker.cpp.o.d"
+  "CMakeFiles/mh_mapreduce.dir/kv_stream.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/kv_stream.cpp.o.d"
+  "CMakeFiles/mh_mapreduce.dir/local_runner.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/local_runner.cpp.o.d"
+  "CMakeFiles/mh_mapreduce.dir/mini_mr_cluster.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/mini_mr_cluster.cpp.o.d"
+  "CMakeFiles/mh_mapreduce.dir/output_format.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/output_format.cpp.o.d"
+  "CMakeFiles/mh_mapreduce.dir/task_runner.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/task_runner.cpp.o.d"
+  "CMakeFiles/mh_mapreduce.dir/task_tracker.cpp.o"
+  "CMakeFiles/mh_mapreduce.dir/task_tracker.cpp.o.d"
+  "libmh_mapreduce.a"
+  "libmh_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

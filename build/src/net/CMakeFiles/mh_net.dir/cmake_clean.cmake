@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_net.dir/network.cpp.o"
+  "CMakeFiles/mh_net.dir/network.cpp.o.d"
+  "libmh_net.a"
+  "libmh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

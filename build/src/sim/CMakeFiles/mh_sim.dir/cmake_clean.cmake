@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_sim.dir/cluster_model.cpp.o"
+  "CMakeFiles/mh_sim.dir/cluster_model.cpp.o.d"
+  "CMakeFiles/mh_sim.dir/hdfs_model.cpp.o"
+  "CMakeFiles/mh_sim.dir/hdfs_model.cpp.o.d"
+  "CMakeFiles/mh_sim.dir/simulation.cpp.o"
+  "CMakeFiles/mh_sim.dir/simulation.cpp.o.d"
+  "libmh_sim.a"
+  "libmh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mh_survey.dir/likert.cpp.o"
+  "CMakeFiles/mh_survey.dir/likert.cpp.o.d"
+  "CMakeFiles/mh_survey.dir/paper_tables.cpp.o"
+  "CMakeFiles/mh_survey.dir/paper_tables.cpp.o.d"
+  "libmh_survey.a"
+  "libmh_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mh_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/airline_test.cpp" "tests/apps/CMakeFiles/apps_test.dir/airline_test.cpp.o" "gcc" "tests/apps/CMakeFiles/apps_test.dir/airline_test.cpp.o.d"
+  "/root/repo/tests/apps/distributed_apps_test.cpp" "tests/apps/CMakeFiles/apps_test.dir/distributed_apps_test.cpp.o" "gcc" "tests/apps/CMakeFiles/apps_test.dir/distributed_apps_test.cpp.o.d"
+  "/root/repo/tests/apps/movies_test.cpp" "tests/apps/CMakeFiles/apps_test.dir/movies_test.cpp.o" "gcc" "tests/apps/CMakeFiles/apps_test.dir/movies_test.cpp.o.d"
+  "/root/repo/tests/apps/music_gtrace_test.cpp" "tests/apps/CMakeFiles/apps_test.dir/music_gtrace_test.cpp.o" "gcc" "tests/apps/CMakeFiles/apps_test.dir/music_gtrace_test.cpp.o.d"
+  "/root/repo/tests/apps/wordcount_test.cpp" "tests/apps/CMakeFiles/apps_test.dir/wordcount_test.cpp.o" "gcc" "tests/apps/CMakeFiles/apps_test.dir/wordcount_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mh_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mh_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/mh_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

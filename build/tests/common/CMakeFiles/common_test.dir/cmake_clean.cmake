@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/blocking_queue_test.cpp.o"
+  "CMakeFiles/common_test.dir/blocking_queue_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/bytes_test.cpp.o"
+  "CMakeFiles/common_test.dir/bytes_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/config_test.cpp.o"
+  "CMakeFiles/common_test.dir/config_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/crc32_test.cpp.o"
+  "CMakeFiles/common_test.dir/crc32_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/csv_test.cpp.o"
+  "CMakeFiles/common_test.dir/csv_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/rng_test.cpp.o"
+  "CMakeFiles/common_test.dir/rng_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/serde_test.cpp.o"
+  "CMakeFiles/common_test.dir/serde_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/stats_test.cpp.o"
+  "CMakeFiles/common_test.dir/stats_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/strings_test.cpp.o"
+  "CMakeFiles/common_test.dir/strings_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/threadpool_test.cpp.o"
+  "CMakeFiles/common_test.dir/threadpool_test.cpp.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hbase/hfile_test.cpp" "tests/hbase/CMakeFiles/hbase_test.dir/hfile_test.cpp.o" "gcc" "tests/hbase/CMakeFiles/hbase_test.dir/hfile_test.cpp.o.d"
+  "/root/repo/tests/hbase/table_input_format_test.cpp" "tests/hbase/CMakeFiles/hbase_test.dir/table_input_format_test.cpp.o" "gcc" "tests/hbase/CMakeFiles/hbase_test.dir/table_input_format_test.cpp.o.d"
+  "/root/repo/tests/hbase/table_test.cpp" "tests/hbase/CMakeFiles/hbase_test.dir/table_test.cpp.o" "gcc" "tests/hbase/CMakeFiles/hbase_test.dir/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hbase/CMakeFiles/mh_hbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/mh_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mh_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

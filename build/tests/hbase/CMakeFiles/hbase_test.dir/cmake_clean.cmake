@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbase_test.dir/hfile_test.cpp.o"
+  "CMakeFiles/hbase_test.dir/hfile_test.cpp.o.d"
+  "CMakeFiles/hbase_test.dir/table_input_format_test.cpp.o"
+  "CMakeFiles/hbase_test.dir/table_input_format_test.cpp.o.d"
+  "CMakeFiles/hbase_test.dir/table_test.cpp.o"
+  "CMakeFiles/hbase_test.dir/table_test.cpp.o.d"
+  "hbase_test"
+  "hbase_test.pdb"
+  "hbase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

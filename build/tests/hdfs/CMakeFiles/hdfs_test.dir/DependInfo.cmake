@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hdfs/block_manager_test.cpp" "tests/hdfs/CMakeFiles/hdfs_test.dir/block_manager_test.cpp.o" "gcc" "tests/hdfs/CMakeFiles/hdfs_test.dir/block_manager_test.cpp.o.d"
+  "/root/repo/tests/hdfs/block_store_test.cpp" "tests/hdfs/CMakeFiles/hdfs_test.dir/block_store_test.cpp.o" "gcc" "tests/hdfs/CMakeFiles/hdfs_test.dir/block_store_test.cpp.o.d"
+  "/root/repo/tests/hdfs/chaos_test.cpp" "tests/hdfs/CMakeFiles/hdfs_test.dir/chaos_test.cpp.o" "gcc" "tests/hdfs/CMakeFiles/hdfs_test.dir/chaos_test.cpp.o.d"
+  "/root/repo/tests/hdfs/cluster_test.cpp" "tests/hdfs/CMakeFiles/hdfs_test.dir/cluster_test.cpp.o" "gcc" "tests/hdfs/CMakeFiles/hdfs_test.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/hdfs/fs_shell_test.cpp" "tests/hdfs/CMakeFiles/hdfs_test.dir/fs_shell_test.cpp.o" "gcc" "tests/hdfs/CMakeFiles/hdfs_test.dir/fs_shell_test.cpp.o.d"
+  "/root/repo/tests/hdfs/namenode_test.cpp" "tests/hdfs/CMakeFiles/hdfs_test.dir/namenode_test.cpp.o" "gcc" "tests/hdfs/CMakeFiles/hdfs_test.dir/namenode_test.cpp.o.d"
+  "/root/repo/tests/hdfs/namespace_test.cpp" "tests/hdfs/CMakeFiles/hdfs_test.dir/namespace_test.cpp.o" "gcc" "tests/hdfs/CMakeFiles/hdfs_test.dir/namespace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdfs/CMakeFiles/mh_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdfs_test.dir/block_manager_test.cpp.o"
+  "CMakeFiles/hdfs_test.dir/block_manager_test.cpp.o.d"
+  "CMakeFiles/hdfs_test.dir/block_store_test.cpp.o"
+  "CMakeFiles/hdfs_test.dir/block_store_test.cpp.o.d"
+  "CMakeFiles/hdfs_test.dir/chaos_test.cpp.o"
+  "CMakeFiles/hdfs_test.dir/chaos_test.cpp.o.d"
+  "CMakeFiles/hdfs_test.dir/cluster_test.cpp.o"
+  "CMakeFiles/hdfs_test.dir/cluster_test.cpp.o.d"
+  "CMakeFiles/hdfs_test.dir/fs_shell_test.cpp.o"
+  "CMakeFiles/hdfs_test.dir/fs_shell_test.cpp.o.d"
+  "CMakeFiles/hdfs_test.dir/namenode_test.cpp.o"
+  "CMakeFiles/hdfs_test.dir/namenode_test.cpp.o.d"
+  "CMakeFiles/hdfs_test.dir/namespace_test.cpp.o"
+  "CMakeFiles/hdfs_test.dir/namespace_test.cpp.o.d"
+  "hdfs_test"
+  "hdfs_test.pdb"
+  "hdfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

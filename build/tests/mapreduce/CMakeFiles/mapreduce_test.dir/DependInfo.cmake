@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapreduce/counters_test.cpp" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/counters_test.cpp.o" "gcc" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/counters_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/fs_view_test.cpp" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/fs_view_test.cpp.o" "gcc" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/fs_view_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/input_format_test.cpp" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/input_format_test.cpp.o" "gcc" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/input_format_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/job_tracker_unit_test.cpp" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/job_tracker_unit_test.cpp.o" "gcc" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/job_tracker_unit_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/kv_stream_test.cpp" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/kv_stream_test.cpp.o" "gcc" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/kv_stream_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/local_runner_test.cpp" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/local_runner_test.cpp.o" "gcc" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/local_runner_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/mr_cluster_test.cpp" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/mr_cluster_test.cpp.o" "gcc" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/mr_cluster_test.cpp.o.d"
+  "/root/repo/tests/mapreduce/output_format_test.cpp" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/output_format_test.cpp.o" "gcc" "tests/mapreduce/CMakeFiles/mapreduce_test.dir/output_format_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/mh_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/mh_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_test.dir/counters_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/counters_test.cpp.o.d"
+  "CMakeFiles/mapreduce_test.dir/fs_view_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/fs_view_test.cpp.o.d"
+  "CMakeFiles/mapreduce_test.dir/input_format_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/input_format_test.cpp.o.d"
+  "CMakeFiles/mapreduce_test.dir/job_tracker_unit_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/job_tracker_unit_test.cpp.o.d"
+  "CMakeFiles/mapreduce_test.dir/kv_stream_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/kv_stream_test.cpp.o.d"
+  "CMakeFiles/mapreduce_test.dir/local_runner_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/local_runner_test.cpp.o.d"
+  "CMakeFiles/mapreduce_test.dir/mr_cluster_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/mr_cluster_test.cpp.o.d"
+  "CMakeFiles/mapreduce_test.dir/output_format_test.cpp.o"
+  "CMakeFiles/mapreduce_test.dir/output_format_test.cpp.o.d"
+  "mapreduce_test"
+  "mapreduce_test.pdb"
+  "mapreduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/survey/likert_test.cpp" "tests/survey/CMakeFiles/survey_test.dir/likert_test.cpp.o" "gcc" "tests/survey/CMakeFiles/survey_test.dir/likert_test.cpp.o.d"
+  "/root/repo/tests/survey/paper_tables_test.cpp" "tests/survey/CMakeFiles/survey_test.dir/paper_tables_test.cpp.o" "gcc" "tests/survey/CMakeFiles/survey_test.dir/paper_tables_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/survey/CMakeFiles/mh_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
