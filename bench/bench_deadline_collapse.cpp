@@ -82,7 +82,9 @@ int main() {
   conf.setInt("dfs.namenode.monitor.interval.ms", 20);
   conf.setInt("mapred.tasktracker.heartbeat.ms", 20);
   conf.setInt("mapred.tasktracker.expiry.ms", 400);
-  conf.setInt("mapred.tasktracker.memory.bytes", 2000);
+  // Above the reduce's legitimate shuffle working set (which is charged
+  // against the budget), far below the 1 MB leak injected next.
+  conf.setInt("mapred.tasktracker.memory.bytes", 500'000);
   conf.set("mapred.tasktracker.oom.policy", "crash-tracker");
   mh::mr::MiniMrCluster cluster({.num_nodes = 3, .conf = conf});
   mh::data::TextCorpusGenerator generator({.seed = 9, .target_bytes = 96 * 1024});

@@ -5,11 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "mh/common/crc32.h"
 #include "mh/common/rng.h"
 #include "mh/common/serde.h"
 #include "mh/hdfs/block_store.h"
 #include "mh/mr/kv_stream.h"
+#include "mh/mr/merge.h"
 
 namespace {
 
@@ -74,6 +77,76 @@ void BM_MapSideSort(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_MapSideSort)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+/// `k` sorted runs of `n` records each, the reduce merge's input shape.
+std::vector<Bytes> makeSortedRuns(size_t k, size_t n) {
+  Rng rng(4);
+  std::vector<Bytes> runs;
+  runs.reserve(k);
+  for (size_t r = 0; r < k; ++r) {
+    std::vector<mh::mr::KeyValue> records;
+    records.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      records.push_back({"key" + std::to_string(rng.uniform(n / 2 + 1)),
+                         Bytes(24, static_cast<char>('a' + r))});
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const auto& a, const auto& b) { return a.key < b.key; });
+    runs.push_back(mh::mr::encodeKvRun(records));
+  }
+  return runs;
+}
+
+/// The pre-streaming reduce merge: decode every run, concatenate, re-sort,
+/// then walk the groups. Kept here as the baseline the streaming k-way
+/// merge is measured against.
+void BM_ReduceMergeConcatResort(benchmark::State& state) {
+  const auto runs =
+      makeSortedRuns(static_cast<size_t>(state.range(0)),
+                     static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    std::vector<mh::mr::KeyValue> records;
+    for (const Bytes& run : runs) {
+      for (auto& kv : mh::mr::decodeKvRun(run)) {
+        records.push_back(std::move(kv));
+      }
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const auto& a, const auto& b) { return a.key < b.key; });
+    uint64_t sink = 0;
+    for (const auto& kv : records) sink += kv.value.size();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * state.range(1));
+}
+BENCHMARK(BM_ReduceMergeConcatResort)
+    ->Args({4, 10'000})
+    ->Args({8, 100'000})
+    ->Unit(benchmark::kMillisecond);
+
+/// The shipping reduce merge: stream the runs through the loser tree,
+/// grouped by key, zero-copy.
+void BM_ReduceMergeStreaming(benchmark::State& state) {
+  const auto runs =
+      makeSortedRuns(static_cast<size_t>(state.range(0)),
+                     static_cast<size_t>(state.range(1)));
+  const std::vector<std::string_view> views(runs.begin(), runs.end());
+  for (auto _ : state) {
+    mh::mr::KvRunMerger merger(views);
+    uint64_t sink = 0;
+    while (merger.nextGroup()) {
+      while (const auto value = merger.values().next()) sink += value->size();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * state.range(1));
+}
+BENCHMARK(BM_ReduceMergeStreaming)
+    ->Args({4, 10'000})
+    ->Args({8, 100'000})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MemBlockStoreWriteRead(benchmark::State& state) {
   mh::hdfs::MemBlockStore store;

@@ -8,7 +8,9 @@
 /// course's "MapReduce API libraries on the standard Linux command line,
 /// without a supporting HDFS/MapReduce infrastructure" mode (assignment 1).
 /// No daemons, no network: splits run one after another on the calling
-/// thread (or a small pool via mapred.local.map.threads).
+/// thread, or on small pools via mapred.local.map.threads and
+/// mapred.local.reduce.threads (each reduce partition commits its own part
+/// file, so partitions parallelize safely).
 
 namespace mh::mr {
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -12,19 +13,30 @@
 /// Per-TaskTracker storage for finished map tasks' sorted partition runs.
 /// Reduce tasks fetch from here over the network (the shuffle); the
 /// JobTracker tells trackers to purge a job's outputs once it finishes.
+///
+/// Runs are held behind shared_ptr so serving a fetch only bumps a
+/// refcount under the store mutex; the (simulated) wire copy happens on the
+/// caller's thread, and a concurrent purge cannot pull the buffer out from
+/// under an in-flight fetch.
 
 namespace mh::mr {
 
 class MapOutputStore {
  public:
   void put(JobId job, uint32_t map_index, std::vector<Bytes> partitions) {
+    std::vector<std::shared_ptr<const Bytes>> runs;
+    runs.reserve(partitions.size());
+    for (Bytes& run : partitions) {
+      runs.push_back(std::make_shared<const Bytes>(std::move(run)));
+    }
     std::lock_guard<std::mutex> lock(mutex_);
-    outputs_[{job, map_index}] = std::move(partitions);
+    outputs_[{job, map_index}] = std::move(runs);
   }
 
   /// Throws NotFoundError when the output is absent (e.g. after a purge or
   /// tracker restart) — the fetch failure reduces report to the JobTracker.
-  Bytes get(JobId job, uint32_t map_index, uint32_t partition) const {
+  std::shared_ptr<const Bytes> get(JobId job, uint32_t map_index,
+                                   uint32_t partition) const {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = outputs_.find({job, map_index});
     if (it == outputs_.end()) {
@@ -58,14 +70,16 @@ class MapOutputStore {
     std::lock_guard<std::mutex> lock(mutex_);
     uint64_t total = 0;
     for (const auto& [key, partitions] : outputs_) {
-      for (const auto& run : partitions) total += run.size();
+      for (const auto& run : partitions) total += run->size();
     }
     return total;
   }
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::pair<JobId, uint32_t>, std::vector<Bytes>> outputs_;
+  std::map<std::pair<JobId, uint32_t>,
+           std::vector<std::shared_ptr<const Bytes>>>
+      outputs_;
 };
 
 }  // namespace mh::mr

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mh/mr/api.h"
+#include "mh/mr/kv_stream.h"
+
+/// \file merge.h
+/// Streaming k-way merge over sorted kv_stream runs — the reduce-side merge.
+///
+/// Map tasks emit runs that are already key-sorted, so the reduce merge
+/// never needs to decode whole runs into memory and re-sort: a tournament
+/// (loser) tree over one cursor per run yields records in global key order
+/// with one comparison path per record. Groups are exposed lazily: the
+/// caller pulls a key and a ValuesIterator whose views point straight into
+/// the run buffers (zero-copy); unconsumed values are skipped when the next
+/// group is requested.
+///
+/// Ties are broken by run index, so duplicate keys come out in run order and
+/// within-run order — the same stability contract as Hadoop's merge (and as
+/// the old concatenate-and-stable_sort implementation).
+
+namespace mh::mr {
+
+/// Merges k sorted runs into one key-grouped stream.
+///
+/// The run buffers must outlive the merger; every string_view it hands out
+/// (keys and values) points into them. A torn frame in any run surfaces as
+/// InvalidArgumentError from the constructor (first record) or from group
+/// iteration (later records), exactly as KvReader would have thrown.
+class KvRunMerger {
+ public:
+  /// `runs` are views over encoded kv_stream runs; empty runs are skipped.
+  explicit KvRunMerger(const std::vector<std::string_view>& runs);
+
+  /// Advances to the next key group, discarding any unconsumed values of
+  /// the current one. False when every run is exhausted.
+  bool nextGroup();
+
+  /// Key of the current group. Valid until the next nextGroup() call.
+  std::string_view key() const { return group_key_; }
+
+  /// The current group's values, in run order then within-run order.
+  ValuesIterator& values() { return values_; }
+
+  /// Number of non-empty runs under the merge (the MERGE_SEGMENTS counter).
+  size_t segmentCount() const { return cursors_.size(); }
+
+  /// Records streamed out so far (equals total input records once drained).
+  int64_t recordsRead() const { return records_read_; }
+
+ private:
+  /// One run's read head.
+  struct Cursor {
+    explicit Cursor(std::string_view run) : reader(run) {}
+    KvReader reader;
+    std::string_view key;
+    std::string_view value;
+    bool exhausted = false;
+  };
+
+  class GroupValues final : public ValuesIterator {
+   public:
+    explicit GroupValues(KvRunMerger& merger) : merger_(merger) {}
+    std::optional<std::string_view> next() override {
+      return merger_.nextValueInGroup();
+    }
+
+   private:
+    KvRunMerger& merger_;
+  };
+
+  bool beats(size_t a, size_t b) const;
+  void replay(size_t leaf);
+  void advanceCursor(size_t index);
+  std::optional<std::string_view> nextValueInGroup();
+
+  std::vector<Cursor> cursors_;  ///< non-empty runs, in original run order
+  std::vector<size_t> tree_;     ///< loser tree; tree_[0] is the winner
+  size_t winner_ = 0;
+  std::string_view group_key_;
+  bool in_group_ = false;
+  int64_t records_read_ = 0;
+  GroupValues values_{*this};
+};
+
+}  // namespace mh::mr

@@ -12,8 +12,8 @@
 ///
 /// Map side: read split -> map() -> partition -> sort by key -> (combine)
 /// -> one kv_stream run per partition.
-/// Reduce side: concatenate the map runs for one partition -> merge-sort ->
-/// group by key -> reduce() -> committed part file.
+/// Reduce side: streaming k-way merge over the (already sorted) map runs
+/// for one partition -> group by key -> reduce() -> committed part file.
 
 namespace mh::mr {
 

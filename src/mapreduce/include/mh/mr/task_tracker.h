@@ -33,8 +33,23 @@
 ///   mapred.tasktracker.heartbeat.ms          50
 ///   mapred.tasktracker.memory.bytes          (unlimited)
 ///   mapred.tasktracker.oom.policy            fail-task | crash-tracker
+///   mapred.reduce.parallel.copies            5
 
 namespace mh::mr {
+
+/// Fetches partition `assignment.task_index`'s run from every map host in
+/// `assignment.map_outputs`, with up to `mapred.reduce.parallel.copies`
+/// (default 5) fetches in flight at once. On any failure throws
+/// IoError("fetch-failure host=<h> map=<i>: ...") — the shape the
+/// JobTracker parses to re-execute the source map; when several concurrent
+/// fetches fail, the lowest map index is reported. On success, meters
+/// SHUFFLE_BYTES and the wall-clock SHUFFLE_FETCH_MILLIS of the whole fetch
+/// phase into `shuffle_counters`.
+std::vector<Bytes> fetchShuffleRuns(net::Network& network,
+                                    const std::string& host,
+                                    const TaskAssignment& assignment,
+                                    const Config& conf,
+                                    Counters& shuffle_counters);
 
 class TaskTracker {
  public:

@@ -62,6 +62,7 @@ inline constexpr const char* kReduceInputGroups = "REDUCE_INPUT_GROUPS";
 inline constexpr const char* kReduceInputRecords = "REDUCE_INPUT_RECORDS";
 inline constexpr const char* kReduceOutputRecords = "REDUCE_OUTPUT_RECORDS";
 inline constexpr const char* kSpilledRecords = "SPILLED_RECORDS";
+inline constexpr const char* kMergeSegments = "MERGE_SEGMENTS";
 
 inline constexpr const char* kJobGroup = "job";
 inline constexpr const char* kDataLocalMaps = "DATA_LOCAL_MAPS";
@@ -75,6 +76,7 @@ inline constexpr const char* kSpeculativeMaps = "TOTAL_SPECULATIVE_MAPS";
 
 inline constexpr const char* kShuffleGroup = "shuffle";
 inline constexpr const char* kShuffleBytes = "SHUFFLE_BYTES";
+inline constexpr const char* kShuffleFetchMillis = "SHUFFLE_FETCH_MILLIS";
 }  // namespace counters
 
 }  // namespace mh::mr

@@ -45,8 +45,9 @@ JobResult LocalJobRunner::run(JobSpec spec) {
 
     // "Shuffle": gather the runs for each partition (all in memory, all
     // local — that is the point of the serial mode).
+    std::vector<std::vector<Bytes>> partition_runs(spec.num_reducers);
     for (uint32_t p = 0; p < spec.num_reducers; ++p) {
-      std::vector<Bytes> runs;
+      auto& runs = partition_runs[p];
       runs.reserve(map_results.size());
       for (auto& mr : map_results) {
         if (!mr.partitions[p].empty()) {
@@ -56,9 +57,32 @@ JobResult LocalJobRunner::run(JobSpec spec) {
         }
         runs.push_back(std::move(mr.partitions[p]));
       }
-      const auto rr = runReduceTask(spec, fs_, p, 0, runs);
-      result.counters.merge(rr.counters);
-      result.reduce_millis += rr.millis;
+    }
+
+    // Reduce phase: each partition commits its own part file, so partitions
+    // can run in parallel just like map splits do.
+    const auto reduce_threads = static_cast<size_t>(
+        spec.conf.getInt("mapred.local.reduce.threads", 1));
+    if (reduce_threads <= 1) {
+      for (uint32_t p = 0; p < spec.num_reducers; ++p) {
+        const auto rr = runReduceTask(spec, fs_, p, 0, partition_runs[p]);
+        result.counters.merge(rr.counters);
+        result.reduce_millis += rr.millis;
+      }
+    } else {
+      ThreadPool pool(reduce_threads);
+      std::vector<std::future<ReduceTaskResult>> futures;
+      futures.reserve(spec.num_reducers);
+      for (uint32_t p = 0; p < spec.num_reducers; ++p) {
+        futures.push_back(pool.submit([this, &spec, &partition_runs, p] {
+          return runReduceTask(spec, fs_, p, 0, partition_runs[p]);
+        }));
+      }
+      for (auto& future : futures) {
+        const auto rr = future.get();
+        result.counters.merge(rr.counters);
+        result.reduce_millis += rr.millis;
+      }
     }
     result.counters.increment(counters::kJobGroup,
                               counters::kLaunchedReduces,

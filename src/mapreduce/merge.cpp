@@ -1,0 +1,89 @@
+#include "mh/mr/merge.h"
+
+#include <limits>
+
+namespace mh::mr {
+
+namespace {
+constexpr size_t kUnset = std::numeric_limits<size_t>::max();
+}  // namespace
+
+KvRunMerger::KvRunMerger(const std::vector<std::string_view>& runs) {
+  cursors_.reserve(runs.size());
+  for (const std::string_view run : runs) {
+    if (run.empty()) continue;
+    Cursor cursor(run);
+    // A non-empty run yields at least one record or throws on a torn frame.
+    if (cursor.reader.next(cursor.key, cursor.value)) {
+      cursors_.push_back(cursor);
+    }
+  }
+
+  // Single-run fast path: no tree, the one cursor is always the winner.
+  const size_t k = cursors_.size();
+  if (k <= 1) return;
+
+  // Build the loser tree by replaying every leaf: winners climb, losers
+  // park at internal nodes, the last replay deposits the overall winner.
+  tree_.assign(k, kUnset);
+  for (size_t leaf = 0; leaf < k; ++leaf) replay(leaf);
+  winner_ = tree_[0];
+}
+
+bool KvRunMerger::beats(size_t a, size_t b) const {
+  const Cursor& ca = cursors_[a];
+  const Cursor& cb = cursors_[b];
+  if (ca.exhausted) return false;
+  if (cb.exhausted) return true;
+  if (ca.key != cb.key) return ca.key < cb.key;
+  return a < b;  // stable: equal keys drain in run order
+}
+
+void KvRunMerger::replay(size_t leaf) {
+  const size_t k = cursors_.size();
+  size_t contender = leaf;
+  for (size_t node = (leaf + k) / 2; node > 0; node /= 2) {
+    if (tree_[node] == kUnset) {  // initial build: park and wait for a rival
+      tree_[node] = contender;
+      return;
+    }
+    if (beats(tree_[node], contender)) std::swap(contender, tree_[node]);
+  }
+  tree_[0] = contender;
+}
+
+void KvRunMerger::advanceCursor(size_t index) {
+  Cursor& cursor = cursors_[index];
+  if (!cursor.reader.next(cursor.key, cursor.value)) {
+    cursor.exhausted = true;
+    cursor.key = {};
+    cursor.value = {};
+  }
+  if (cursors_.size() > 1) {
+    replay(index);
+    winner_ = tree_[0];
+  }
+}
+
+std::optional<std::string_view> KvRunMerger::nextValueInGroup() {
+  if (!in_group_) return std::nullopt;
+  const Cursor& cursor = cursors_[winner_];
+  if (cursor.exhausted || cursor.key != group_key_) {
+    in_group_ = false;
+    return std::nullopt;
+  }
+  const std::string_view value = cursor.value;
+  ++records_read_;
+  advanceCursor(winner_);
+  return value;
+}
+
+bool KvRunMerger::nextGroup() {
+  while (in_group_) nextValueInGroup();  // skip what the reducer left behind
+  if (cursors_.empty() || cursors_[winner_].exhausted) return false;
+  group_key_ = cursors_[winner_].key;
+  in_group_ = true;
+  return true;
+}
+
+}  // namespace mh::mr

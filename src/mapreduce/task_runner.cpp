@@ -4,6 +4,7 @@
 
 #include "mh/common/stopwatch.h"
 #include "mh/mr/kv_stream.h"
+#include "mh/mr/merge.h"
 
 namespace mh::mr {
 
@@ -133,17 +134,13 @@ ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
   ReduceTaskResult result;
   Counters& c = result.counters;
 
-  // Merge phase: each input run is already sorted; concatenate and re-sort
-  // (stable, so equal keys keep run order, like Hadoop's merge).
-  std::vector<KeyValue> records;
-  for (const Bytes& run : input_runs) {
-    for (auto& kv : decodeKvRun(run)) {
-      records.push_back(std::move(kv));
-    }
-  }
-  sortByKey(records);
-  c.increment(kTaskGroup, kReduceInputRecords,
-              static_cast<int64_t>(records.size()));
+  // Merge phase: each input run is already key-sorted, so stream them
+  // through a k-way merge — no run is ever decoded whole, and keys/values
+  // reach the reducer as views into the fetched buffers.
+  std::vector<std::string_view> views(input_runs.begin(), input_runs.end());
+  KvRunMerger merger(views);
+  c.increment(kTaskGroup, kMergeSegments,
+              static_cast<int64_t>(merger.segmentCount()));
 
   const auto output_format = spec.output_format();
   const auto writer =
@@ -157,8 +154,15 @@ ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
       heap, &fs);
 
   const auto reducer = spec.reducer();
-  const int64_t groups = reduceGroups(*reducer, records, reduce_ctx);
+  int64_t groups = 0;
+  reducer->setup(reduce_ctx);
+  while (merger.nextGroup()) {
+    reducer->reduce(merger.key(), merger.values(), reduce_ctx);
+    ++groups;
+  }
+  reducer->cleanup(reduce_ctx);
   c.increment(kTaskGroup, kReduceInputGroups, groups);
+  c.increment(kTaskGroup, kReduceInputRecords, merger.recordsRead());
   writer->close();
 
   result.millis = watch.elapsedMillis();

@@ -1,5 +1,6 @@
 #include "mh/mr/task_tracker.h"
 
+#include <atomic>
 #include <chrono>
 
 #include "mh/common/error.h"
@@ -13,6 +14,62 @@ namespace mh::mr {
 namespace {
 constexpr const char* kLog = "tasktracker";
 }  // namespace
+
+std::vector<Bytes> fetchShuffleRuns(net::Network& network,
+                                    const std::string& host,
+                                    const TaskAssignment& assignment,
+                                    const Config& conf,
+                                    Counters& shuffle_counters) {
+  const size_t n = assignment.map_outputs.size();
+  std::vector<Bytes> runs(n);
+  if (n == 0) return runs;
+
+  Stopwatch watch;
+  // Each slot holds an error message when that fetch failed; distinct slots
+  // are written by distinct fetches, so no lock is needed.
+  std::vector<std::unique_ptr<std::string>> errors(n);
+  std::atomic<size_t> next{0};
+  const auto fetch_loop = [&] {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      const MapOutputLocation& location = assignment.map_outputs[i];
+      try {
+        runs[i] = network.call(
+            host, location.host, kTaskTrackerPort, "getMapOutput",
+            pack(assignment.job, location.map_index, assignment.task_index),
+            "shuffle");
+      } catch (const std::exception& e) {
+        errors[i] = std::make_unique<std::string>(e.what());
+      }
+    }
+  };
+
+  const auto copies = static_cast<size_t>(
+      std::max<int64_t>(1, conf.getInt("mapred.reduce.parallel.copies", 5)));
+  if (const size_t workers = std::min(n, copies); workers <= 1) {
+    fetch_loop();
+  } else {
+    std::vector<std::jthread> fetchers;
+    fetchers.reserve(workers);
+    for (size_t t = 0; t < workers; ++t) fetchers.emplace_back(fetch_loop);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (errors[i] == nullptr) continue;
+    // Formatted so the JobTracker re-executes the source map.
+    throw IoError("fetch-failure host=" + assignment.map_outputs[i].host +
+                  " map=" + std::to_string(assignment.map_outputs[i].map_index) +
+                  ": " + *errors[i]);
+  }
+
+  int64_t total_bytes = 0;
+  for (const Bytes& run : runs) total_bytes += static_cast<int64_t>(run.size());
+  shuffle_counters.increment(counters::kShuffleGroup, counters::kShuffleBytes,
+                             total_bytes);
+  shuffle_counters.increment(counters::kShuffleGroup,
+                             counters::kShuffleFetchMillis,
+                             watch.elapsedMillis());
+  return runs;
+}
 
 TaskTracker::TaskTracker(Config conf, std::shared_ptr<net::Network> network,
                          std::string host,
@@ -236,27 +293,25 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
     const auto spec = registry_->get(assignment.job);
     Counters shuffle_counters;
 
-    // Shuffle: pull this partition's run from every map's tracker.
-    std::vector<Bytes> runs;
-    runs.reserve(assignment.map_outputs.size());
-    for (const auto& location : assignment.map_outputs) {
-      try {
-        Bytes run = network_->call(
-            host_, location.host, kTaskTrackerPort, "getMapOutput",
-            pack(assignment.job, location.map_index,
-                 assignment.task_index),
-            "shuffle");
-        shuffle_counters.increment(counters::kShuffleGroup,
-                                   counters::kShuffleBytes,
-                                   static_cast<int64_t>(run.size()));
-        runs.push_back(std::move(run));
-      } catch (const std::exception& e) {
-        // Formatted so the JobTracker re-executes the source map.
-        throw IoError("fetch-failure host=" + location.host +
-                      " map=" + std::to_string(location.map_index) + ": " +
-                      e.what());
-      }
+    // Shuffle: pull this partition's run from every map's tracker, several
+    // fetches in flight at once.
+    const std::vector<Bytes> runs = fetchShuffleRuns(
+        *network_, host_, assignment, conf_, shuffle_counters);
+
+    // The fetched runs are the reduce task's working set; charge them
+    // against the tracker memory budget while the streaming merge runs.
+    // Unlike user allocateHeap() leaks, these buffers really are freed when
+    // the task ends, so the charge is released even on failure.
+    int64_t shuffle_heap = 0;
+    for (const Bytes& run : runs) {
+      shuffle_heap += static_cast<int64_t>(run.size());
     }
+    struct ShuffleHeapGuard {
+      TaskTracker* tracker;
+      int64_t amount;
+      ~ShuffleHeapGuard() { tracker->heap_used_.fetch_sub(amount); }
+    } guard{this, shuffle_heap};
+    chargeHeap(shuffle_heap);
 
     hdfs::DfsClient dfs(conf_, network_, host_, namenode_host_);
     HdfsFs fs(std::move(dfs));
@@ -280,7 +335,9 @@ void TaskTracker::installRpc() {
     if (req.method == "getMapOutput") {
       const auto [job, map_index, partition] =
           unpack<uint32_t, uint32_t, uint32_t>(req.body);
-      return outputs_.get(job, map_index, partition);
+      // The store hands back a refcounted run; the wire copy happens here,
+      // outside the store mutex.
+      return *outputs_.get(job, map_index, partition);
     }
     throw InvalidArgumentError("tasktracker: unknown RPC method " +
                                req.method);

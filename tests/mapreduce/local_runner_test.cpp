@@ -137,6 +137,45 @@ TEST_F(LocalRunnerTest, ParallelMapsMatchSerial) {
             readCounts(*local_, p("out_parallel")));
 }
 
+TEST_F(LocalRunnerTest, ParallelReducesMatchSerial) {
+  const std::string corpus = makeCorpus(400, 17);
+  local_->writeFile(p("in.txt"), corpus);
+  LocalJobRunner runner(*local_);
+
+  auto serial_spec = wordCountSpec({p("in.txt")}, p("out_serial"), false, 4);
+  auto parallel_spec =
+      wordCountSpec({p("in.txt")}, p("out_parallel"), false, 4);
+  parallel_spec.conf.setInt("mapred.local.reduce.threads", 4);
+
+  const auto serial = runner.run(std::move(serial_spec));
+  const auto parallel = runner.run(std::move(parallel_spec));
+  ASSERT_TRUE(serial.succeeded()) << serial.error;
+  ASSERT_TRUE(parallel.succeeded()) << parallel.error;
+  EXPECT_EQ(readCounts(*local_, p("out_serial")),
+            readCounts(*local_, p("out_parallel")));
+  EXPECT_EQ(readCounts(*local_, p("out_parallel")), referenceCounts(corpus));
+  // Per-task counters are merge-order-independent, so they agree too.
+  using namespace counters;
+  EXPECT_EQ(parallel.counters.value(kTaskGroup, kReduceInputRecords),
+            serial.counters.value(kTaskGroup, kReduceInputRecords));
+  EXPECT_EQ(parallel.counters.value(kTaskGroup, kMergeSegments),
+            serial.counters.value(kTaskGroup, kMergeSegments));
+}
+
+TEST_F(LocalRunnerTest, ThrowingReducerFailsParallelJobWithMessage) {
+  local_->writeFile(p("in.txt"), makeCorpus(50, 3));
+  JobSpec spec = wordCountSpec({p("in.txt")}, p("out"), false, 4);
+  spec.conf.setInt("mapred.local.reduce.threads", 4);
+  spec.reducer = reducerFromLambda(
+      [](std::string_view, ValuesIterator&, TaskContext&) {
+        throw IoError("reducer exploded");
+      });
+  LocalJobRunner runner(*local_);
+  const auto result = runner.run(std::move(spec));
+  EXPECT_FALSE(result.succeeded());
+  EXPECT_NE(result.error.find("reducer exploded"), std::string::npos);
+}
+
 TEST_F(LocalRunnerTest, ThrowingMapperFailsJobWithMessage) {
   local_->writeFile(p("in.txt"), "boom\n");
   JobSpec spec = wordCountSpec({p("in.txt")}, p("out"));

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 
 #include "mh/common/rng.h"
@@ -248,6 +249,38 @@ TEST(MiniMrClusterTest, OomCrashTrackerPolicyKillsDaemonJobRecovers) {
   EXPECT_EQ(dead, 1);
   HdfsFs fs(cluster.client());
   EXPECT_EQ(readCounts(fs, "/out").at("leak"), 1);
+}
+
+TEST(MiniMrClusterTest, ReduceHeapChargesOnlyShuffleWorkingSet) {
+  // The streaming merge never decodes runs into a materialized record
+  // vector, so the reduce working set charged against the tracker budget is
+  // exactly the fetched runs — a materializing merge would at least double
+  // the peak. One reducer makes the expected charge equal the job's total
+  // SHUFFLE_BYTES.
+  MiniMrCluster cluster({.num_nodes = 3, .conf = fastConf()});
+  cluster.client().writeFile("/in/corpus.txt", makeCorpus(300, 23));
+
+  const auto result = cluster.runJob(wordCountSpec({"/in"}, "/out", false, 1));
+  ASSERT_TRUE(result.succeeded()) << result.error;
+
+  using namespace counters;
+  const int64_t shuffle_bytes =
+      result.counters.value(kShuffleGroup, kShuffleBytes);
+  ASSERT_GT(shuffle_bytes, 0);
+  int64_t max_peak = 0;
+  int64_t still_used = 0;
+  for (const auto& host : cluster.trackerHosts()) {
+    max_peak = std::max(max_peak, cluster.taskTracker(host).heapPeak());
+    still_used += cluster.taskTracker(host).heapUsed();
+  }
+  EXPECT_EQ(max_peak, shuffle_bytes);
+  EXPECT_EQ(still_used, 0);  // released when the reduce finished
+
+  // The new shuffle/merge observability counters made it into the report.
+  EXPECT_GT(result.counters.value(kTaskGroup, kMergeSegments), 0);
+  EXPECT_LE(result.counters.value(kTaskGroup, kMergeSegments),
+            result.counters.value(kJobGroup, kLaunchedMaps));
+  EXPECT_GE(result.counters.value(kShuffleGroup, kShuffleFetchMillis), 0);
 }
 
 TEST(MiniMrClusterTest, SpeculativeExecutionRescuesStraggler) {

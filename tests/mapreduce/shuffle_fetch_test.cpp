@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mh/common/error.h"
+#include "mh/common/serde.h"
+#include "mh/common/stopwatch.h"
+#include "mh/mr/map_output_store.h"
+#include "mh/mr/task_tracker.h"
+
+namespace mh::mr {
+namespace {
+
+/// A map-side host serving one partition run per (map_index) from a real
+/// MapOutputStore, as a TaskTracker would.
+void serveMapOutputs(net::Network& network, const std::string& host,
+                     MapOutputStore& store) {
+  network.addHost(host);
+  network.bind(host, kTaskTrackerPort,
+               [&store](const net::RpcRequest& req) -> Bytes {
+                 const auto [job, map_index, partition] =
+                     unpack<uint32_t, uint32_t, uint32_t>(req.body);
+                 return *store.get(job, map_index, partition);
+               });
+}
+
+TaskAssignment reduceAssignment(uint32_t partition,
+                                const std::vector<std::string>& map_hosts) {
+  TaskAssignment assignment;
+  assignment.kind = AssignmentKind::kReduce;
+  assignment.job = 7;
+  assignment.task_index = partition;
+  for (uint32_t i = 0; i < map_hosts.size(); ++i) {
+    assignment.map_outputs.push_back({i, map_hosts[i]});
+  }
+  return assignment;
+}
+
+TEST(ShuffleFetchTest, FetchesEveryRunAndMetersCounters) {
+  net::Network network;
+  network.addHost("reducer");
+  MapOutputStore store;
+  std::vector<std::string> hosts;
+  for (uint32_t m = 0; m < 4; ++m) {
+    hosts.push_back("tt" + std::to_string(m));
+    serveMapOutputs(network, hosts.back(), store);
+    store.put(7, m, {Bytes("p0-from-map" + std::to_string(m)),
+                     Bytes("p1-from-map" + std::to_string(m))});
+  }
+
+  Config conf;
+  Counters shuffle_counters;
+  const auto runs = fetchShuffleRuns(network, "reducer",
+                                     reduceAssignment(1, hosts), conf,
+                                     shuffle_counters);
+  ASSERT_EQ(runs.size(), 4u);
+  int64_t expected_bytes = 0;
+  for (uint32_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(runs[m], "p1-from-map" + std::to_string(m));
+    expected_bytes += static_cast<int64_t>(runs[m].size());
+  }
+  EXPECT_EQ(shuffle_counters.value(counters::kShuffleGroup, counters::kShuffleBytes),
+            expected_bytes);
+  EXPECT_GE(shuffle_counters.value(counters::kShuffleGroup,
+                           counters::kShuffleFetchMillis),
+            0);
+}
+
+TEST(ShuffleFetchTest, FetchesRunConcurrently) {
+  // With a 25 ms one-way link latency and 6 map hosts, a sequential fetch
+  // pays >= 6 * 50 ms = 300 ms (request + response legs). Five parallel
+  // copies overlap the waits into two waves, ~100 ms. Assert the wall clock
+  // (and the SHUFFLE_FETCH_MILLIS counter) beats the sequential sum with
+  // room to spare — the timing *is* the subject here.
+  net::Network network;
+  network.addHost("reducer");
+  MapOutputStore store;
+  std::vector<std::string> hosts;
+  for (uint32_t m = 0; m < 6; ++m) {
+    hosts.push_back("tt" + std::to_string(m));
+    serveMapOutputs(network, hosts.back(), store);
+    store.put(7, m, {Bytes("run-from-map" + std::to_string(m))});
+  }
+  network.setLatencyMicros(25'000);
+
+  Config conf;
+  Counters shuffle_counters;
+  Stopwatch watch;
+  const auto runs = fetchShuffleRuns(network, "reducer",
+                                     reduceAssignment(0, hosts), conf,
+                                     shuffle_counters);
+  const int64_t elapsed = watch.elapsedMillis();
+  ASSERT_EQ(runs.size(), 6u);
+
+  const int64_t sequential_sum = 6 * 2 * 25;
+  EXPECT_LT(elapsed, sequential_sum);
+  EXPECT_LT(shuffle_counters.value(counters::kShuffleGroup,
+                           counters::kShuffleFetchMillis),
+            sequential_sum);
+}
+
+TEST(ShuffleFetchTest, DownHostProducesFetchFailureShape) {
+  // One dead map host among live ones: the error must keep the exact
+  // "fetch-failure host=... map=..." shape the JobTracker parses to
+  // re-execute the source map, even though the other fetches succeed.
+  net::Network network;
+  network.addHost("reducer");
+  MapOutputStore store;
+  std::vector<std::string> hosts;
+  for (uint32_t m = 0; m < 3; ++m) {
+    hosts.push_back("tt" + std::to_string(m));
+    serveMapOutputs(network, hosts.back(), store);
+    store.put(7, m, {Bytes("run")});
+  }
+  network.setHostUp("tt1", false);
+
+  Config conf;
+  Counters shuffle_counters;
+  try {
+    fetchShuffleRuns(network, "reducer", reduceAssignment(0, hosts), conf,
+                     shuffle_counters);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("fetch-failure host=tt1 map=1: "),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShuffleFetchTest, MultipleFailuresReportLowestMapIndex) {
+  net::Network network;
+  network.addHost("reducer");
+  MapOutputStore store;
+  std::vector<std::string> hosts;
+  for (uint32_t m = 0; m < 4; ++m) {
+    hosts.push_back("tt" + std::to_string(m));
+    serveMapOutputs(network, hosts.back(), store);
+    store.put(7, m, {Bytes("run")});
+  }
+  network.setHostUp("tt1", false);
+  network.setHostUp("tt3", false);
+
+  Config conf;
+  Counters shuffle_counters;
+  try {
+    fetchShuffleRuns(network, "reducer", reduceAssignment(0, hosts), conf,
+                     shuffle_counters);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("fetch-failure host=tt1 map=1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShuffleFetchTest, MissingOutputAfterPurgeStillFailsWithShape) {
+  // The store throws NotFoundError (purged/restarted tracker); that fault
+  // crosses the RPC and must come back in the same fetch-failure shape.
+  net::Network network;
+  network.addHost("reducer");
+  MapOutputStore store;
+  std::vector<std::string> hosts{"tt0"};
+  serveMapOutputs(network, hosts[0], store);  // nothing ever put()
+
+  Config conf;
+  Counters shuffle_counters;
+  try {
+    fetchShuffleRuns(network, "reducer", reduceAssignment(0, hosts), conf,
+                     shuffle_counters);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("fetch-failure host=tt0 map=0"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShuffleFetchTest, SingleParallelCopyDegradesToSequential) {
+  net::Network network;
+  network.addHost("reducer");
+  MapOutputStore store;
+  std::vector<std::string> hosts;
+  for (uint32_t m = 0; m < 3; ++m) {
+    hosts.push_back("tt" + std::to_string(m));
+    serveMapOutputs(network, hosts.back(), store);
+    store.put(7, m, {Bytes("run" + std::to_string(m))});
+  }
+
+  Config conf;
+  conf.setInt("mapred.reduce.parallel.copies", 1);
+  Counters shuffle_counters;
+  const auto runs = fetchShuffleRuns(network, "reducer",
+                                     reduceAssignment(0, hosts), conf,
+                                     shuffle_counters);
+  ASSERT_EQ(runs.size(), 3u);
+  for (uint32_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(runs[m], "run" + std::to_string(m));
+  }
+}
+
+}  // namespace
+}  // namespace mh::mr
