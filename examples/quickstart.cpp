@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "mh/apps/select_max.h"
 #include "mh/apps/wordcount.h"
@@ -71,6 +72,7 @@ int main() {
   conf.setInt("dfs.replication", 2);
   conf.setInt("dfs.blocksize", 64 * 1024);
   mh::mr::MiniMrCluster cluster({.num_nodes = 3, .conf = conf});
+  cluster.tracer().setEnabled(true);  // capture per-daemon swimlanes
   cluster.client().writeFile("/user/student/corpus.txt", corpus);
 
   const auto distributed = cluster.runJob(
@@ -78,6 +80,10 @@ int main() {
                                  /*with_combiner=*/true, /*reducers=*/2));
   std::printf("\n");
   printJobReport("distributed wordcount (3-node mini cluster)", distributed);
+
+  // The JobHistory: when every attempt ran, where, and for how long.
+  std::printf("\n%s\n", distributed.historyReport().c_str());
+
   using namespace mh::mr::counters;
   std::printf("  data-local maps:    %lld of %lld\n",
               static_cast<long long>(
@@ -92,6 +98,24 @@ int main() {
       "/user/student/top/part-00000");
   std::printf("\nword with the highest count (via select-max job): %s",
               answer.c_str());
+
+  // ---- Part 4: what the cluster itself saw -------------------------------
+  // The metrics tree aggregates per-daemon counters, gauges, and RPC
+  // latency histograms across both jobs.
+  std::printf("\ncluster metrics:\n%s\n", cluster.metrics().render().c_str());
+
+  // The trace journal exports Chrome trace-event JSON: open the file in
+  // chrome://tracing (or https://ui.perfetto.dev) to see one swimlane per
+  // daemon with a span for every map/reduce attempt.
+  // Outside `tmp`, which is removed below — the trace should outlive the run.
+  const fs::path trace_path =
+      fs::temp_directory_path() / "mh_quickstart_trace.json";
+  {
+    std::ofstream out(trace_path);
+    out << cluster.tracer().exportChromeJson();
+  }
+  std::printf("wrote %zu trace events to %s (load in chrome://tracing)\n\n",
+              cluster.tracer().size(), trace_path.string().c_str());
   std::printf("quickstart %s.\n",
               serial.succeeded() && distributed.succeeded() &&
                       top.succeeded() &&

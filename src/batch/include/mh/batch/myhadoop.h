@@ -61,6 +61,11 @@ class MyHadoopSession {
   /// Submit-and-wait convenience mirroring `hadoop jar`.
   mr::JobResult runJob(mr::JobSpec spec);
 
+  /// The session cluster's metrics tree / trace journal (on the shared
+  /// network fabric, so they survive daemon restarts within the session).
+  MetricsRegistry& metrics() { return network_->metrics(); }
+  TraceCollector& tracer() { return network_->tracer(); }
+
   /// Stages local bytes into the session's HDFS (`hadoop fs -put` step of
   /// the submission script).
   void stageIn(const std::string& dfs_path, std::string_view data);

@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 /// \file log.h
 /// Minimal thread-safe leveled logger.
@@ -10,6 +11,11 @@
 /// component name so interleaved mini-cluster output stays readable, much
 /// like Hadoop's log4j layout. The default level is kWarn so tests and
 /// benchmarks stay quiet; examples raise it to kInfo to narrate behaviour.
+///
+/// The `MH_LOG_LEVEL` environment variable (debug/info/warn/error/off,
+/// case-insensitive) overrides the default at first use, so students can
+/// turn up daemon narration without editing code. `setLogLevel()` still
+/// wins once called.
 
 namespace mh {
 
@@ -20,6 +26,11 @@ void setLogLevel(LogLevel level);
 
 /// Returns the current global minimum level.
 LogLevel logLevel();
+
+/// Parses a level name ("debug", "INFO", "off", ...); returns `fallback`
+/// for anything unrecognized. Used for the MH_LOG_LEVEL variable and
+/// exposed for tests.
+LogLevel logLevelFromName(std::string_view name, LogLevel fallback);
 
 /// Emits one record to stderr: "HH:MM:SS.mmm LEVEL component: message".
 void logRecord(LogLevel level, const std::string& component,

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file metrics.h
+/// Cluster-wide metrics registry: named counters, callback-backed gauges,
+/// and log-bucketed latency histograms, organized as a tree of per-daemon
+/// child registries (`namenode`, `datanode.<host>`, `jobtracker`,
+/// `tasktracker.<host>`, `network`).
+///
+/// Job `Counters` answer "what did this job do"; this registry answers
+/// "what is the *cluster* doing" — RPC latency percentiles, per-daemon op
+/// rates, heap gauges — the Hadoop metrics2 / JMX role. The root registry
+/// hangs off the shared `net::Network`, so every daemon on a mini-cluster
+/// reports into one tree and `render()` / `exportPrometheus()` /
+/// `exportJson()` dump the whole cluster at once.
+///
+/// Concurrency: instrument handles (`Counter&`, `LatencyHistogram&`)
+/// returned by the registry are stable for its lifetime and internally
+/// lock-free (plain atomics), so hot paths pay no lock after the first
+/// lookup. Registry lookups themselves take a short mutex. Gauge callbacks
+/// run during export and may take their owner's lock — owners must never
+/// call back into the registry while holding that lock.
+
+namespace mh {
+
+/// Monotonic named accumulator (lock-free).
+class Counter {
+ public:
+  void add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log2-bucketed latency recorder over non-negative integer samples
+/// (conventionally microseconds). Bucket 0 holds [0, 1); bucket i holds
+/// [2^(i-1), 2^i). Percentiles interpolate linearly inside the winning
+/// bucket and are exact at the recorded min/max; an empty histogram reports
+/// 0 everywhere.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 48;
+
+  void record(int64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+
+  /// Approximate p-th percentile (0..100) from the bucket counts.
+  int64_t percentile(double p) const;
+
+  uint64_t bucketCount(size_t i) const {
+    return counts_.at(i).load(std::memory_order_relaxed);
+  }
+  static int64_t bucketLow(size_t i);
+  static int64_t bucketHigh(size_t i);
+
+  /// "count=12 mean=340us p50=210us p95=1.2ms p99=4ms max=4ms"
+  std::string summary() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{std::numeric_limits<int64_t>::max()};
+  std::atomic<int64_t> max_{std::numeric_limits<int64_t>::min()};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Creates or returns the child registry `name` (a daemon identity like
+  /// "datanode.node01"; dots are literal, not a path). The reference stays
+  /// valid for this registry's lifetime.
+  MetricsRegistry& child(std::string_view name);
+  std::vector<std::string> childNames() const;
+
+  /// Creates or returns the named instrument. References stay valid for
+  /// this registry's lifetime; operations on them are lock-free.
+  Counter& counter(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  /// Registers (or replaces) a gauge: a callback sampled at export time.
+  void setGauge(std::string_view name, std::function<double()> fn);
+
+  /// Current value, 0 when the counter/gauge was never registered.
+  int64_t counterValue(std::string_view name) const;
+  double gaugeValue(std::string_view name) const;
+  bool hasHistogram(std::string_view name) const;
+
+  /// Human-readable dump of this registry and all children.
+  std::string render() const;
+
+  /// Prometheus text exposition (counters, gauges, summary-style
+  /// histograms), names flattened as mh_<registry>_<metric>.
+  std::string exportPrometheus() const;
+
+  /// Nested JSON object mirroring the registry tree.
+  std::string exportJson() const;
+
+ private:
+  void renderInto(std::string& out, const std::string& label) const;
+  void prometheusInto(std::string& out, const std::string& prefix) const;
+  void jsonInto(std::string& out, int indent) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+  std::map<std::string, std::function<double()>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricsRegistry>, std::less<>>
+      children_;
+};
+
+/// Formats a microsecond quantity with a readable unit ("340us", "1.2ms",
+/// "3.4s").
+std::string formatMicros(int64_t micros);
+
+}  // namespace mh

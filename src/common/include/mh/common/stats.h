@@ -61,7 +61,9 @@ class Histogram {
 };
 
 /// Returns the p-th percentile (0..100) of the sample by linear
-/// interpolation. The input is copied and sorted.
+/// interpolation. The input is copied and sorted. An empty sample has no
+/// percentiles; by definition this returns 0.0 for it (matching the
+/// metrics-layer histograms), rather than throwing.
 double percentile(std::vector<double> samples, double p);
 
 /// Formats "m±s" with the given precision, as the paper's tables print.

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file trace.h
+/// Structured event journal for job-history tracing. Daemons record point
+/// events (`instant`) and RAII scopes (`TraceSpan`) with monotonic
+/// timestamps, a component name (the swimlane: "jobtracker",
+/// "tasktracker.node01", ...), and key=value attributes. Events land in a
+/// bounded ring buffer (oldest overwritten) and export as Chrome
+/// trace-event JSON — load the file in `chrome://tracing` or
+/// https://ui.perfetto.dev to see per-daemon swimlanes with one span per
+/// map/reduce attempt — or as line-delimited JSON for scripting.
+///
+/// Tracing is **disabled by default**: a disabled collector costs one
+/// relaxed atomic load per would-be event, no clock read, no allocation.
+
+namespace mh {
+
+struct TraceEvent {
+  std::string component;  ///< Swimlane ("jobtracker", "datanode.node02").
+  std::string name;       ///< Event name ("MAP m3 a0", "SUBMIT").
+  bool span = false;      ///< true: complete span; false: instant event.
+  int64_t ts_us = 0;      ///< Start time, micros since collector epoch.
+  int64_t dur_us = 0;     ///< Span duration (0 for instants).
+  uint64_t tid = 0;       ///< Hashed originating thread id.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceCollector {
+ public:
+  static constexpr size_t kDefaultCapacity = 16384;
+
+  explicit TraceCollector(size_t capacity = kDefaultCapacity);
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Micros since this collector's construction (monotonic clock).
+  int64_t nowMicros() const;
+
+  /// Records a point event. No-op while disabled.
+  void instant(std::string_view component, std::string_view name,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records a completed span [ts_us, ts_us + dur_us). No-op while
+  /// disabled (spans started while enabled still land if recording ends
+  /// after a disable; the ring stays bounded either way).
+  void record(TraceEvent event);
+
+  /// Chronological copy of the buffered events (oldest first).
+  std::vector<TraceEvent> snapshot() const;
+
+  void clear();
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Events overwritten because the ring was full.
+  uint64_t droppedEvents() const;
+
+  /// `{"traceEvents": [...]}` with one process lane per component
+  /// (process_name metadata events) — the format chrome://tracing loads.
+  std::string exportChromeJson() const;
+
+  /// One JSON object per line, chronological.
+  std::string exportJsonl() const;
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  ///< Up to capacity_ events.
+  size_t next_ = 0;               ///< Ring write cursor.
+  uint64_t dropped_ = 0;
+};
+
+/// RAII span: captures the start time at construction, records a span
+/// event at destruction. Constructed against a disabled (or null)
+/// collector it does nothing — not even read the clock.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* collector, std::string_view component,
+            std::string_view name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a key=value attribute to the span (no-op when inactive).
+  void arg(std::string_view key, std::string_view value);
+
+  bool active() const { return collector_ != nullptr; }
+
+ private:
+  TraceCollector* collector_ = nullptr;  ///< Null when inactive.
+  TraceEvent event_;
+};
+
+}  // namespace mh

@@ -1,15 +1,28 @@
 #include "mh/common/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace mh {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+/// The global level, initialized from MH_LOG_LEVEL on first use (function-
+/// local static, so the env var is honored no matter which logging call
+/// comes first).
+std::atomic<LogLevel>& levelRef() {
+  static std::atomic<LogLevel> level{[] {
+    const char* env = std::getenv("MH_LOG_LEVEL");
+    return env == nullptr ? LogLevel::kWarn
+                          : logLevelFromName(env, LogLevel::kWarn);
+  }()};
+  return level;
+}
+
 std::mutex g_sink_mutex;
 
 const char* levelName(LogLevel level) {
@@ -25,9 +38,26 @@ const char* levelName(LogLevel level) {
 
 }  // namespace
 
-void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+void setLogLevel(LogLevel level) {
+  levelRef().store(level, std::memory_order_relaxed);
+}
 
-LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+LogLevel logLevel() { return levelRef().load(std::memory_order_relaxed); }
+
+LogLevel logLevelFromName(std::string_view name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
 
 void logRecord(LogLevel level, const std::string& component,
                const std::string& message) {

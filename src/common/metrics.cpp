@@ -1,0 +1,414 @@
+#include "mh/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mh {
+
+// ------------------------------------------------------- LatencyHistogram
+
+namespace {
+
+size_t bucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  size_t i = 1;
+  while (i < LatencyHistogram::kBuckets - 1 && (int64_t{1} << (i)) <= value) {
+    ++i;
+  }
+  return i;
+}
+
+void atomicMax(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMin(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen > value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void LatencyHistogram::record(int64_t value) {
+  value = std::max<int64_t>(value, 0);
+  counts_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomicMin(min_, value);
+  atomicMax(max_, value);
+}
+
+int64_t LatencyHistogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+int64_t LatencyHistogram::bucketLow(size_t i) {
+  return i == 0 ? 0 : int64_t{1} << (i - 1);
+}
+
+int64_t LatencyHistogram::bucketHigh(size_t i) { return int64_t{1} << i; }
+
+int64_t LatencyHistogram::percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample (1-based, ceil like classic nearest-rank).
+  const auto rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  const uint64_t target = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    const uint64_t in_bucket = counts_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= target) {
+      // Interpolate within the bucket, clamped to the observed range so a
+      // single-sample histogram reports its exact value.
+      const double frac = static_cast<double>(target - seen) /
+                          static_cast<double>(in_bucket);
+      const auto lo = static_cast<double>(bucketLow(i));
+      const auto hi = static_cast<double>(bucketHigh(i));
+      const auto est = static_cast<int64_t>(lo + (hi - lo) * frac);
+      return std::clamp(est, min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+std::string LatencyHistogram::summary() const {
+  std::string out = "count=" + std::to_string(count());
+  out += " mean=" + formatMicros(static_cast<int64_t>(mean()));
+  out += " p50=" + formatMicros(percentile(50));
+  out += " p95=" + formatMicros(percentile(95));
+  out += " p99=" + formatMicros(percentile(99));
+  out += " max=" + formatMicros(max());
+  return out;
+}
+
+std::string formatMicros(int64_t micros) {
+  char buf[32];
+  if (micros < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros));
+  } else if (micros < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms",
+                  static_cast<double>(micros) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs",
+                  static_cast<double>(micros) / 1e6);
+  }
+  return buf;
+}
+
+// -------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::child(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = children_.find(name);
+  if (it == children_.end()) {
+    it = children_
+             .emplace(std::string(name), std::make_unique<MetricsRegistry>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::string> MetricsRegistry::childNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(children_.size());
+  for (const auto& [name, reg] : children_) names.push_back(name);
+  return names;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::setGauge(std::string_view name,
+                               std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_.insert_or_assign(std::string(name), std::move(fn));
+}
+
+int64_t MetricsRegistry::counterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::gaugeValue(std::string_view name) const {
+  std::function<double()> fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    if (it == gauges_.end()) return 0.0;
+    fn = it->second;
+  }
+  // Sampled outside the registry lock: gauge callbacks take their owner's
+  // lock (e.g. the Network traffic mutex).
+  return fn();
+}
+
+namespace {
+
+std::string formatGauge(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string sanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::renderInto(std::string& out,
+                                 const std::string& label) const {
+  // Copy instrument views under the lock; sample gauges after releasing it.
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, std::string>> hists;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges;
+  std::vector<std::pair<std::string, const MetricsRegistry*>> children;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) {
+      counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, h] : histograms_) {
+      hists.emplace_back(name, h->summary());
+    }
+    for (const auto& [name, fn] : gauges_) gauges.emplace_back(name, fn);
+    for (const auto& [name, reg] : children_) {
+      children.emplace_back(name, reg.get());
+    }
+  }
+  if (!counters.empty() || !hists.empty() || !gauges.empty()) {
+    out += "[" + (label.empty() ? std::string("cluster") : label) + "]\n";
+    for (const auto& [name, value] : counters) {
+      out += "  " + name + " = " + std::to_string(value) + "\n";
+    }
+    for (const auto& [name, fn] : gauges) {
+      out += "  " + name + " = " + formatGauge(fn()) + " (gauge)\n";
+    }
+    for (const auto& [name, summary] : hists) {
+      out += "  " + name + ": " + summary + "\n";
+    }
+  }
+  for (const auto& [name, reg] : children) {
+    reg->renderInto(out, label.empty() ? name : label + "." + name);
+  }
+}
+
+std::string MetricsRegistry::render() const {
+  std::string out;
+  renderInto(out, "");
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+void MetricsRegistry::prometheusInto(std::string& out,
+                                     const std::string& prefix) const {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> hists;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges;
+  std::vector<std::pair<std::string, const MetricsRegistry*>> children;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) {
+      counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, h] : histograms_) {
+      hists.emplace_back(name, h.get());
+    }
+    for (const auto& [name, fn] : gauges_) gauges.emplace_back(name, fn);
+    for (const auto& [name, reg] : children_) {
+      children.emplace_back(name, reg.get());
+    }
+  }
+  for (const auto& [name, value] : counters) {
+    const std::string metric = sanitizeMetricName(prefix + name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, fn] : gauges) {
+    const std::string metric = sanitizeMetricName(prefix + name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + formatGauge(fn()) + "\n";
+  }
+  for (const auto& [name, h] : hists) {
+    const std::string metric = sanitizeMetricName(prefix + name);
+    out += "# TYPE " + metric + " summary\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      char qbuf[16];
+      std::snprintf(qbuf, sizeof(qbuf), "%g", q);
+      out += metric + "{quantile=\"" + qbuf + "\"} " +
+             std::to_string(h->percentile(q * 100.0)) + "\n";
+    }
+    out += metric + "_count " + std::to_string(h->count()) + "\n";
+    out += metric + "_sum " + std::to_string(h->sum()) + "\n";
+  }
+  for (const auto& [name, reg] : children) {
+    reg->prometheusInto(out, prefix + name + "_");
+  }
+}
+
+std::string MetricsRegistry::exportPrometheus() const {
+  std::string out;
+  prometheusInto(out, "mh_");
+  return out;
+}
+
+void MetricsRegistry::jsonInto(std::string& out, int indent) const {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> hists;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges;
+  std::vector<std::pair<std::string, const MetricsRegistry*>> children;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) {
+      counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, h] : histograms_) {
+      hists.emplace_back(name, h.get());
+    }
+    for (const auto& [name, fn] : gauges_) gauges.emplace_back(name, fn);
+    for (const auto& [name, reg] : children_) {
+      children.emplace_back(name, reg.get());
+    }
+  }
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const std::string pad2(static_cast<size_t>(indent + 1) * 2, ' ');
+  out += "{\n";
+  bool first_section = true;
+  const auto section = [&](const char* key) {
+    if (!first_section) out += ",\n";
+    first_section = false;
+    out += pad2 + "\"" + key + "\": ";
+  };
+  if (!counters.empty()) {
+    section("counters");
+    out += "{";
+    for (size_t i = 0; i < counters.size(); ++i) {
+      out += (i ? ", " : "") + ("\"" + jsonEscape(counters[i].first) +
+                                "\": " + std::to_string(counters[i].second));
+    }
+    out += "}";
+  }
+  if (!gauges.empty()) {
+    section("gauges");
+    out += "{";
+    for (size_t i = 0; i < gauges.size(); ++i) {
+      out += (i ? ", " : "") + ("\"" + jsonEscape(gauges[i].first) + "\": " +
+                                formatGauge(gauges[i].second()));
+    }
+    out += "}";
+  }
+  if (!hists.empty()) {
+    section("histograms");
+    out += "{";
+    for (size_t i = 0; i < hists.size(); ++i) {
+      const LatencyHistogram& h = *hists[i].second;
+      out += (i ? ", " : "") + ("\"" + jsonEscape(hists[i].first) + "\": ");
+      out += "{\"count\": " + std::to_string(h.count()) +
+             ", \"sum\": " + std::to_string(h.sum()) +
+             ", \"p50\": " + std::to_string(h.percentile(50)) +
+             ", \"p95\": " + std::to_string(h.percentile(95)) +
+             ", \"p99\": " + std::to_string(h.percentile(99)) +
+             ", \"max\": " + std::to_string(h.max()) + "}";
+    }
+    out += "}";
+  }
+  if (!children.empty()) {
+    section("children");
+    out += "{\n";
+    for (size_t i = 0; i < children.size(); ++i) {
+      out += pad2 + "  \"" + jsonEscape(children[i].first) + "\": ";
+      children[i].second->jsonInto(out, indent + 2);
+      if (i + 1 < children.size()) out += ",";
+      out += "\n";
+    }
+    out += pad2 + "}";
+  }
+  out += "\n" + pad + "}";
+}
+
+std::string MetricsRegistry::exportJson() const {
+  std::string out;
+  jsonInto(out, 0);
+  out += "\n";
+  return out;
+}
+
+bool MetricsRegistry::hasHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_.contains(name);
+}
+
+}  // namespace mh

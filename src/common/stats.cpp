@@ -88,7 +88,7 @@ std::string Histogram::render(size_t width) const {
 }
 
 double percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) throw InvalidArgumentError("percentile of empty set");
+  if (samples.empty()) return 0.0;
   if (p < 0.0 || p > 100.0) throw InvalidArgumentError("percentile p out of range");
   std::sort(samples.begin(), samples.end());
   const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);

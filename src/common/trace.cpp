@@ -1,0 +1,209 @@
+#include "mh/common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <thread>
+
+namespace mh {
+
+namespace {
+
+uint64_t currentTid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void appendArgsJson(std::string& out, const TraceEvent& e) {
+  out += "\"args\":{";
+  for (size_t i = 0; i < e.args.size(); ++i) {
+    if (i) out += ",";
+    out += "\"";
+    out += jsonEscape(e.args[i].first);
+    out += "\":\"";
+    out += jsonEscape(e.args[i].second);
+    out += "\"";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceCollector::nowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceCollector::instant(
+    std::string_view component, std::string_view name,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.component = std::string(component);
+  event.name = std::string(name);
+  event.span = false;
+  event.ts_us = nowMicros();
+  event.tid = currentTid();
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void TraceCollector::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    ++dropped_;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      out = ring_;
+    } else {
+      // Oldest event sits at the write cursor once the ring has wrapped.
+      out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+                 ring_.end());
+      out.insert(out.end(), ring_.begin(),
+                 ring_.begin() + static_cast<ptrdiff_t>(next_));
+    }
+  }
+  // Ring order is insertion order, but concurrent writers can interleave;
+  // present a stable chronological view.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+uint64_t TraceCollector::droppedEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string TraceCollector::exportChromeJson() const {
+  const auto events = snapshot();
+
+  // One chrome://tracing "process" lane per component, in sorted order so
+  // lane assignment is deterministic.
+  std::map<std::string, int> lanes;
+  for (const auto& e : events) lanes.emplace(e.component, 0);
+  int next_pid = 1;
+  for (auto& [component, pid] : lanes) pid = next_pid++;
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+  for (const auto& [component, pid] : lanes) {
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+           jsonEscape(component) + "\"}}";
+  }
+  for (const auto& e : events) {
+    comma();
+    const int pid = lanes[e.component];
+    out += "{\"ph\":\"" + std::string(e.span ? "X" : "i") + "\",\"name\":\"" +
+           jsonEscape(e.name) + "\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(e.tid % 1000000) +
+           ",\"ts\":" + std::to_string(e.ts_us);
+    if (e.span) {
+      out += ",\"dur\":" + std::to_string(e.dur_us);
+    } else {
+      out += ",\"s\":\"p\"";
+    }
+    out += ",";
+    appendArgsJson(out, e);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TraceCollector::exportJsonl() const {
+  std::string out;
+  for (const auto& e : snapshot()) {
+    out += "{\"component\":\"" + jsonEscape(e.component) + "\",\"name\":\"" +
+           jsonEscape(e.name) + "\",\"type\":\"" +
+           (e.span ? "span" : "instant") +
+           "\",\"ts_us\":" + std::to_string(e.ts_us) +
+           ",\"dur_us\":" + std::to_string(e.dur_us) + ",";
+    appendArgsJson(out, e);
+    out += "}\n";
+  }
+  return out;
+}
+
+TraceSpan::TraceSpan(TraceCollector* collector, std::string_view component,
+                     std::string_view name) {
+  if (collector == nullptr || !collector->enabled()) return;
+  collector_ = collector;
+  event_.component = std::string(component);
+  event_.name = std::string(name);
+  event_.span = true;
+  event_.ts_us = collector->nowMicros();
+  event_.tid = currentTid();
+}
+
+TraceSpan::~TraceSpan() {
+  if (collector_ == nullptr) return;
+  event_.dur_us = collector_->nowMicros() - event_.ts_us;
+  collector_->record(std::move(event_));
+}
+
+void TraceSpan::arg(std::string_view key, std::string_view value) {
+  if (collector_ == nullptr) return;
+  event_.args.emplace_back(std::string(key), std::string(value));
+}
+
+}  // namespace mh

@@ -19,7 +19,22 @@ DataNode::DataNode(Config conf, std::shared_ptr<net::Network> network,
       network_(network),
       host_(std::move(host)),
       store_(std::move(store)),
-      namenode_(std::move(network), host_, std::move(namenode_host)) {}
+      namenode_(std::move(network), host_, std::move(namenode_host)) {
+  metrics_ = &network_->metrics().child("datanode." + host_);
+  tracer_ = &network_->tracer();
+  blocks_read_ = &metrics_->counter("blocks.read");
+  blocks_written_ = &metrics_->counter("blocks.written");
+  bytes_read_ = &metrics_->counter("bytes.read");
+  bytes_written_ = &metrics_->counter("bytes.written");
+  replications_ = &metrics_->counter("replications");
+  deletes_ = &metrics_->counter("deletes");
+  metrics_->setGauge("store.used_bytes", [store = store_] {
+    return static_cast<double>(store->usedBytes());
+  });
+  metrics_->setGauge("store.blocks", [store = store_] {
+    return static_cast<double>(store->listBlocks().size());
+  });
+}
 
 DataNode::~DataNode() { stop(); }
 
@@ -150,6 +165,7 @@ void DataNode::executeCommand(const DataNodeCommand& command) {
   switch (command.kind) {
     case DataNodeCommand::Kind::kDelete:
       store_->deleteBlock(command.block);
+      deletes_->add();
       break;
     case DataNodeCommand::Kind::kReplicate:
       replicateTo(command.block, command.targets);
@@ -159,6 +175,8 @@ void DataNode::executeCommand(const DataNodeCommand& command) {
 
 void DataNode::replicateTo(BlockId block,
                            const std::vector<std::string>& targets) {
+  TraceSpan span(tracer_, "datanode." + host_, "REPLICATE");
+  span.arg("block", std::to_string(block));
   Bytes data;
   try {
     data = store_->readBlock(block);
@@ -174,6 +192,7 @@ void DataNode::replicateTo(BlockId block,
                      pack(Block{block, data.size()}, data,
                           std::vector<std::string>{}),
                      "replication");
+      replications_->add();
     } catch (const NetworkError& e) {
       logWarn(kLog) << host_ << " replication of block " << block << " to "
                     << target << " failed: " << e.what();
@@ -187,6 +206,13 @@ void DataNode::installRpc() {
       auto [block, data, downstream] =
           unpack<Block, Bytes, std::vector<std::string>>(req.body);
       store_->writeBlock(block.id, data);
+      blocks_written_->add();
+      bytes_written_->add(static_cast<int64_t>(data.size()));
+      if (tracer_->enabled()) {
+        tracer_->instant("datanode." + host_,
+                         "WRITE_BLOCK blk_" + std::to_string(block.id),
+                         {{"bytes", std::to_string(data.size())}});
+      }
       namenode_.blockReceived(Block{block.id, data.size()});
       if (!downstream.empty()) {
         const std::string next = downstream.front();
@@ -207,7 +233,10 @@ void DataNode::installRpc() {
       const auto [id, offset, len] =
           unpack<uint64_t, uint64_t, uint64_t>(req.body);
       try {
-        return store_->readBlockRange(id, offset, len);
+        Bytes data = store_->readBlockRange(id, offset, len);
+        blocks_read_->add();
+        bytes_read_->add(static_cast<int64_t>(data.size()));
+        return data;
       } catch (const ChecksumError&) {
         namenode_.reportBadBlock(id, host_);
         throw;

@@ -87,6 +87,17 @@ class DataNode {
   std::shared_ptr<BlockStore> store_;
   NameNodeRpc namenode_;
 
+  // Claimed at construction ("datanode.<host>"); counters are cached so hot
+  // paths never do a registry lookup.
+  MetricsRegistry* metrics_ = nullptr;
+  TraceCollector* tracer_ = nullptr;
+  Counter* blocks_read_ = nullptr;
+  Counter* blocks_written_ = nullptr;
+  Counter* bytes_read_ = nullptr;
+  Counter* bytes_written_ = nullptr;
+  Counter* replications_ = nullptr;
+  Counter* deletes_ = nullptr;
+
   mutable std::mutex state_mutex_;
   bool running_ = false;
   bool port_bound_ = false;

@@ -43,6 +43,12 @@ class MiniDfsCluster {
   NameNode& nameNode() { return *namenode_; }
   const Config& conf() const { return conf_; }
 
+  /// Cluster metrics tree (root of the per-daemon child registries).
+  MetricsRegistry& metrics() { return network_->metrics(); }
+  /// Cluster trace journal (disabled by default; enable before running
+  /// workloads to capture per-daemon swimlanes).
+  TraceCollector& tracer() { return network_->tracer(); }
+
   std::vector<std::string> dataNodeHosts() const;
   DataNode& dataNode(const std::string& host);
 

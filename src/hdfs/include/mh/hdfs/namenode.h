@@ -132,6 +132,10 @@ class NameNode {
   uint64_t totalBlocks() const;
   uint64_t liveDataNodes() const;
 
+  /// Milliseconds since the stalest live DataNode's last heartbeat (0 when
+  /// no DataNode is live) — the "heartbeat staleness" gauge.
+  int64_t maxHeartbeatStalenessMillis() const;
+
   /// Runs one monitor pass synchronously (deterministic tests).
   void runMonitorOnce();
 
@@ -162,6 +166,11 @@ class NameNode {
   Config conf_;
   std::shared_ptr<net::Network> network_;
   std::string host_;
+
+  // Claimed from the network's registry at construction, before any lock_
+  // acquisition; incremented without registry lookups on hot paths.
+  MetricsRegistry* metrics_ = nullptr;
+  TraceCollector* tracer_ = nullptr;
 
   mutable std::mutex lock_;  // the FSNamesystem lock
   Namespace namespace_;

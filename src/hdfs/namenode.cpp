@@ -21,6 +21,20 @@ NameNode::NameNode(Config conf, std::shared_ptr<net::Network> network,
       host_(std::move(host)),
       rng_(static_cast<uint64_t>(conf_.getInt("dfs.namenode.seed", 1234))) {
   network_->addHost(host_);
+  metrics_ = &network_->metrics().child("namenode");
+  tracer_ = &network_->tracer();
+  // Gauges sample under lock_ at export time; registering them here (no
+  // lock held) keeps the registry -> daemon lock order one-way.
+  metrics_->setGauge("blocks.total", [this] {
+    return static_cast<double>(totalBlocks());
+  });
+  metrics_->setGauge("datanodes.live", [this] {
+    return static_cast<double>(liveDataNodes());
+  });
+  metrics_->setGauge("safemode", [this] { return inSafeMode() ? 1.0 : 0.0; });
+  metrics_->setGauge("heartbeat.max_staleness_ms", [this] {
+    return static_cast<double>(maxHeartbeatStalenessMillis());
+  });
 }
 
 NameNode::NameNode(Config conf, std::shared_ptr<net::Network> network,
@@ -209,6 +223,10 @@ LocatedBlock NameNode::addBlock(const std::string& path,
   located.offset = status.length;
   located.hosts =
       choosePlacement(candidates, status.replication, client_host, {}, rng_);
+  if (tracer_->enabled()) {
+    tracer_->instant("namenode", "ALLOC_BLOCK blk_" + std::to_string(block.id),
+                     {{"path", path}, {"client", client_host}});
+  }
   return located;
 }
 
@@ -356,6 +374,9 @@ void NameNode::maybeLeaveSafeModeLocked() {
     safe_mode_ = false;
     logInfo(kLog) << "leaving safe mode: " << reported << "/" << total
                   << " blocks reported";
+    tracer_->instant("namenode", "SAFEMODE_LEAVE",
+                     {{"reported", std::to_string(reported)},
+                      {"total", std::to_string(total)}});
   }
 }
 
@@ -436,6 +457,17 @@ uint64_t NameNode::liveDataNodes() const {
     if (descriptor.alive) ++n;
   }
   return n;
+}
+
+int64_t NameNode::maxHeartbeatStalenessMillis() const {
+  const int64_t now = steadyMillis();
+  std::lock_guard<std::mutex> guard(lock_);
+  int64_t worst = 0;
+  for (const auto& [dn_host, descriptor] : datanodes_) {
+    if (!descriptor.alive) continue;
+    worst = std::max(worst, now - descriptor.last_heartbeat_ms);
+  }
+  return worst;
 }
 
 // ---------------------------------------------------------------- monitor
@@ -551,6 +583,8 @@ void NameNode::scheduleReplicationLocked() {
 void NameNode::installRpc() {
   network_->bind(host_, kNameNodePort, [this](const net::RpcRequest& req) -> Bytes {
     const std::string& m = req.method;
+    // Counted before dispatch, while no daemon lock is held.
+    metrics_->counter("ops." + m).add();
     if (m == "mkdirs") {
       const auto [path] = unpack<std::string>(req.body);
       mkdirs(path);

@@ -47,6 +47,33 @@ enum class JobState : uint8_t { kRunning = 0, kSucceeded = 1, kFailed = 2 };
 
 const char* jobStateName(JobState state);
 
+/// One task attempt as the JobTracker saw it — the unit of the Hadoop
+/// JobHistory file. Times are milliseconds since job submission.
+struct TaskAttemptRecord {
+  bool is_map = true;
+  uint32_t task_index = 0;
+  uint32_t attempt = 0;
+  std::string tracker;    ///< TaskTracker host the attempt ran on.
+  int64_t start_ms = 0;
+  int64_t finish_ms = 0;  ///< Meaningful only when `finished`.
+  bool finished = false;  ///< false: still running at job end / tracker lost.
+  bool succeeded = false;
+  bool speculative = false;
+  std::string error;      ///< Failure reason, empty on success.
+};
+
+/// Per-job event record, the mini JobHistory: every attempt the JobTracker
+/// scheduled, with timing, placement, and outcome.
+struct JobHistory {
+  int64_t submit_ms = 0;  ///< Always 0 (times are relative to submission).
+  int64_t finish_ms = 0;
+  std::vector<TaskAttemptRecord> attempts;
+
+  /// ASCII per-task Gantt chart over [0, finish_ms]: one row per attempt,
+  /// `=` map bars, `#` reduce bars, `x` failures.
+  std::string renderTimeline(size_t width = 60) const;
+};
+
 /// Final outcome of a job.
 struct JobResult {
   JobState state = JobState::kFailed;
@@ -55,8 +82,15 @@ struct JobResult {
   int64_t reduce_millis = 0;  ///< summed across reduce tasks
   int64_t elapsed_millis = 0; ///< wall clock submit -> finish
   std::string error;
+  /// Attempt-level event record (empty under the LocalJobRunner, which has
+  /// no attempts — only the distributed JobTracker schedules them).
+  JobHistory history;
 
   bool succeeded() const { return state == JobState::kSucceeded; }
+
+  /// Human-readable phase timeline next to the counter report: state,
+  /// elapsed time, and the per-attempt Gantt from `history`.
+  std::string historyReport() const;
 };
 
 /// Progress snapshot while a job runs (the JobTracker "web UI" data).

@@ -108,6 +108,9 @@ class JobTracker {
     int64_t reduce_millis = 0;
     int64_t submit_ms = 0;
     int64_t finish_ms = 0;
+    /// JobHistory: every attempt ever scheduled, opened at assignment and
+    /// closed by its status report (or tracker expiry).
+    std::vector<TaskAttemptRecord> attempts;
   };
 
   struct TrackerInfo {
@@ -120,6 +123,12 @@ class JobTracker {
 
   static int64_t steadyMillis();
   void installRpc();
+  void openAttemptLocked(JobInProgress& job, bool is_map, uint32_t task_index,
+                         uint32_t attempt, const std::string& tracker,
+                         bool speculative);
+  void closeAttemptLocked(JobInProgress& job, bool is_map,
+                          uint32_t task_index, uint32_t attempt,
+                          bool succeeded, const std::string& error);
   void processReportLocked(const std::string& tracker_host,
                            const TaskStatusReport& report);
   void assignSpeculativeLocked(const std::string& tracker_host,
@@ -139,6 +148,15 @@ class JobTracker {
   std::shared_ptr<JobRegistry> registry_;
   std::string host_;
   std::string namenode_host_;
+
+  // Claimed at construction (registry child "jobtracker"); the cached
+  // Counter handles are lock-free, safe to bump under lock_.
+  MetricsRegistry* metrics_ = nullptr;
+  TraceCollector* tracer_ = nullptr;
+  Counter* jobs_submitted_ = nullptr;
+  Counter* jobs_succeeded_ = nullptr;
+  Counter* jobs_failed_ = nullptr;
+  Counter* attempts_failed_ = nullptr;
 
   mutable std::mutex lock_;
   std::condition_variable job_done_;

@@ -42,6 +42,12 @@ class MiniMrCluster {
   }
   const Config& conf() const { return conf_; }
 
+  /// Cluster metrics tree: "namenode", "datanode.<host>", "jobtracker",
+  /// "tasktracker.<host>", and "network" child registries.
+  MetricsRegistry& metrics() { return network()->metrics(); }
+  /// Cluster trace journal (disabled by default).
+  TraceCollector& tracer() { return network()->tracer(); }
+
   /// Off-cluster HDFS client (stage inputs / fetch outputs).
   hdfs::DfsClient client() { return dfs_->client(); }
 

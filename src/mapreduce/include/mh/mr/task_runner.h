@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
+#include "mh/common/trace.h"
 #include "mh/mr/job.h"
 
 /// \file task_runner.h
@@ -26,10 +28,14 @@ struct MapTaskResult {
 
 /// Executes one map task over `split`. `heap` (optional) is the
 /// TaskTracker's memory-budget callback passed through to the TaskContext.
+/// `trace`/`trace_component` (optional) route phase events into the
+/// cluster's trace journal; the LocalJobRunner passes neither.
 /// Exceptions from user code propagate to the caller (task failure).
 MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
                          const InputSplit& split,
-                         TaskContext::HeapFn heap = {});
+                         TaskContext::HeapFn heap = {},
+                         TraceCollector* trace = nullptr,
+                         std::string_view trace_component = {});
 
 struct ReduceTaskResult {
   Counters counters;
@@ -41,6 +47,8 @@ struct ReduceTaskResult {
 ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
                                uint32_t partition, uint32_t attempt,
                                const std::vector<Bytes>& input_runs,
-                               TaskContext::HeapFn heap = {});
+                               TaskContext::HeapFn heap = {},
+                               TraceCollector* trace = nullptr,
+                               std::string_view trace_component = {});
 
 }  // namespace mh::mr

@@ -102,6 +102,20 @@ class TaskTracker {
   std::string jobtracker_host_;
   std::string namenode_host_;
 
+  // Claimed at construction ("tasktracker.<host>"); cached handles are
+  // lock-free so task threads never do registry lookups.
+  MetricsRegistry* metrics_ = nullptr;
+  TraceCollector* tracer_ = nullptr;
+  Counter* maps_completed_ = nullptr;
+  Counter* maps_failed_ = nullptr;
+  Counter* reduces_completed_ = nullptr;
+  Counter* reduces_failed_ = nullptr;
+  Counter* merge_segments_ = nullptr;
+  Counter* shuffle_fetch_millis_ = nullptr;
+  Counter* shuffle_bytes_ = nullptr;
+  LatencyHistogram* map_micros_ = nullptr;
+  LatencyHistogram* reduce_micros_ = nullptr;
+
   uint32_t map_slots_;
   uint32_t reduce_slots_;
   std::unique_ptr<ThreadPool> map_pool_;

@@ -28,6 +28,28 @@ JobTracker::JobTracker(Config conf, std::shared_ptr<net::Network> network,
       host_(std::move(host)),
       namenode_host_(std::move(namenode_host)) {
   network_->addHost(host_);
+  metrics_ = &network_->metrics().child("jobtracker");
+  tracer_ = &network_->tracer();
+  jobs_submitted_ = &metrics_->counter("jobs.submitted");
+  jobs_succeeded_ = &metrics_->counter("jobs.succeeded");
+  jobs_failed_ = &metrics_->counter("jobs.failed");
+  attempts_failed_ = &metrics_->counter("attempts.failed");
+  metrics_->setGauge("trackers.live", [this] {
+    std::lock_guard<std::mutex> guard(lock_);
+    double live = 0;
+    for (const auto& [host, info] : trackers_) {
+      if (info.alive) ++live;
+    }
+    return live;
+  });
+  metrics_->setGauge("jobs.running", [this] {
+    std::lock_guard<std::mutex> guard(lock_);
+    double running = 0;
+    for (const auto& [id, job] : jobs_) {
+      if (job.state == JobState::kRunning) ++running;
+    }
+    return running;
+  });
 }
 
 JobTracker::~JobTracker() { stop(); }
@@ -107,6 +129,11 @@ JobId JobTracker::submit(JobSpec spec) {
   logInfo(kLog) << "job " << id << " '" << shared_spec->name << "': "
                 << job.maps.size() << " maps, " << job.reduces.size()
                 << " reduces";
+  jobs_submitted_->add();
+  tracer_->instant("jobtracker", "SUBMIT job " + std::to_string(id),
+                   {{"name", shared_spec->name},
+                    {"maps", std::to_string(job.maps.size())},
+                    {"reduces", std::to_string(job.reduces.size())}});
   jobs_.emplace(id, std::move(job));
   return id;
 }
@@ -127,6 +154,8 @@ JobResult JobTracker::wait(JobId id) {
   result.elapsed_millis =
       (job.finish_ms != 0 ? job.finish_ms : steadyMillis()) - job.submit_ms;
   result.error = job.error;
+  result.history.finish_ms = result.elapsed_millis;
+  result.history.attempts = job.attempts;
   return result;
 }
 
@@ -245,7 +274,45 @@ void JobTracker::finishJobLocked(JobInProgress& job, JobState state) {
   job.finish_ms = steadyMillis();
   logInfo(kLog) << "job " << job.id << " " << jobStateName(state)
                 << (job.error.empty() ? "" : (": " + job.error));
+  (state == JobState::kSucceeded ? jobs_succeeded_ : jobs_failed_)->add();
+  tracer_->instant("jobtracker",
+                   "JOB_FINISH job " + std::to_string(job.id),
+                   {{"state", jobStateName(state)},
+                    {"elapsed_ms",
+                     std::to_string(job.finish_ms - job.submit_ms)}});
   job_done_.notify_all();
+}
+
+void JobTracker::openAttemptLocked(JobInProgress& job, bool is_map,
+                                   uint32_t task_index, uint32_t attempt,
+                                   const std::string& tracker,
+                                   bool speculative) {
+  TaskAttemptRecord record;
+  record.is_map = is_map;
+  record.task_index = task_index;
+  record.attempt = attempt;
+  record.tracker = tracker;
+  record.start_ms = steadyMillis() - job.submit_ms;
+  record.speculative = speculative;
+  job.attempts.push_back(std::move(record));
+}
+
+void JobTracker::closeAttemptLocked(JobInProgress& job, bool is_map,
+                                    uint32_t task_index, uint32_t attempt,
+                                    bool succeeded,
+                                    const std::string& error) {
+  // Newest-first: the matching attempt is near the back of the journal.
+  for (auto it = job.attempts.rbegin(); it != job.attempts.rend(); ++it) {
+    if (it->finished || it->is_map != is_map ||
+        it->task_index != task_index || it->attempt != attempt) {
+      continue;
+    }
+    it->finished = true;
+    it->finish_ms = steadyMillis() - job.submit_ms;
+    it->succeeded = succeeded;
+    it->error = error;
+    return;
+  }
 }
 
 bool JobTracker::allMapsDoneLocked(const JobInProgress& job) const {
@@ -274,6 +341,9 @@ void JobTracker::processReportLocked(const std::string& tracker_host,
                               task.has_speculative &&
                               report.attempt == task.speculative_attempt;
   if (!is_primary && !is_speculative) return;
+
+  closeAttemptLocked(job, report.is_map, report.task_index, report.attempt,
+                     report.succeeded, report.error);
 
   if (report.succeeded) {
     // First success wins; the map output lives on the REPORTING tracker.
@@ -306,6 +376,15 @@ void JobTracker::processReportLocked(const std::string& tracker_host,
   logWarn(kLog) << "task " << report.job << (report.is_map ? "/m" : "/r")
                 << report.task_index << " attempt " << report.attempt
                 << " failed on " << tracker_host << ": " << report.error;
+  attempts_failed_->add();
+  tracer_->instant(
+      "jobtracker",
+      std::string("ATTEMPT_FAIL ") + (report.is_map ? "m" : "r") +
+          std::to_string(report.task_index) + " a" +
+          std::to_string(report.attempt),
+      {{"job", std::to_string(report.job)},
+       {"tracker", tracker_host},
+       {"error", report.error}});
   if (is_speculative) {
     // The backup died; the primary is still running — nothing else changes.
     task.has_speculative = false;
@@ -406,6 +485,9 @@ void JobTracker::assignTasksLocked(const std::string& tracker_host,
         task.locality = locality;
         task.running_attempt = task.next_attempt++;
         task.started_ms = steadyMillis();
+        openAttemptLocked(job, /*is_map=*/true, static_cast<uint32_t>(i),
+                          task.running_attempt, tracker_host,
+                          /*speculative=*/false);
         TaskAssignment assignment;
         assignment.kind = AssignmentKind::kMap;
         assignment.job = id;
@@ -435,6 +517,9 @@ void JobTracker::assignTasksLocked(const std::string& tracker_host,
       task.state = TaskState::kRunning;
       task.tracker = tracker_host;
       task.running_attempt = task.next_attempt++;
+      openAttemptLocked(job, /*is_map=*/false, static_cast<uint32_t>(i),
+                        task.running_attempt, tracker_host,
+                        /*speculative=*/false);
       TaskAssignment assignment;
       assignment.kind = AssignmentKind::kReduce;
       assignment.job = id;
@@ -479,6 +564,9 @@ void JobTracker::assignSpeculativeLocked(const std::string& tracker_host,
       task.has_speculative = true;
       task.speculative_attempt = task.next_attempt++;
       task.speculative_tracker = tracker_host;
+      openAttemptLocked(job, /*is_map=*/true, static_cast<uint32_t>(i),
+                        task.speculative_attempt, tracker_host,
+                        /*speculative=*/true);
       TaskAssignment assignment;
       assignment.kind = AssignmentKind::kMap;
       assignment.job = id;
@@ -534,8 +622,18 @@ void JobTracker::expireTrackersLocked() {
     if (!info.alive || now - info.last_heartbeat_ms <= expiry) continue;
     info.alive = false;
     logWarn(kLog) << "tasktracker " << host << " lost";
+    tracer_->instant("jobtracker", "TRACKER_LOST " + host);
     for (auto& [id, job] : jobs_) {
       if (job.state != JobState::kRunning) continue;
+      // Close the journal on every attempt that died with the tracker.
+      for (auto& record : job.attempts) {
+        if (!record.finished && record.tracker == host) {
+          record.finished = true;
+          record.finish_ms = now - job.submit_ms;
+          record.succeeded = false;
+          record.error = "tracker lost";
+        }
+      }
       for (auto& task : job.maps) {
         // Running tasks die with the tracker; succeeded maps lose their
         // outputs (they live in the tracker's MapOutputStore).

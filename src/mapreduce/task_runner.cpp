@@ -59,7 +59,9 @@ void sortByKey(std::vector<KeyValue>& records) {
 }  // namespace
 
 MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
-                         const InputSplit& split, TaskContext::HeapFn heap) {
+                         const InputSplit& split, TaskContext::HeapFn heap,
+                         TraceCollector* trace,
+                         std::string_view trace_component) {
   Stopwatch watch;
   MapTaskResult result;
   Counters& c = result.counters;
@@ -95,6 +97,7 @@ MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
   }
 
   // Sort each partition; optionally combine; encode the final runs.
+  TraceSpan sort_span(trace, trace_component, "SORT_SPILL");
   result.partitions.resize(parts);
   for (uint32_t p = 0; p < parts; ++p) {
     auto& records = buffers[p];
@@ -129,7 +132,8 @@ MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
 ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
                                uint32_t partition, uint32_t attempt,
                                const std::vector<Bytes>& input_runs,
-                               TaskContext::HeapFn heap) {
+                               TaskContext::HeapFn heap, TraceCollector* trace,
+                               std::string_view trace_component) {
   Stopwatch watch;
   ReduceTaskResult result;
   Counters& c = result.counters;
@@ -141,6 +145,10 @@ ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
   KvRunMerger merger(views);
   c.increment(kTaskGroup, kMergeSegments,
               static_cast<int64_t>(merger.segmentCount()));
+  if (trace != nullptr) {
+    trace->instant(trace_component, "MERGE r" + std::to_string(partition),
+                   {{"segments", std::to_string(merger.segmentCount())}});
+  }
 
   const auto output_format = spec.output_format();
   const auto writer =

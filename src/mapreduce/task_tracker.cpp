@@ -24,6 +24,11 @@ std::vector<Bytes> fetchShuffleRuns(net::Network& network,
   std::vector<Bytes> runs(n);
   if (n == 0) return runs;
 
+  TraceSpan span(&network.tracer(), "tasktracker." + host,
+                 "SHUFFLE_FETCH r" + std::to_string(assignment.task_index) +
+                     " a" + std::to_string(assignment.attempt));
+  span.arg("job", std::to_string(assignment.job));
+  span.arg("maps", std::to_string(n));
   Stopwatch watch;
   // Each slot holds an error message when that fetch failed; distinct slots
   // are written by distinct fetches, so no lock is needed.
@@ -68,6 +73,11 @@ std::vector<Bytes> fetchShuffleRuns(net::Network& network,
   shuffle_counters.increment(counters::kShuffleGroup,
                              counters::kShuffleFetchMillis,
                              watch.elapsedMillis());
+  network.metrics()
+      .child("tasktracker." + host)
+      .histogram("shuffle.fetch.micros")
+      .record(watch.elapsedMicros());
+  span.arg("bytes", std::to_string(total_bytes));
   return runs;
 }
 
@@ -87,6 +97,27 @@ TaskTracker::TaskTracker(Config conf, std::shared_ptr<net::Network> network,
       reduce_slots_(static_cast<uint32_t>(
           conf_.getInt("mapred.tasktracker.reduce.tasks.maximum", 1))) {
   network_->addHost(host_);
+  metrics_ = &network_->metrics().child("tasktracker." + host_);
+  tracer_ = &network_->tracer();
+  maps_completed_ = &metrics_->counter("tasks.maps.completed");
+  maps_failed_ = &metrics_->counter("tasks.maps.failed");
+  reduces_completed_ = &metrics_->counter("tasks.reduces.completed");
+  reduces_failed_ = &metrics_->counter("tasks.reduces.failed");
+  // Satellite view of the job-level counters (MERGE_SEGMENTS,
+  // SHUFFLE_FETCH_MILLIS, SHUFFLE_BYTES): bumped only for successful
+  // reduces, mirroring the JobTracker's merge-on-success, so in a clean run
+  // the registry sums equal the job counter totals.
+  merge_segments_ = &metrics_->counter("merge_segments");
+  shuffle_fetch_millis_ = &metrics_->counter("shuffle_fetch_millis");
+  shuffle_bytes_ = &metrics_->counter("shuffle_bytes");
+  map_micros_ = &metrics_->histogram("task.map.micros");
+  reduce_micros_ = &metrics_->histogram("task.reduce.micros");
+  metrics_->setGauge("heap.used_bytes", [this] {
+    return static_cast<double>(heapUsed());
+  });
+  metrics_->setGauge("heap.peak_bytes", [this] {
+    return static_cast<double>(heapPeak());
+  });
 }
 
 TaskTracker::~TaskTracker() { stop(); }
@@ -265,20 +296,30 @@ void TaskTracker::runMapAssignment(const TaskAssignment& assignment) {
   report.task_index = assignment.task_index;
   report.is_map = true;
   report.attempt = assignment.attempt;
+  TraceSpan span(tracer_, "tasktracker." + host_,
+                 "MAP m" + std::to_string(assignment.task_index) + " a" +
+                     std::to_string(assignment.attempt));
+  span.arg("job", std::to_string(assignment.job));
+  Stopwatch watch;
   try {
     const auto spec = registry_->get(assignment.job);
     hdfs::DfsClient dfs(conf_, network_, host_, namenode_host_);
     HdfsFs fs(std::move(dfs));
     auto result = runMapTask(*spec, fs, assignment.split,
-                             [this](int64_t d) { chargeHeap(d); });
+                             [this](int64_t d) { chargeHeap(d); }, tracer_,
+                             "tasktracker." + host_);
     outputs_.put(assignment.job, assignment.task_index,
                  std::move(result.partitions));
     report.succeeded = true;
     report.counters = result.counters.snapshot();
     report.millis = result.millis;
+    maps_completed_->add();
+    map_micros_->record(watch.elapsedMicros());
   } catch (const std::exception& e) {
     report.succeeded = false;
     report.error = e.what();
+    maps_failed_->add();
+    span.arg("error", e.what());
   }
   queueReport(std::move(report));
 }
@@ -289,6 +330,11 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
   report.task_index = assignment.task_index;
   report.is_map = false;
   report.attempt = assignment.attempt;
+  TraceSpan span(tracer_, "tasktracker." + host_,
+                 "REDUCE r" + std::to_string(assignment.task_index) + " a" +
+                     std::to_string(assignment.attempt));
+  span.arg("job", std::to_string(assignment.job));
+  Stopwatch watch;
   try {
     const auto spec = registry_->get(assignment.job);
     Counters shuffle_counters;
@@ -315,16 +361,31 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
 
     hdfs::DfsClient dfs(conf_, network_, host_, namenode_host_);
     HdfsFs fs(std::move(dfs));
-    auto result =
-        runReduceTask(*spec, fs, assignment.task_index, assignment.attempt,
-                      runs, [this](int64_t d) { chargeHeap(d); });
+    auto result = runReduceTask(*spec, fs, assignment.task_index,
+                                assignment.attempt, runs,
+                                [this](int64_t d) { chargeHeap(d); }, tracer_,
+                                "tasktracker." + host_);
     result.counters.merge(shuffle_counters);
     report.succeeded = true;
     report.counters = result.counters.snapshot();
     report.millis = result.millis;
+    reduces_completed_->add();
+    reduce_micros_->record(watch.elapsedMicros());
+    // Mirror the PR-1 shuffle/merge counters into the registry on success
+    // only — the JobTracker also merges counters only from successful
+    // attempts, so the two stay consistent in a clean run.
+    merge_segments_->add(
+        result.counters.value(counters::kTaskGroup, counters::kMergeSegments));
+    shuffle_fetch_millis_->add(result.counters.value(
+        counters::kShuffleGroup, counters::kShuffleFetchMillis));
+    shuffle_bytes_->add(
+        result.counters.value(counters::kShuffleGroup,
+                              counters::kShuffleBytes));
   } catch (const std::exception& e) {
     report.succeeded = false;
     report.error = e.what();
+    reduces_failed_->add();
+    span.arg("error", e.what());
   }
   queueReport(std::move(report));
 }

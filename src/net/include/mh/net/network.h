@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "mh/common/bytes.h"
+#include "mh/common/metrics.h"
+#include "mh/common/trace.h"
 
 /// \file network.h
 /// In-process cluster network fabric.
@@ -112,8 +114,20 @@ class Network {
   /// Total remote bytes for one tag (0 if the tag never appeared).
   uint64_t remoteBytes(std::string_view tag) const;
   uint64_t localBytes(std::string_view tag) const;
+  uint64_t messages(std::string_view tag) const;
 
   void resetStats();
+
+  /// The cluster-wide metrics root. Daemons sharing this fabric claim
+  /// child registries ("namenode", "tasktracker.<host>", ...); the fabric
+  /// itself reports per-method RPC latency histograms and per-tag traffic
+  /// gauges under "network".
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The cluster-wide trace journal (disabled by default).
+  TraceCollector& tracer() { return tracer_; }
+  const TraceCollector& tracer() const { return tracer_; }
 
  private:
   void meter(const std::string& from, const std::string& to, uint64_t bytes,
@@ -128,6 +142,12 @@ class Network {
   std::map<std::string, TrafficStats, std::less<>> traffic_;
   int64_t latency_micros_ = 0;
   uint64_t bandwidth_bps_ = 0;
+
+  // Declared after mutex_/traffic_ so gauge callbacks registered against
+  // net_metrics_ can safely read traffic during destruction ordering.
+  MetricsRegistry metrics_;
+  TraceCollector tracer_;
+  MetricsRegistry* net_metrics_ = &metrics_.child("network");
 };
 
 }  // namespace mh::net

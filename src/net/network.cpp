@@ -92,8 +92,13 @@ Bytes Network::call(const std::string& from, const std::string& to, int port,
   }
   meter(from, to, body.size() + method.size(), tag);
   pace(from, to, body.size());
+  const auto started = std::chrono::steady_clock::now();
   RpcRequest request{std::move(method), std::move(body), from};
   Bytes response = handler(request);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+  net_metrics_->histogram("rpc." + request.method + ".micros").record(micros);
   meter(to, from, response.size(), tag);
   pace(to, from, response.size());
   return response;
@@ -112,18 +117,36 @@ void Network::transfer(const std::string& from, const std::string& to,
 
 void Network::meter(const std::string& from, const std::string& to,
                     uint64_t bytes, std::string_view tag) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = traffic_.find(tag);
-  if (it == traffic_.end()) {
-    it = traffic_.emplace(std::string(tag), TrafficStats{}).first;
+  bool first_sighting = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = traffic_.find(tag);
+    if (it == traffic_.end()) {
+      it = traffic_.emplace(std::string(tag), TrafficStats{}).first;
+      first_sighting = true;
+    }
+    TrafficStats& stats = it->second;
+    if (from == to) {
+      stats.local_bytes += bytes;
+    } else {
+      stats.remote_bytes += bytes;
+    }
+    ++stats.messages;
   }
-  TrafficStats& stats = it->second;
-  if (from == to) {
-    stats.local_bytes += bytes;
-  } else {
-    stats.remote_bytes += bytes;
+  if (first_sighting) {
+    // Registered outside mutex_: gauge callbacks re-take mutex_ at export
+    // time, so registering under it would invert the lock order.
+    const std::string name(tag);
+    net_metrics_->setGauge("traffic." + name + ".remote_bytes", [this, name] {
+      return static_cast<double>(remoteBytes(name));
+    });
+    net_metrics_->setGauge("traffic." + name + ".local_bytes", [this, name] {
+      return static_cast<double>(localBytes(name));
+    });
+    net_metrics_->setGauge("traffic." + name + ".messages", [this, name] {
+      return static_cast<double>(messages(name));
+    });
   }
-  ++stats.messages;
 }
 
 void Network::pace(const std::string& from, const std::string& to,
@@ -154,6 +177,12 @@ uint64_t Network::localBytes(std::string_view tag) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = traffic_.find(tag);
   return it == traffic_.end() ? 0 : it->second.local_bytes;
+}
+
+uint64_t Network::messages(std::string_view tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = traffic_.find(tag);
+  return it == traffic_.end() ? 0 : it->second.messages;
 }
 
 void Network::resetStats() {

@@ -1,0 +1,33 @@
+#include "mh/common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace mh {
+namespace {
+
+TEST(LogLevelFromNameTest, ParsesEveryLevelCaseInsensitively) {
+  EXPECT_EQ(logLevelFromName("debug", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(logLevelFromName("INFO", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(logLevelFromName("Warn", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(logLevelFromName("warning", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(logLevelFromName("error", LogLevel::kWarn), LogLevel::kError);
+  EXPECT_EQ(logLevelFromName("off", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(logLevelFromName("NONE", LogLevel::kWarn), LogLevel::kOff);
+}
+
+TEST(LogLevelFromNameTest, UnknownNamesFallBack) {
+  EXPECT_EQ(logLevelFromName("", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(logLevelFromName("verbose", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(logLevelFromName("2", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(LogLevelTest, SetterWinsAndSticks) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kError);
+  EXPECT_EQ(logLevel(), LogLevel::kError);
+  setLogLevel(before);
+  EXPECT_EQ(logLevel(), before);
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,211 @@
+#include "mh/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mh {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(CounterTest, ConcurrentAddsDontLoseUpdates) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000);
+}
+
+TEST(LatencyHistogramTest, EmptyReportsZeroEverywhere) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.percentile(99), 0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsExactEverywhere) {
+  LatencyHistogram h;
+  h.record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 777);
+  EXPECT_EQ(h.min(), 777);
+  EXPECT_EQ(h.max(), 777);
+  EXPECT_DOUBLE_EQ(h.mean(), 777.0);
+  // Percentiles clamp to the observed [min, max], so one sample is exact.
+  EXPECT_EQ(h.percentile(0), 777);
+  EXPECT_EQ(h.percentile(50), 777);
+  EXPECT_EQ(h.percentile(100), 777);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotonic) {
+  LatencyHistogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.record(v);
+  const int64_t p50 = h.percentile(50);
+  const int64_t p95 = h.percentile(95);
+  const int64_t p99 = h.percentile(99);
+  EXPECT_LE(h.min(), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  // Log2 buckets are coarse but the median of 1..1000 must land in the
+  // right power-of-two neighborhood.
+  EXPECT_GE(p50, 256);
+  EXPECT_LE(p50, 1000);
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesArePowersOfTwo) {
+  EXPECT_EQ(LatencyHistogram::bucketLow(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucketHigh(0), 1);
+  EXPECT_EQ(LatencyHistogram::bucketLow(1), 1);
+  EXPECT_EQ(LatencyHistogram::bucketHigh(1), 2);
+  EXPECT_EQ(LatencyHistogram::bucketLow(5), 16);
+  EXPECT_EQ(LatencyHistogram::bucketHigh(5), 32);
+
+  LatencyHistogram h;
+  h.record(0);   // bucket 0: [0, 1)
+  h.record(1);   // bucket 1: [1, 2)
+  h.record(16);  // bucket 5: [16, 32)
+  h.record(31);  // bucket 5
+  EXPECT_EQ(h.bucketCount(0), 1u);
+  EXPECT_EQ(h.bucketCount(1), 1u);
+  EXPECT_EQ(h.bucketCount(5), 2u);
+}
+
+TEST(LatencyHistogramTest, NegativeSamplesClampToZero) {
+  LatencyHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucketCount(0), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(LatencyHistogramTest, SummaryMentionsCountAndUnits) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(500);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("count=10"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+TEST(FormatMicrosTest, PicksReadableUnits) {
+  EXPECT_EQ(formatMicros(0), "0us");
+  EXPECT_EQ(formatMicros(999), "999us");
+  EXPECT_NE(formatMicros(1500).find("ms"), std::string::npos);
+  EXPECT_NE(formatMicros(2500000).find("s"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ChildAndInstrumentReferencesAreStable) {
+  MetricsRegistry root;
+  MetricsRegistry& a = root.child("datanode.node01");
+  Counter& c = a.counter("blocks.read");
+  c.add(3);
+  // Creating more children/instruments must not invalidate earlier refs.
+  for (int i = 0; i < 100; ++i) {
+    root.child("datanode.node" + std::to_string(i)).counter("blocks.read");
+  }
+  EXPECT_EQ(&root.child("datanode.node01"), &a);
+  EXPECT_EQ(&a.counter("blocks.read"), &c);
+  EXPECT_EQ(c.value(), 3);
+}
+
+TEST(MetricsRegistryTest, ChildNamesAreSorted) {
+  MetricsRegistry root;
+  root.child("jobtracker");
+  root.child("datanode.b");
+  root.child("datanode.a");
+  const auto names = root.childNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "datanode.a");
+  EXPECT_EQ(names[1], "datanode.b");
+  EXPECT_EQ(names[2], "jobtracker");
+}
+
+TEST(MetricsRegistryTest, UnknownLookupsReturnZero) {
+  MetricsRegistry root;
+  EXPECT_EQ(root.counterValue("no.such.counter"), 0);
+  EXPECT_DOUBLE_EQ(root.gaugeValue("no.such.gauge"), 0.0);
+  EXPECT_FALSE(root.hasHistogram("no.such.histogram"));
+}
+
+TEST(MetricsRegistryTest, GaugesSampleTheCallbackAtReadTime) {
+  MetricsRegistry root;
+  double live = 1.0;
+  root.setGauge("heap.used_bytes", [&live] { return live; });
+  EXPECT_DOUBLE_EQ(root.gaugeValue("heap.used_bytes"), 1.0);
+  live = 42.0;
+  EXPECT_DOUBLE_EQ(root.gaugeValue("heap.used_bytes"), 42.0);
+  // Replacement wins.
+  root.setGauge("heap.used_bytes", [] { return 7.0; });
+  EXPECT_DOUBLE_EQ(root.gaugeValue("heap.used_bytes"), 7.0);
+}
+
+MetricsRegistry& populated(MetricsRegistry& root) {
+  auto& nn = root.child("namenode");
+  nn.counter("ops.heartbeat").add(5);
+  nn.setGauge("blocks.total", [] { return 12.0; });
+  auto& net = root.child("network");
+  net.histogram("rpc.heartbeat.micros").record(250);
+  net.histogram("rpc.heartbeat.micros").record(750);
+  return root;
+}
+
+TEST(MetricsRegistryTest, RenderShowsChildrenAndInstruments) {
+  MetricsRegistry root;
+  const std::string text = populated(root).render();
+  EXPECT_NE(text.find("namenode"), std::string::npos);
+  EXPECT_NE(text.find("ops.heartbeat"), std::string::npos);
+  EXPECT_NE(text.find("5"), std::string::npos);
+  EXPECT_NE(text.find("blocks.total"), std::string::npos);
+  EXPECT_NE(text.find("rpc.heartbeat.micros"), std::string::npos);
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportIsWellFormed) {
+  MetricsRegistry root;
+  const std::string text = populated(root).exportPrometheus();
+  // Dots sanitized to underscores, counters suffixed _total.
+  EXPECT_NE(text.find("mh_namenode_ops_heartbeat_total 5"), std::string::npos);
+  EXPECT_NE(text.find("mh_namenode_blocks_total"), std::string::npos);
+  EXPECT_NE(text.find("mh_network_rpc_heartbeat_micros_count 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportNestsChildren) {
+  MetricsRegistry root;
+  const std::string text = populated(root).exportJson();
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_NE(text.find("\"namenode\""), std::string::npos);
+  EXPECT_NE(text.find("\"ops.heartbeat\": 5"), std::string::npos);
+  EXPECT_NE(text.find("\"rpc.heartbeat.micros\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HasHistogramAfterFirstUse) {
+  MetricsRegistry root;
+  EXPECT_FALSE(root.hasHistogram("rpc.read.micros"));
+  root.histogram("rpc.read.micros");
+  EXPECT_TRUE(root.hasHistogram("rpc.read.micros"));
+}
+
+}  // namespace
+}  // namespace mh

@@ -73,6 +73,15 @@ TEST(HistogramTest, OutOfRangeClamps) {
   EXPECT_EQ(h.bucketCount(1), 1);
 }
 
+TEST(HistogramTest, ExactBoundariesClampIntoEdgeBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(10.0);  // exactly hi: clamps into the last bucket, not past it
+  h.add(0.0);   // exactly lo: first bucket
+  EXPECT_EQ(h.bucketCount(4), 1);
+  EXPECT_EQ(h.bucketCount(0), 1);
+  EXPECT_EQ(h.total(), 2);
+}
+
 TEST(HistogramTest, InvalidConstructionThrows) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgumentError);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgumentError);
@@ -99,8 +108,18 @@ TEST(PercentileTest, Extremes) {
   EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 100), 9.0);
 }
 
-TEST(PercentileTest, EmptyThrows) {
-  EXPECT_THROW(percentile({}, 50), InvalidArgumentError);
+TEST(PercentileTest, EmptyReturnsZero) {
+  // An empty sample has no percentiles; defined to be 0.0 (not a throw),
+  // matching the metrics-layer histograms.
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsEveryPercentile) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
 }
 
 TEST(FormatMeanStdTest, MatchesPaperStyle) {

@@ -1,0 +1,154 @@
+#include "mh/common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mh {
+namespace {
+
+TEST(TraceCollectorTest, DisabledByDefaultAndRecordsNothing) {
+  TraceCollector tc;
+  EXPECT_FALSE(tc.enabled());
+  tc.instant("jobtracker", "SUBMIT");
+  {
+    TraceSpan span(&tc, "tasktracker.node01", "MAP m0 a0");
+    EXPECT_FALSE(span.active());
+    span.arg("job", "1");  // must be a harmless no-op
+  }
+  TraceSpan null_span(nullptr, "x", "y");
+  EXPECT_FALSE(null_span.active());
+  EXPECT_EQ(tc.size(), 0u);
+  EXPECT_EQ(tc.droppedEvents(), 0u);
+}
+
+TEST(TraceCollectorTest, InstantAndSpanLandWithArgs) {
+  TraceCollector tc;
+  tc.setEnabled(true);
+  tc.instant("jobtracker", "SUBMIT", {{"name", "wordcount"}, {"maps", "4"}});
+  {
+    TraceSpan span(&tc, "tasktracker.node01", "MAP m0 a0");
+    EXPECT_TRUE(span.active());
+    span.arg("job", "1");
+  }
+  const auto events = tc.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].component, "jobtracker");
+  EXPECT_EQ(events[0].name, "SUBMIT");
+  EXPECT_FALSE(events[0].span);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "name");
+  EXPECT_EQ(events[0].args[0].second, "wordcount");
+  EXPECT_EQ(events[1].component, "tasktracker.node01");
+  EXPECT_TRUE(events[1].span);
+  EXPECT_GE(events[1].dur_us, 0);
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].second, "1");
+}
+
+TEST(TraceCollectorTest, SnapshotIsChronological) {
+  TraceCollector tc;
+  tc.setEnabled(true);
+  for (int i = 0; i < 20; ++i) {
+    std::string name = "e";
+    name += std::to_string(i);
+    tc.instant("c", name);
+  }
+  const auto events = tc.snapshot();
+  ASSERT_EQ(events.size(), 20u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+}
+
+TEST(TraceCollectorTest, RingStaysBoundedAndCountsDrops) {
+  TraceCollector tc(8);
+  tc.setEnabled(true);
+  EXPECT_EQ(tc.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    std::string name = "e";
+    name += std::to_string(i);
+    tc.instant("c", name);
+  }
+  EXPECT_EQ(tc.size(), 8u);
+  EXPECT_EQ(tc.droppedEvents(), 12u);
+  // Survivors are the newest 8 events, oldest first.
+  const auto events = tc.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().name, "e12");
+  EXPECT_EQ(events.back().name, "e19");
+}
+
+TEST(TraceCollectorTest, ClearResetsEverything) {
+  TraceCollector tc(4);
+  tc.setEnabled(true);
+  for (int i = 0; i < 10; ++i) tc.instant("c", "e");
+  tc.clear();
+  EXPECT_EQ(tc.size(), 0u);
+  EXPECT_EQ(tc.droppedEvents(), 0u);
+  tc.instant("c", "after");
+  EXPECT_EQ(tc.size(), 1u);
+  EXPECT_EQ(tc.snapshot().front().name, "after");
+}
+
+TEST(TraceCollectorTest, SpanStartedWhileEnabledLandsAfterDisable) {
+  TraceCollector tc;
+  tc.setEnabled(true);
+  {
+    TraceSpan span(&tc, "tasktracker.node01", "REDUCE r0 a0");
+    ASSERT_TRUE(span.active());
+    tc.setEnabled(false);  // the in-flight span must still land
+  }
+  tc.instant("c", "late");  // but new instants must not
+  ASSERT_EQ(tc.size(), 1u);
+  EXPECT_EQ(tc.snapshot().front().name, "REDUCE r0 a0");
+}
+
+TEST(TraceCollectorTest, ChromeJsonHasLanesSpansAndInstants) {
+  TraceCollector tc;
+  tc.setEnabled(true);
+  tc.instant("jobtracker", "SUBMIT", {{"name", "wc"}});
+  { TraceSpan span(&tc, "tasktracker.node01", "MAP m0 a0"); }
+  const std::string json = tc.exportChromeJson();
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  // One process_name metadata record per component.
+  EXPECT_NE(json.find("\"ph\":\"M\",\"name\":\"process_name\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"jobtracker\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"tasktracker.node01\"}"),
+            std::string::npos);
+  // The span exports as a complete event with a duration, the instant as
+  // ph "i" with scope "p".
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"MAP m0 a0\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"name\":\"SUBMIT\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"p\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"wc\""), std::string::npos);
+}
+
+TEST(TraceCollectorTest, JsonlEmitsOneLinePerEvent) {
+  TraceCollector tc;
+  tc.setEnabled(true);
+  tc.instant("a", "one");
+  tc.instant("b", "two");
+  const std::string jsonl = tc.exportJsonl();
+  size_t lines = 0;
+  for (const char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"type\":\"instant\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"component\":\"a\""), std::string::npos);
+}
+
+TEST(TraceCollectorTest, JsonEscapesSpecialCharacters) {
+  TraceCollector tc;
+  tc.setEnabled(true);
+  tc.instant("c", "quote\"back\\slash", {{"k", "line\nbreak"}});
+  const std::string json = tc.exportChromeJson();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mh

@@ -44,6 +44,27 @@ TEST(CountersTest, SnapshotRoundTrip) {
   EXPECT_EQ(restored.snapshot(), c.snapshot());
 }
 
+TEST(CountersTest, EmptySnapshotRoundTrip) {
+  const Counters empty;
+  EXPECT_TRUE(empty.snapshot().empty());
+  const Counters restored = Counters::fromSnapshot(empty.snapshot());
+  EXPECT_TRUE(restored.snapshot().empty());
+  EXPECT_EQ(restored.value("any", "NAME"), 0);
+}
+
+TEST(CountersTest, SnapshotSurvivesMergeChain) {
+  // The wire path a task report takes: task counters -> snapshot -> restore
+  // at the JobTracker -> merge into the job totals.
+  Counters task1, task2, job;
+  task1.increment("task", "MAP_INPUT_RECORDS", 10);
+  task2.increment("task", "MAP_INPUT_RECORDS", 5);
+  task2.increment("shuffle", "SHUFFLE_BYTES", 700);
+  job.merge(Counters::fromSnapshot(task1.snapshot()));
+  job.merge(Counters::fromSnapshot(task2.snapshot()));
+  EXPECT_EQ(job.value("task", "MAP_INPUT_RECORDS"), 15);
+  EXPECT_EQ(job.value("shuffle", "SHUFFLE_BYTES"), 700);
+}
+
 TEST(CountersTest, CopySemantics) {
   Counters a;
   a.increment("g", "n", 2);

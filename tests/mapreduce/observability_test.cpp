@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mh/common/rng.h"
+#include "mh/mr/mini_mr_cluster.h"
+#include "mr_test_jobs.h"
+
+/// \file observability_test.cpp
+/// End-to-end acceptance for the observability layer: one WordCount on a
+/// mini-cluster with tracing on must leave RPC latency histograms, a Chrome
+/// trace with one lane per daemon and a span per task attempt, a per-job
+/// attempt timeline, and registry counters consistent with the job report.
+
+namespace mh::mr {
+namespace {
+
+using namespace testjobs;
+
+Config fastConf() {
+  Config conf;
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 512);
+  conf.setInt("dfs.heartbeat.interval.ms", 20);
+  conf.setInt("dfs.namenode.heartbeat.expiry.ms", 300);
+  conf.setInt("dfs.namenode.monitor.interval.ms", 20);
+  conf.setInt("mapred.tasktracker.heartbeat.ms", 20);
+  conf.setInt("mapred.tasktracker.expiry.ms", 400);
+  conf.setInt("mapred.jobtracker.monitor.interval.ms", 20);
+  return conf;
+}
+
+std::string makeCorpus(int lines, uint64_t seed) {
+  static const char* kWords[] = {"data",  "local", "block", "shuffle",
+                                 "merge", "sort",  "map",   "reduce"};
+  Rng rng(seed);
+  std::string corpus;
+  for (int i = 0; i < lines; ++i) {
+    const auto words = 1 + rng.uniform(8);
+    for (uint64_t w = 0; w < words; ++w) {
+      corpus += kWords[rng.uniform(8)];
+      corpus.push_back(w + 1 == words ? '\n' : ' ');
+    }
+  }
+  return corpus;
+}
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  // One traced WordCount shared by every assertion in this file (cluster
+  // startup dominates the test's cost).
+  static void SetUpTestSuite() {
+    cluster_ = new MiniMrCluster({.num_nodes = 3, .conf = fastConf()});
+    cluster_->tracer().setEnabled(true);
+    cluster_->client().writeFile("/in/corpus.txt", makeCorpus(300, 77));
+    result_ = new JobResult(
+        cluster_->runJob(wordCountSpec({"/in"}, "/out", false, 2)));
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+    delete cluster_;
+    cluster_ = nullptr;
+  }
+
+  static MiniMrCluster* cluster_;
+  static JobResult* result_;
+};
+
+MiniMrCluster* ObservabilityTest::cluster_ = nullptr;
+JobResult* ObservabilityTest::result_ = nullptr;
+
+TEST_F(ObservabilityTest, JobSucceeded) {
+  ASSERT_TRUE(result_->succeeded()) << result_->error;
+}
+
+TEST_F(ObservabilityTest, RpcLatencyHistogramsAreNonzero) {
+  auto& netm = cluster_->metrics().child("network");
+  // Heartbeats run for the cluster's whole life; getMapOutput is the
+  // shuffle fetch path.
+  ASSERT_TRUE(netm.hasHistogram("rpc.heartbeat.micros"));
+  ASSERT_TRUE(netm.hasHistogram("rpc.getMapOutput.micros"));
+  EXPECT_GT(netm.histogram("rpc.heartbeat.micros").count(), 0u);
+  EXPECT_GT(netm.histogram("rpc.getMapOutput.micros").count(), 0u);
+  EXPECT_GE(netm.histogram("rpc.heartbeat.micros").max(), 0);
+}
+
+TEST_F(ObservabilityTest, DaemonRegistriesReportOps) {
+  auto& m = cluster_->metrics();
+  EXPECT_GT(m.child("namenode").counterValue("ops.heartbeat"), 0);
+  EXPECT_GT(m.child("jobtracker").counterValue("jobs.submitted"), 0);
+  EXPECT_GT(m.child("jobtracker").counterValue("jobs.succeeded"), 0);
+  EXPECT_DOUBLE_EQ(m.child("jobtracker").gaugeValue("trackers.live"), 3.0);
+  int64_t maps_completed = 0;
+  for (const auto& host : cluster_->trackerHosts()) {
+    auto& tt = m.child("tasktracker." + host);
+    maps_completed += tt.counterValue("tasks.maps.completed");
+  }
+  EXPECT_GT(maps_completed, 0);
+  const std::string dump = m.render();
+  EXPECT_NE(dump.find("[network]"), std::string::npos);
+  EXPECT_NE(dump.find("rpc.heartbeat.micros"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ChromeTraceHasOneLanePerDaemonAndTaskSpans) {
+  const std::string json = cluster_->tracer().exportChromeJson();
+  // One process lane (process_name metadata) per daemon kind we expect.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"jobtracker\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"namenode\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"datanode."), std::string::npos);
+  for (const auto& host : cluster_->trackerHosts()) {
+    EXPECT_NE(json.find("\"args\":{\"name\":\"tasktracker." + host + "\"}"),
+              std::string::npos)
+        << host;
+  }
+  // A complete-event ("ph":"X") span for every map and reduce attempt.
+  size_t map_spans = 0;
+  size_t reduce_spans = 0;
+  for (const auto& e : cluster_->tracer().snapshot()) {
+    if (!e.span) continue;
+    if (e.name.rfind("MAP m", 0) == 0) ++map_spans;
+    if (e.name.rfind("REDUCE r", 0) == 0) ++reduce_spans;
+  }
+  using namespace counters;
+  EXPECT_EQ(map_spans, static_cast<size_t>(result_->counters.value(
+                           kJobGroup, kLaunchedMaps)));
+  EXPECT_EQ(reduce_spans, 2u);
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"MAP m"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"REDUCE r"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"SHUFFLE_FETCH r"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"name\":\"SUBMIT"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"name\":\"JOB_FINISH"),
+            std::string::npos);
+  EXPECT_EQ(cluster_->tracer().droppedEvents(), 0u);
+}
+
+TEST_F(ObservabilityTest, HistoryReportListsEveryAttempt) {
+  ASSERT_FALSE(result_->history.attempts.empty());
+  for (const auto& a : result_->history.attempts) {
+    EXPECT_TRUE(a.finished);
+    EXPECT_TRUE(a.succeeded) << a.error;
+    EXPECT_LE(a.start_ms, a.finish_ms);
+  }
+  const std::string report = result_->historyReport();
+  EXPECT_NE(report.find("SUCCEEDED"), std::string::npos);
+  EXPECT_NE(report.find("m0.0"), std::string::npos);   // first map attempt
+  EXPECT_NE(report.find("r0.0"), std::string::npos);   // first reduce attempt
+  EXPECT_NE(report.find("r1.0"), std::string::npos);
+  EXPECT_EQ(report.find("(unfinished)"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, RegistryShuffleCountersMatchJobCounters) {
+  // Satellite 6: in a clean run, the per-tracker registry mirror of the
+  // shuffle/merge counters sums to exactly the job's counter totals.
+  int64_t merge_segments = 0;
+  int64_t fetch_millis = 0;
+  int64_t shuffle_bytes = 0;
+  for (const auto& host : cluster_->trackerHosts()) {
+    auto& tt = cluster_->metrics().child("tasktracker." + host);
+    merge_segments += tt.counterValue("merge_segments");
+    fetch_millis += tt.counterValue("shuffle_fetch_millis");
+    shuffle_bytes += tt.counterValue("shuffle_bytes");
+  }
+  using namespace counters;
+  EXPECT_EQ(merge_segments,
+            result_->counters.value(kTaskGroup, kMergeSegments));
+  EXPECT_EQ(fetch_millis,
+            result_->counters.value(kShuffleGroup, kShuffleFetchMillis));
+  EXPECT_EQ(shuffle_bytes,
+            result_->counters.value(kShuffleGroup, kShuffleBytes));
+  EXPECT_GT(merge_segments, 0);
+  EXPECT_GT(shuffle_bytes, 0);
+}
+
+TEST_F(ObservabilityTest, ExportsAreWellFormed) {
+  const std::string prom = cluster_->metrics().exportPrometheus();
+  EXPECT_NE(prom.find("mh_jobtracker_jobs_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mh_network_rpc_heartbeat_micros_count"),
+            std::string::npos);
+  const std::string json = cluster_->metrics().exportJson();
+  EXPECT_NE(json.find("\"jobtracker\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpc.heartbeat.micros\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mh::mr

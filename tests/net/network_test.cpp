@@ -100,6 +100,22 @@ TEST(NetworkTest, TransferMetersRemoteVsLocal) {
   EXPECT_EQ(net.remoteBytes("replication"), 0u);
 }
 
+TEST(NetworkTest, PerTagAttributionIsIndependent) {
+  Network net;
+  net.addHost("a");
+  net.addHost("b");
+  net.transfer("a", "b", 100, "shuffle");
+  net.transfer("a", "b", 100, "shuffle");
+  net.transfer("b", "b", 7, "shuffle");
+  net.transfer("a", "b", 50, "staging");
+  EXPECT_EQ(net.remoteBytes("shuffle"), 200u);
+  EXPECT_EQ(net.localBytes("shuffle"), 7u);
+  EXPECT_EQ(net.messages("shuffle"), 3u);
+  EXPECT_EQ(net.remoteBytes("staging"), 50u);
+  EXPECT_EQ(net.messages("staging"), 1u);
+  EXPECT_EQ(net.messages("nonsense"), 0u);
+}
+
 TEST(NetworkTest, RpcBytesAreMetered) {
   Network net;
   net.bind("nn", 8020, echoHandler);
@@ -118,6 +134,37 @@ TEST(NetworkTest, StatsSnapshotAndReset) {
   EXPECT_EQ(stats["staging"].messages, 1u);
   net.resetStats();
   EXPECT_EQ(net.remoteBytes("staging"), 0u);
+  EXPECT_EQ(net.messages("staging"), 0u);
+  EXPECT_FALSE(net.stats().contains("staging"));
+}
+
+TEST(NetworkTest, RpcLatencyLandsInMetricsHistogram) {
+  Network net;
+  net.bind("nn", 8020, echoHandler);
+  net.addHost("client");
+  net.call("client", "nn", 8020, "heartbeat", "beat");
+  net.call("client", "nn", 8020, "heartbeat", "beat");
+  net.call("client", "nn", 8020, "mkdir", "/x");
+  auto& netm = net.metrics().child("network");
+  ASSERT_TRUE(netm.hasHistogram("rpc.heartbeat.micros"));
+  ASSERT_TRUE(netm.hasHistogram("rpc.mkdir.micros"));
+  EXPECT_EQ(netm.histogram("rpc.heartbeat.micros").count(), 2u);
+  EXPECT_EQ(netm.histogram("rpc.mkdir.micros").count(), 1u);
+}
+
+TEST(NetworkTest, TrafficGaugesMirrorTheMeters) {
+  Network net;
+  net.addHost("a");
+  net.addHost("b");
+  net.transfer("a", "b", 1000, "shuffle");
+  net.transfer("a", "a", 400, "shuffle");
+  auto& netm = net.metrics().child("network");
+  EXPECT_DOUBLE_EQ(netm.gaugeValue("traffic.shuffle.remote_bytes"), 1000.0);
+  EXPECT_DOUBLE_EQ(netm.gaugeValue("traffic.shuffle.local_bytes"), 400.0);
+  EXPECT_DOUBLE_EQ(netm.gaugeValue("traffic.shuffle.messages"), 2.0);
+  // Gauges are live views, not samples: they follow a reset.
+  net.resetStats();
+  EXPECT_DOUBLE_EQ(netm.gaugeValue("traffic.shuffle.remote_bytes"), 0.0);
 }
 
 TEST(NetworkTest, BandwidthThrottleAddsDelay) {
