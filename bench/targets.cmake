@@ -29,6 +29,12 @@ mh_add_bench(bench_deadline_collapse)    # C7
 mh_add_bench(bench_ghost_daemons)        # C8
 mh_add_bench(bench_speculation)          # ablation: straggler mitigation
 
+# Tentpole perf benchmark: seed vector collect+sort vs arena MapOutputBuffer.
+add_executable(bench_sort_spill ${CMAKE_SOURCE_DIR}/bench/bench_sort_spill.cpp)
+target_link_libraries(bench_sort_spill PRIVATE mh_mapreduce)
+set_target_properties(bench_sort_spill PROPERTIES
+                      RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # Engine micro-benchmarks on google-benchmark.
 add_executable(bench_microbench ${CMAKE_SOURCE_DIR}/bench/bench_microbench.cpp)
 target_link_libraries(bench_microbench PRIVATE mh_hdfs mh_mapreduce

@@ -31,7 +31,8 @@ class TableInputFormat final : public mr::InputFormat {
       mr::FileSystemView& fs, const std::vector<std::string>& paths) override;
 
   std::unique_ptr<mr::RecordReader> createReader(
-      mr::FileSystemView& fs, const mr::InputSplit& split) override;
+      mr::FileSystemView& fs, const mr::InputSplit& split,
+      const Config& conf) override;
 
   /// Builds the factory for a JobSpec. Set the spec's input_paths to any
   /// non-empty placeholder (conventionally the table directory).

@@ -138,7 +138,7 @@ std::vector<mr::InputSplit> TableInputFormat::getSplits(
 }
 
 std::unique_ptr<mr::RecordReader> TableInputFormat::createReader(
-    mr::FileSystemView& fs, const mr::InputSplit& split) {
+    mr::FileSystemView& fs, const mr::InputSplit& split, const Config&) {
   return std::make_unique<TableRecordReader>(fs, decodeDescriptor(split.path));
 }
 

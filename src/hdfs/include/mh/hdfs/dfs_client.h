@@ -34,7 +34,10 @@ class DfsClient {
   void writeFile(const std::string& path, std::string_view data,
                  uint16_t replication = 0, uint64_t block_size = 0);
 
-  /// Reads the whole file, preferring local replicas.
+  /// Reads the whole file, preferring local replicas. Blocks are fetched
+  /// in parallel (up to `dfs.client.parallel.reads`, default 4, in flight)
+  /// and assembled in order; per-block replica retry and error reporting
+  /// behave exactly as in the serial path.
   Bytes readFile(const std::string& path);
 
   // ----- block-granular access (used by MapReduce record readers) ----------

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "mh/common/config.h"
 #include "mh/mr/fs_view.h"
 #include "mh/mr/types.h"
 
@@ -33,23 +34,32 @@ class InputFormat {
   virtual std::vector<InputSplit> getSplits(
       FileSystemView& fs, const std::vector<std::string>& paths);
 
+  /// `conf` is the job configuration (readers take tuning keys from it;
+  /// formats that need none ignore it).
   virtual std::unique_ptr<RecordReader> createReader(
-      FileSystemView& fs, const InputSplit& split) = 0;
+      FileSystemView& fs, const InputSplit& split, const Config& conf) = 0;
 };
 
 /// Records are lines; key = MrCodec<int64_t> byte offset of the line start,
 /// value = the line without its terminator (trailing '\r' stripped).
+///
+/// Config keys (defaults):
+///   mapred.linerecordreader.readahead.bytes  65536 — chunk size for
+///     reading the final line's tail past the split end (one storage/RPC
+///     round-trip per chunk).
 class TextInputFormat final : public InputFormat {
  public:
   std::unique_ptr<RecordReader> createReader(FileSystemView& fs,
-                                             const InputSplit& split) override;
+                                             const InputSplit& split,
+                                             const Config& conf) override;
 };
 
 /// Records are kv_stream frames (used for binary intermediate files).
 class KvInputFormat final : public InputFormat {
  public:
   std::unique_ptr<RecordReader> createReader(FileSystemView& fs,
-                                             const InputSplit& split) override;
+                                             const InputSplit& split,
+                                             const Config& conf) override;
 };
 
 using InputFormatFactory = std::function<std::unique_ptr<InputFormat>()>;

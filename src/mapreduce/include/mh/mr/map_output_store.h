@@ -26,11 +26,16 @@ class MapOutputStore {
   void put(JobId job, uint32_t map_index, std::vector<Bytes> partitions) {
     std::vector<std::shared_ptr<const Bytes>> runs;
     runs.reserve(partitions.size());
+    uint64_t bytes = 0;
     for (Bytes& run : partitions) {
+      bytes += run.size();
       runs.push_back(std::make_shared<const Bytes>(std::move(run)));
     }
     std::lock_guard<std::mutex> lock(mutex_);
-    outputs_[{job, map_index}] = std::move(runs);
+    auto& slot = outputs_[{job, map_index}];
+    total_bytes_ -= runsBytes(slot);  // speculative duplicate: replace
+    total_bytes_ += bytes;
+    slot = std::move(runs);
   }
 
   /// Throws NotFoundError when the output is absent (e.g. after a purge or
@@ -58,28 +63,36 @@ class MapOutputStore {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto begin = outputs_.lower_bound({job, 0});
     const auto end = outputs_.lower_bound({job + 1, 0});
+    for (auto it = begin; it != end; ++it) total_bytes_ -= runsBytes(it->second);
     outputs_.erase(begin, end);
   }
 
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     outputs_.clear();
+    total_bytes_ = 0;
   }
 
+  /// O(1): a running total maintained by put/purgeJob/clear, so gauge reads
+  /// never walk the store while shuffle fetches contend for the mutex.
   uint64_t totalBytes() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    uint64_t total = 0;
-    for (const auto& [key, partitions] : outputs_) {
-      for (const auto& run : partitions) total += run->size();
-    }
-    return total;
+    return total_bytes_;
   }
 
  private:
+  static uint64_t runsBytes(
+      const std::vector<std::shared_ptr<const Bytes>>& runs) {
+    uint64_t total = 0;
+    for (const auto& run : runs) total += run->size();
+    return total;
+  }
+
   mutable std::mutex mutex_;
   std::map<std::pair<JobId, uint32_t>,
            std::vector<std::shared_ptr<const Bytes>>>
       outputs_;
+  uint64_t total_bytes_ = 0;
 };
 
 }  // namespace mh::mr

@@ -12,8 +12,10 @@
 /// serial LocalJobRunner and the distributed TaskTracker — which is how the
 /// library guarantees the two execution modes compute identical results.
 ///
-/// Map side: read split -> map() -> partition -> sort by key -> (combine)
-/// -> one kv_stream run per partition.
+/// Map side: read split -> map() -> partition -> collect into the
+/// arena-backed MapOutputBuffer (sort/spill under the io.sort.mb budget,
+/// combiner per spill) -> loser-tree merge of the spill runs -> one
+/// kv_stream run per partition. See map_output_buffer.h.
 /// Reduce side: streaming k-way merge over the (already sorted) map runs
 /// for one partition -> group by key -> reduce() -> committed part file.
 
@@ -24,6 +26,9 @@ struct MapTaskResult {
   std::vector<Bytes> partitions;
   Counters counters;
   int64_t millis = 0;
+  /// Wall time spent inside the buffer's index sorts (the tracker feeds
+  /// this into its `map.sort.micros` histogram).
+  int64_t sort_micros = 0;
 };
 
 /// Executes one map task over `split`. `heap` (optional) is the

@@ -113,8 +113,11 @@ class TaskTracker {
   Counter* merge_segments_ = nullptr;
   Counter* shuffle_fetch_millis_ = nullptr;
   Counter* shuffle_bytes_ = nullptr;
+  Counter* map_spills_ = nullptr;
+  Counter* spilled_records_ = nullptr;
   LatencyHistogram* map_micros_ = nullptr;
   LatencyHistogram* reduce_micros_ = nullptr;
+  LatencyHistogram* map_sort_micros_ = nullptr;
 
   uint32_t map_slots_;
   uint32_t reduce_slots_;

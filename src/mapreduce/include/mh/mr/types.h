@@ -62,6 +62,7 @@ inline constexpr const char* kReduceInputGroups = "REDUCE_INPUT_GROUPS";
 inline constexpr const char* kReduceInputRecords = "REDUCE_INPUT_RECORDS";
 inline constexpr const char* kReduceOutputRecords = "REDUCE_OUTPUT_RECORDS";
 inline constexpr const char* kSpilledRecords = "SPILLED_RECORDS";
+inline constexpr const char* kMapSpills = "MAP_SPILLS";
 inline constexpr const char* kMergeSegments = "MERGE_SEGMENTS";
 
 inline constexpr const char* kJobGroup = "job";

@@ -1,5 +1,7 @@
 #include "mh/mr/input_format.h"
 
+#include <algorithm>
+
 #include "mh/common/error.h"
 #include "mh/mr/kv_stream.h"
 
@@ -26,11 +28,13 @@ std::vector<InputSplit> InputFormat::getSplits(
 namespace {
 
 /// Line reader honoring the split contract. Materializes the split plus the
-/// tail of its final line (read ahead in chunks).
+/// tail of its final line (read ahead in chunks of
+/// `mapred.linerecordreader.readahead.bytes`).
 class LineRecordReader final : public RecordReader {
  public:
-  LineRecordReader(FileSystemView& fs, const InputSplit& split)
-      : fs_(fs), split_(split) {
+  LineRecordReader(FileSystemView& fs, const InputSplit& split,
+                   uint64_t readahead)
+      : fs_(fs), split_(split), readahead_(std::max<uint64_t>(1, readahead)) {
     data_ = fs_.readRange(split.path, split.offset, split.length);
     read_end_ = split.offset + data_.size();
     if (split.offset > 0) {
@@ -57,7 +61,7 @@ class LineRecordReader final : public RecordReader {
     size_t nl = data_.find('\n', pos_);
     while (nl == Bytes::npos) {
       // Line crosses the end of what we fetched; read ahead.
-      const Bytes more = fs_.readRange(split_.path, read_end_, kReadAhead);
+      const Bytes more = fs_.readRange(split_.path, read_end_, readahead_);
       if (more.empty()) break;  // EOF: last line has no terminator
       read_end_ += more.size();
       data_ += more;
@@ -84,10 +88,9 @@ class LineRecordReader final : public RecordReader {
   }
 
  private:
-  static constexpr uint64_t kReadAhead = 4096;
-
   FileSystemView& fs_;
   InputSplit split_;
+  uint64_t readahead_;
   Bytes data_;
   uint64_t read_end_ = 0;  // absolute file offset of the end of data_
   size_t pos_ = 0;         // cursor within data_ (relative to split offset)
@@ -125,12 +128,14 @@ class KvRecordReader final : public RecordReader {
 }  // namespace
 
 std::unique_ptr<RecordReader> TextInputFormat::createReader(
-    FileSystemView& fs, const InputSplit& split) {
-  return std::make_unique<LineRecordReader>(fs, split);
+    FileSystemView& fs, const InputSplit& split, const Config& conf) {
+  const uint64_t readahead = static_cast<uint64_t>(std::max<int64_t>(
+      1, conf.getInt("mapred.linerecordreader.readahead.bytes", 64 * 1024)));
+  return std::make_unique<LineRecordReader>(fs, split, readahead);
 }
 
 std::unique_ptr<RecordReader> KvInputFormat::createReader(
-    FileSystemView& fs, const InputSplit& split) {
+    FileSystemView& fs, const InputSplit& split, const Config&) {
   return std::make_unique<KvRecordReader>(fs, split);
 }
 

@@ -1,9 +1,7 @@
 #include "mh/mr/task_runner.h"
 
-#include <algorithm>
-
 #include "mh/common/stopwatch.h"
-#include "mh/mr/kv_stream.h"
+#include "mh/mr/map_output_buffer.h"
 #include "mh/mr/merge.h"
 
 namespace mh::mr {
@@ -11,50 +9,6 @@ namespace mh::mr {
 namespace {
 
 using namespace counters;
-
-/// ValuesIterator over a contiguous, key-sorted slice of records.
-class SliceValuesIterator final : public ValuesIterator {
- public:
-  SliceValuesIterator(const std::vector<KeyValue>& records, size_t begin,
-                      size_t end)
-      : records_(records), pos_(begin), end_(end) {}
-
-  std::optional<std::string_view> next() override {
-    if (pos_ >= end_) return std::nullopt;
-    return std::string_view(records_[pos_++].value);
-  }
-
- private:
-  const std::vector<KeyValue>& records_;
-  size_t pos_;
-  size_t end_;
-};
-
-/// Runs `reducer` over key-grouped `records` (must be key-sorted), pushing
-/// emissions through `ctx`. Returns the number of groups.
-int64_t reduceGroups(Reducer& reducer, const std::vector<KeyValue>& records,
-                     TaskContext& ctx) {
-  int64_t groups = 0;
-  size_t i = 0;
-  reducer.setup(ctx);
-  while (i < records.size()) {
-    size_t j = i + 1;
-    while (j < records.size() && records[j].key == records[i].key) ++j;
-    SliceValuesIterator values(records, i, j);
-    reducer.reduce(records[i].key, values, ctx);
-    ++groups;
-    i = j;
-  }
-  reducer.cleanup(ctx);
-  return groups;
-}
-
-void sortByKey(std::vector<KeyValue>& records) {
-  std::stable_sort(records.begin(), records.end(),
-                   [](const KeyValue& a, const KeyValue& b) {
-                     return a.key < b.key;
-                   });
-}
 
 }  // namespace
 
@@ -70,22 +24,22 @@ MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
   const auto partitioner = spec.partitioner();
   const uint32_t parts = spec.num_reducers;
 
-  // Collect map output per partition.
-  std::vector<std::vector<KeyValue>> buffers(parts);
+  // Collect into the arena-backed sort/spill buffer: no per-record
+  // allocation, bounded working set (io.sort.mb), combiner run per spill.
+  MapOutputBuffer buffer(spec, c, heap, &fs, trace, trace_component);
   TaskContext map_ctx(
       spec.conf, c,
       [&](Bytes key, Bytes value) {
         c.increment(kTaskGroup, kMapOutputRecords);
         c.increment(kTaskGroup, kMapOutputBytes,
                     static_cast<int64_t>(key.size() + value.size()));
-        const uint32_t p = partitioner->partition(key, parts);
-        buffers[p].push_back({std::move(key), std::move(value)});
+        buffer.collect(key, value, partitioner->partition(key, parts));
       },
       heap, &fs);
 
   {
     const auto mapper = spec.mapper();
-    const auto reader = input_format->createReader(fs, split);
+    const auto reader = input_format->createReader(fs, split, spec.conf);
     mapper->setup(map_ctx);
     Bytes key;
     Bytes value;
@@ -96,35 +50,8 @@ MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
     mapper->cleanup(map_ctx);
   }
 
-  // Sort each partition; optionally combine; encode the final runs.
-  TraceSpan sort_span(trace, trace_component, "SORT_SPILL");
-  result.partitions.resize(parts);
-  for (uint32_t p = 0; p < parts; ++p) {
-    auto& records = buffers[p];
-    sortByKey(records);
-
-    if (spec.combiner && !records.empty()) {
-      c.increment(kTaskGroup, kCombineInputRecords,
-                  static_cast<int64_t>(records.size()));
-      std::vector<KeyValue> combined;
-      TaskContext combine_ctx(
-          spec.conf, c,
-          [&](Bytes key, Bytes value) {
-            c.increment(kTaskGroup, kCombineOutputRecords);
-            combined.push_back({std::move(key), std::move(value)});
-          },
-          heap, &fs);
-      const auto combiner = spec.combiner();
-      reduceGroups(*combiner, records, combine_ctx);
-      sortByKey(combined);  // combiners usually keep keys, but don't assume
-      records = std::move(combined);
-    }
-
-    c.increment(kTaskGroup, kSpilledRecords,
-                static_cast<int64_t>(records.size()));
-    result.partitions[p] = encodeKvRun(records);
-  }
-
+  result.partitions = buffer.finish();
+  result.sort_micros = buffer.sortMicros();
   result.millis = watch.elapsedMillis();
   return result;
 }

@@ -110,13 +110,19 @@ TaskTracker::TaskTracker(Config conf, std::shared_ptr<net::Network> network,
   merge_segments_ = &metrics_->counter("merge_segments");
   shuffle_fetch_millis_ = &metrics_->counter("shuffle_fetch_millis");
   shuffle_bytes_ = &metrics_->counter("shuffle_bytes");
+  map_spills_ = &metrics_->counter("map_spills");
+  spilled_records_ = &metrics_->counter("spilled_records");
   map_micros_ = &metrics_->histogram("task.map.micros");
   reduce_micros_ = &metrics_->histogram("task.reduce.micros");
+  map_sort_micros_ = &metrics_->histogram("map.sort.micros");
   metrics_->setGauge("heap.used_bytes", [this] {
     return static_cast<double>(heapUsed());
   });
   metrics_->setGauge("heap.peak_bytes", [this] {
     return static_cast<double>(heapPeak());
+  });
+  metrics_->setGauge("mapoutput.store.bytes", [this] {
+    return static_cast<double>(outputs_.totalBytes());
   });
 }
 
@@ -315,6 +321,13 @@ void TaskTracker::runMapAssignment(const TaskAssignment& assignment) {
     report.millis = result.millis;
     maps_completed_->add();
     map_micros_->record(watch.elapsedMicros());
+    map_sort_micros_->record(result.sort_micros);
+    // Registry mirror of the map-side spill counters, success-only like the
+    // shuffle/merge mirrors below.
+    map_spills_->add(
+        result.counters.value(counters::kTaskGroup, counters::kMapSpills));
+    spilled_records_->add(result.counters.value(counters::kTaskGroup,
+                                                counters::kSpilledRecords));
   } catch (const std::exception& e) {
     report.succeeded = false;
     report.error = e.what();

@@ -49,7 +49,7 @@ TEST_F(TableInputFormatTest, SplitsPartitionRowsExactly) {
 
   std::set<std::string> seen;
   for (const auto& split : splits) {
-    const auto reader = format.createReader(*local_, split);
+    const auto reader = format.createReader(*local_, split, Config{});
     Bytes key;
     Bytes value;
     while (reader->next(key, value)) {
@@ -87,7 +87,7 @@ TEST_F(TableInputFormatTest, BinaryRowKeysSurviveTheDescriptor) {
   const auto splits = format.getSplits(*local_, {});
   std::set<std::string> seen;
   for (const auto& split : splits) {
-    const auto reader = format.createReader(*local_, split);
+    const auto reader = format.createReader(*local_, split, Config{});
     Bytes key;
     Bytes value;
     while (reader->next(key, value)) seen.insert(key);

@@ -40,6 +40,21 @@ TEST(MiniDfsClusterTest, WriteReadRoundTripAcrossBlocks) {
   for (const auto& lb : located) EXPECT_EQ(lb.hosts.size(), 2u);
 }
 
+TEST(MiniDfsClusterTest, ParallelReadWidthsAgree) {
+  // readFile fetches blocks with up to dfs.client.parallel.reads in
+  // flight; every width (serial included) must assemble identical bytes.
+  Config conf = fastConf();
+  MiniDfsCluster cluster({.num_datanodes = 3, .conf = conf});
+  const Bytes payload = randomPayload(9'000, 21);  // 9 blocks of 1 KiB
+  cluster.client().writeFile("/wide.txt", payload);
+  for (const int width : {1, 2, 16}) {
+    Config read_conf = conf;
+    read_conf.setInt("dfs.client.parallel.reads", width);
+    DfsClient client(read_conf, cluster.network(), "client", "namenode");
+    EXPECT_EQ(client.readFile("/wide.txt"), payload) << "width " << width;
+  }
+}
+
 TEST(MiniDfsClusterTest, EmptyFile) {
   MiniDfsCluster cluster({.num_datanodes = 1, .conf = fastConf()});
   auto client = cluster.client();

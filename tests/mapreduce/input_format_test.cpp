@@ -31,11 +31,12 @@ class TextInputTest : public ::testing::Test {
   }
 
   /// Reads every line produced across ALL splits of the file.
-  std::vector<std::string> allLines(const std::string& path) {
+  std::vector<std::string> allLines(const std::string& path,
+                                    const Config& conf = {}) {
     TextInputFormat format;
     std::vector<std::string> lines;
     for (const auto& split : local_->splitsForFile(path)) {
-      const auto reader = format.createReader(*local_, split);
+      const auto reader = format.createReader(*local_, split, conf);
       Bytes key;
       Bytes value;
       while (reader->next(key, value)) {
@@ -83,7 +84,7 @@ TEST_F(TextInputTest, KeysAreByteOffsets) {
   const auto path = writeInput("aa\nbbb\ncc\n", 1024);
   TextInputFormat format;
   const auto splits = local_->splitsForFile(path);
-  const auto reader = format.createReader(*local_, splits[0]);
+  const auto reader = format.createReader(*local_, splits[0], Config{});
   Bytes key;
   Bytes value;
   std::vector<int64_t> offsets;
@@ -119,6 +120,21 @@ INSTANTIATE_TEST_SUITE_P(SplitSizes, SplitBoundaryTest,
                          ::testing::Values(1, 2, 3, 7, 16, 64, 100, 1000,
                                            4096, 1 << 20));
 
+TEST_F(TextInputTest, ReadaheadSizeDoesNotChangeRecords) {
+  // mapred.linerecordreader.readahead.bytes only changes I/O granularity:
+  // a pathological 3-byte readahead (lines span many refills, including
+  // one unterminated line longer than the buffer) yields the same records
+  // as the 64 KB default.
+  const auto path =
+      writeInput("short\na-line-much-longer-than-the-readahead\nx", 37);
+  const auto defaults = allLines(path);
+  Config tiny;
+  tiny.setInt("mapred.linerecordreader.readahead.bytes", 3);
+  EXPECT_EQ(allLines(path, tiny), defaults);
+  ASSERT_EQ(defaults.size(), 3u);
+  EXPECT_EQ(defaults[1], "a-line-much-longer-than-the-readahead");
+}
+
 TEST_F(TextInputTest, LineLongerThanSplitReadOnce) {
   std::string long_line(500, 'L');
   const auto path = writeInput("short\n" + long_line + "\nend\n", 64);
@@ -152,7 +168,7 @@ TEST_F(TextInputTest, KvFormatsRoundTripThroughFiles) {
   KvInputFormat in_format;
   const auto path = dir + "/part-00000";
   InputSplit split{path, 0, local_->fileLength(path), {}};
-  const auto reader = in_format.createReader(*local_, split);
+  const auto reader = in_format.createReader(*local_, split, Config{});
   Bytes key;
   Bytes value;
   ASSERT_TRUE(reader->next(key, value));
