@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "mh/common/error.h"
@@ -85,19 +86,38 @@ Bytes DfsClient::readBlockRange(const LocatedBlock& located, uint64_t offset,
     throw IoError("block " + std::to_string(located.block.id) +
                   " has no live replicas");
   }
+  // Reads are idempotent, so a transient fault (dropped RPC, rebooting
+  // DataNode) is worth a few bounded-backoff sweeps over the replica set
+  // before giving up. Mutating namenode RPCs are deliberately NOT retried
+  // here — they are not idempotent.
+  const auto sweeps =
+      std::max<int64_t>(1, conf_.getInt("dfs.client.retries", 3));
+  const int64_t backoff_ms = conf_.getInt("dfs.client.retry.backoff.ms", 5);
+  const int64_t backoff_max_ms =
+      conf_.getInt("dfs.client.retry.backoff.max.ms", 200);
   std::string last_error;
-  for (const std::string& host : hosts) {
-    try {
-      return network_->call(
-          namenode_.localHost(), host, kDataNodePort, "readBlock",
-          pack(static_cast<uint64_t>(located.block.id), offset, len), "read");
-    } catch (const ChecksumError& e) {
-      // The DataNode already reported itself; also report from our side and
-      // fall over to the next replica.
-      namenode_.reportBadBlock(located.block.id, host);
-      last_error = e.what();
-    } catch (const NetworkError& e) {
-      last_error = e.what();
+  for (int64_t sweep = 0; sweep < sweeps; ++sweep) {
+    if (sweep > 0) {
+      const int64_t delay =
+          std::min(backoff_max_ms, backoff_ms << std::min<int64_t>(sweep, 20));
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+    for (const std::string& host : hosts) {
+      try {
+        return network_->call(
+            namenode_.localHost(), host, kDataNodePort, "readBlock",
+            pack(static_cast<uint64_t>(located.block.id), offset, len),
+            "read");
+      } catch (const ChecksumError& e) {
+        // The DataNode already reported itself; also report from our side
+        // and fall over to the next replica.
+        namenode_.reportBadBlock(located.block.id, host);
+        last_error = e.what();
+      } catch (const NetworkError& e) {
+        last_error = e.what();
+      }
     }
   }
   throw IoError("could not read block " + std::to_string(located.block.id) +

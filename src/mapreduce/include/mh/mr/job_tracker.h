@@ -26,6 +26,10 @@
 ///   mapred.max.attempts               4
 ///   mapred.tasktracker.expiry.ms      1000
 ///   mapred.jobtracker.monitor.interval.ms  50
+///   mapred.task.timeout.ms            600000 (<= 0 disables; a Running
+///                                     attempt older than this is failed and
+///                                     rescheduled — rescues assignments
+///                                     whose heartbeat reply was lost)
 ///   mapred.speculative.execution      false  (launch backup attempts for
 ///                                     straggler maps; first success wins)
 ///   mapred.speculative.min.ms         500    (minimum runtime before a
@@ -90,6 +94,11 @@ class JobTracker {
     InputSplit split;     ///< maps only
     Locality locality = Locality::kRemote;  ///< of the current assignment
     int64_t started_ms = 0;  ///< when the current attempt launched
+    /// This task's counters as last merged into the job totals. A task
+    /// re-executed after its output was lost (fetch failure, dead tracker)
+    /// succeeds a second time; its new counters must REPLACE this
+    /// contribution, not stack on top of it.
+    Counters contributed;
     // Speculative (backup) attempt for stragglers; first success wins.
     bool has_speculative = false;
     uint32_t speculative_attempt = 0;
@@ -141,6 +150,7 @@ class JobTracker {
                          uint32_t free_map_slots, uint32_t free_reduce_slots,
                          std::vector<TaskAssignment>& out);
   void expireTrackersLocked();
+  void timeoutTasksLocked();
   JobStatus statusLocked(const JobInProgress& job) const;
 
   Config conf_;

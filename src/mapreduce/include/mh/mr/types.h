@@ -78,6 +78,7 @@ inline constexpr const char* kSpeculativeMaps = "TOTAL_SPECULATIVE_MAPS";
 inline constexpr const char* kShuffleGroup = "shuffle";
 inline constexpr const char* kShuffleBytes = "SHUFFLE_BYTES";
 inline constexpr const char* kShuffleFetchMillis = "SHUFFLE_FETCH_MILLIS";
+inline constexpr const char* kShuffleFetchRetries = "SHUFFLE_FETCH_RETRIES";
 }  // namespace counters
 
 }  // namespace mh::mr

@@ -350,7 +350,14 @@ void JobTracker::processReportLocked(const std::string& tracker_host,
     task.state = TaskState::kSucceeded;
     task.tracker = tracker_host;
     task.has_speculative = false;
-    job.counters.merge(Counters::fromSnapshot(report.counters));
+    // Retract the contribution of a previous success (a map re-executed
+    // after its output was lost) so record counts stay exact under
+    // re-execution instead of double-counting.
+    for (const auto& [group, name, value] : task.contributed.snapshot()) {
+      job.counters.increment(group, name, -value);
+    }
+    task.contributed = Counters::fromSnapshot(report.counters);
+    job.counters.merge(task.contributed);
     if (report.is_map) {
       job.map_millis += report.millis;
       const char* locality_counter = counters::kRemoteMaps;
@@ -517,6 +524,7 @@ void JobTracker::assignTasksLocked(const std::string& tracker_host,
       task.state = TaskState::kRunning;
       task.tracker = tracker_host;
       task.running_attempt = task.next_attempt++;
+      task.started_ms = steadyMillis();
       openAttemptLocked(job, /*is_map=*/false, static_cast<uint32_t>(i),
                         task.running_attempt, tracker_host,
                         /*speculative=*/false);
@@ -613,6 +621,7 @@ TrackerHeartbeatReply JobTracker::trackerHeartbeat(
 void JobTracker::runMonitorOnce() {
   std::lock_guard<std::mutex> guard(lock_);
   expireTrackersLocked();
+  timeoutTasksLocked();
 }
 
 void JobTracker::expireTrackersLocked() {
@@ -661,6 +670,66 @@ void JobTracker::expireTrackersLocked() {
         }
       }
     }
+  }
+}
+
+void JobTracker::timeoutTasksLocked() {
+  // A Running attempt can wedge without its tracker expiring: the
+  // assignment rode a heartbeat reply that was lost in flight, so the
+  // tracker never learned about the task yet keeps heartbeating happily.
+  // Failing attempts older than the timeout reschedules them; stale
+  // reports from the abandoned attempt are ignored by the attempt-number
+  // check in processReportLocked.
+  const int64_t timeout = conf_.getInt("mapred.task.timeout.ms", 600'000);
+  if (timeout <= 0) return;
+  const int64_t now = steadyMillis();
+  const auto max_attempts =
+      static_cast<uint32_t>(conf_.getInt("mapred.max.attempts", 4));
+  for (auto& [id, job] : jobs_) {
+    if (job.state != JobState::kRunning) continue;
+    const auto sweep = [&](std::vector<TaskInProgress>& tasks, bool is_map) {
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        if (job.state != JobState::kRunning) return;
+        TaskInProgress& task = tasks[i];
+        if (task.state != TaskState::kRunning) continue;
+        if (now - task.started_ms <= timeout) continue;
+        logWarn(kLog) << "task " << id << (is_map ? "/m" : "/r") << i
+                      << " attempt " << task.running_attempt << " timed out ("
+                      << (now - task.started_ms) << " ms on " << task.tracker
+                      << "); rescheduling";
+        closeAttemptLocked(job, is_map, static_cast<uint32_t>(i),
+                           task.running_attempt, /*succeeded=*/false,
+                           "task timeout");
+        if (task.has_speculative) {
+          closeAttemptLocked(job, is_map, static_cast<uint32_t>(i),
+                             task.speculative_attempt, /*succeeded=*/false,
+                             "task timeout");
+          task.has_speculative = false;
+          task.speculative_tracker.clear();
+        }
+        attempts_failed_->add();
+        tracer_->instant(
+            "jobtracker",
+            std::string("ATTEMPT_TIMEOUT ") + (is_map ? "m" : "r") +
+                std::to_string(i) + " a" + std::to_string(task.running_attempt),
+            {{"job", std::to_string(id)}, {"tracker", task.tracker}});
+        task.state = TaskState::kPending;
+        task.tracker.clear();
+        ++task.failures;
+        job.counters.increment(
+            counters::kJobGroup,
+            is_map ? counters::kFailedMaps : counters::kFailedReduces);
+        if (task.failures >= max_attempts) {
+          failJobLocked(job,
+                        "task " + std::string(is_map ? "map" : "reduce") +
+                            std::to_string(i) + " failed " +
+                            std::to_string(task.failures) +
+                            " times; last error: task timeout");
+        }
+      }
+    };
+    sweep(job.maps, /*is_map=*/true);
+    sweep(job.reduces, /*is_map=*/false);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <thread>
 
 #include "mh/common/error.h"
 #include "mh/common/log.h"
@@ -30,6 +31,15 @@ std::vector<Bytes> fetchShuffleRuns(net::Network& network,
   span.arg("job", std::to_string(assignment.job));
   span.arg("maps", std::to_string(n));
   Stopwatch watch;
+  // Transient faults (a rebooting tracker, a dropped reply) deserve a few
+  // bounded-backoff retries before the expensive path — declaring a
+  // fetch-failure and making the JobTracker re-execute the source map.
+  const auto attempts = static_cast<size_t>(
+      std::max<int64_t>(1, conf.getInt("mapred.shuffle.fetch.retries", 3)));
+  const int64_t backoff_ms = conf.getInt("mapred.shuffle.fetch.backoff.ms", 5);
+  const int64_t backoff_max_ms =
+      conf.getInt("mapred.shuffle.fetch.backoff.max.ms", 200);
+  std::atomic<int64_t> retries{0};
   // Each slot holds an error message when that fetch failed; distinct slots
   // are written by distinct fetches, so no lock is needed.
   std::vector<std::unique_ptr<std::string>> errors(n);
@@ -37,13 +47,24 @@ std::vector<Bytes> fetchShuffleRuns(net::Network& network,
   const auto fetch_loop = [&] {
     for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       const MapOutputLocation& location = assignment.map_outputs[i];
-      try {
-        runs[i] = network.call(
-            host, location.host, kTaskTrackerPort, "getMapOutput",
-            pack(assignment.job, location.map_index, assignment.task_index),
-            "shuffle");
-      } catch (const std::exception& e) {
-        errors[i] = std::make_unique<std::string>(e.what());
+      for (size_t attempt = 0; attempt < attempts; ++attempt) {
+        try {
+          runs[i] = network.call(
+              host, location.host, kTaskTrackerPort, "getMapOutput",
+              pack(assignment.job, location.map_index, assignment.task_index),
+              "shuffle");
+          errors[i].reset();
+          break;
+        } catch (const std::exception& e) {
+          errors[i] = std::make_unique<std::string>(e.what());
+          if (attempt + 1 == attempts) break;
+          retries.fetch_add(1, std::memory_order_relaxed);
+          const int64_t delay = std::min(
+              backoff_max_ms, backoff_ms << std::min<size_t>(attempt, 20));
+          if (delay > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          }
+        }
       }
     }
   };
@@ -73,6 +94,10 @@ std::vector<Bytes> fetchShuffleRuns(net::Network& network,
   shuffle_counters.increment(counters::kShuffleGroup,
                              counters::kShuffleFetchMillis,
                              watch.elapsedMillis());
+  if (const int64_t r = retries.load(); r > 0) {
+    shuffle_counters.increment(counters::kShuffleGroup,
+                               counters::kShuffleFetchRetries, r);
+  }
   network.metrics()
       .child("tasktracker." + host)
       .histogram("shuffle.fetch.micros")

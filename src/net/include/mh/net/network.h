@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -12,6 +13,7 @@
 #include "mh/common/bytes.h"
 #include "mh/common/metrics.h"
 #include "mh/common/trace.h"
+#include "mh/net/fault_plan.h"
 
 /// \file network.h
 /// In-process cluster network fabric.
@@ -33,6 +35,10 @@
 ///  * **Optional throttling** — a configurable per-link bandwidth and
 ///    latency turn byte counts into realistic wall-clock costs when an
 ///    experiment needs them (defaults are free/instant so unit tests fly).
+///  * **Fault injection** — an optional FaultPlan (fault_plan.h) can drop,
+///    delay, or error individual calls and sever host groups. With no plan
+///    installed the fast path costs exactly one relaxed atomic load per
+///    call — no lock, no RNG draw.
 
 namespace mh::net {
 
@@ -129,6 +135,13 @@ class Network {
   TraceCollector& tracer() { return tracer_; }
   const TraceCollector& tracer() const { return tracer_; }
 
+  /// Installs (or, with nullptr, removes) a fault plan. Every subsequent
+  /// call/transfer consults it; injected faults surface as NetworkError to
+  /// the caller, `network.faults.*` counters, and FAULT_INJECT trace
+  /// instants. Passing nullptr restores the fault-free fast path.
+  void setFaultPlan(std::shared_ptr<FaultPlan> plan);
+  std::shared_ptr<FaultPlan> faultPlan() const;
+
  private:
   void meter(const std::string& from, const std::string& to, uint64_t bytes,
              std::string_view tag);
@@ -136,12 +149,27 @@ class Network {
             uint64_t bytes) const;
   void checkHostUpLocked(const std::string& host) const;
 
+  /// Slow path, entered only when a plan is installed: asks the plan for a
+  /// verdict and carries it out. Throws NetworkError for drop/error faults,
+  /// sleeps for delay faults, and returns true when the *response* must be
+  /// discarded after the handler runs.
+  bool applyFault(const std::string& from, const std::string& to,
+                  std::string_view method, std::string_view tag);
+
   mutable std::mutex mutex_;
   std::map<std::string, bool> host_up_;
   std::map<std::pair<std::string, int>, RpcHandler> endpoints_;
   std::map<std::string, TrafficStats, std::less<>> traffic_;
   int64_t latency_micros_ = 0;
   uint64_t bandwidth_bps_ = 0;
+
+  // Fault injection. faults_enabled_ is the only thing the zero-fault path
+  // reads (one relaxed load per call); the plan pointer lives behind its
+  // own mutex so installing a plan mid-run is safe without touching the
+  // endpoint lock.
+  mutable std::mutex fault_mutex_;
+  std::shared_ptr<FaultPlan> fault_plan_;
+  std::atomic<bool> faults_enabled_{false};
 
   // Declared after mutex_/traffic_ so gauge callbacks registered against
   // net_metrics_ can safely read traffic during destruction ordering.

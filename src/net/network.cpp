@@ -90,6 +90,11 @@ Bytes Network::call(const std::string& from, const std::string& to, int port,
     }
     handler = it->second;  // copy so the handler runs without the lock
   }
+  // Zero-fault fast path: one relaxed load, no lock, no RNG draw.
+  bool drop_response = false;
+  if (faults_enabled_.load(std::memory_order_relaxed)) {
+    drop_response = applyFault(from, to, method, tag);
+  }
   meter(from, to, body.size() + method.size(), tag);
   pace(from, to, body.size());
   const auto started = std::chrono::steady_clock::now();
@@ -99,6 +104,11 @@ Bytes Network::call(const std::string& from, const std::string& to, int port,
                           std::chrono::steady_clock::now() - started)
                           .count();
   net_metrics_->histogram("rpc." + request.method + ".micros").record(micros);
+  if (drop_response) {
+    // The handler's side effects stand; only the reply is lost.
+    throw NetworkError("injected fault: response lost for " + request.method +
+                       " " + to + " -> " + from);
+  }
   meter(to, from, response.size(), tag);
   pace(to, from, response.size());
   return response;
@@ -111,8 +121,82 @@ void Network::transfer(const std::string& from, const std::string& to,
     checkHostUpLocked(from);
     checkHostUpLocked(to);
   }
+  if (faults_enabled_.load(std::memory_order_relaxed)) {
+    // A bulk move has no separate response leg: losing either direction
+    // loses the transfer.
+    if (applyFault(from, to, "transfer", tag)) {
+      throw NetworkError("injected fault: transfer lost " + from + " -> " +
+                         to);
+    }
+  }
   meter(from, to, bytes, tag);
   pace(from, to, bytes);
+}
+
+void Network::setFaultPlan(std::shared_ptr<FaultPlan> plan) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_plan_ = std::move(plan);
+  faults_enabled_.store(fault_plan_ != nullptr, std::memory_order_relaxed);
+}
+
+std::shared_ptr<FaultPlan> Network::faultPlan() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return fault_plan_;
+}
+
+bool Network::applyFault(const std::string& from, const std::string& to,
+                         std::string_view method, std::string_view tag) {
+  const auto plan = faultPlan();
+  if (!plan) return false;  // raced with a concurrent clear
+  const auto decision = plan->decide(from, to, method, tag);
+  if (!decision) return false;
+  const bool is_partition = decision->detail == "partition";
+  net_metrics_->counter("faults.injected").add();
+  if (is_partition) {
+    net_metrics_->counter("faults.partitioned").add();
+  } else {
+    switch (decision->action) {
+      case FaultAction::kDrop:
+        net_metrics_->counter("faults.dropped").add();
+        break;
+      case FaultAction::kDropResponse:
+        net_metrics_->counter("faults.response_dropped").add();
+        break;
+      case FaultAction::kError:
+        net_metrics_->counter("faults.errored").add();
+        break;
+      case FaultAction::kDelay:
+        net_metrics_->counter("faults.delayed").add();
+        break;
+    }
+  }
+  tracer_.instant("network",
+                  std::string("FAULT_INJECT ") +
+                      (is_partition ? "partition"
+                                    : faultActionName(decision->action)) +
+                      " " + std::string(method),
+                  {{"from", from},
+                   {"to", to},
+                   {"tag", std::string(tag)},
+                   {"cause", decision->detail}});
+  switch (decision->action) {
+    case FaultAction::kDrop:
+      throw NetworkError("injected fault: " + std::string(method) + " " +
+                         from + " -> " + to + " dropped (" + decision->detail +
+                         ")");
+    case FaultAction::kError:
+      throw NetworkError("injected fault: connection reset " + from + " -> " +
+                         to + " (" + decision->detail + ")");
+    case FaultAction::kDelay:
+      if (decision->delay_micros > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(decision->delay_micros));
+      }
+      return false;
+    case FaultAction::kDropResponse:
+      return true;
+  }
+  return false;
 }
 
 void Network::meter(const std::string& from, const std::string& to,

@@ -10,6 +10,7 @@
 #include "mh/data/movies.h"
 #include "mh/data/music.h"
 #include "mh/mr/mini_mr_cluster.h"
+#include "testutil/aggressive_timers.h"
 
 namespace mh::apps {
 namespace {
@@ -20,11 +21,9 @@ namespace {
 class DistributedAppsTest : public ::testing::Test {
  protected:
   DistributedAppsTest() {
-    Config conf;
+    Config conf = mh::testutil::aggressiveTimers();
     conf.setInt("dfs.replication", 2);
     conf.setInt("dfs.blocksize", 64 * 1024);
-    conf.setInt("mapred.tasktracker.heartbeat.ms", 20);
-    conf.setInt("dfs.heartbeat.interval.ms", 20);
     cluster_ = std::make_unique<mr::MiniMrCluster>(
         mr::MiniMrOptions{.num_nodes = 3, .conf = conf});
     hdfs_ = std::make_unique<mr::HdfsFs>(cluster_->client());

@@ -5,16 +5,15 @@
 #include "mh/apps/wordcount.h"
 #include "mh/batch/scheduler.h"
 #include "mh/common/error.h"
+#include "testutil/aggressive_timers.h"
 
 namespace mh::batch {
 namespace {
 
 Config fastConf() {
-  Config conf;
+  Config conf = testutil::aggressiveTimers();
   conf.setInt("dfs.replication", 2);
   conf.setInt("dfs.blocksize", 512);
-  conf.setInt("dfs.heartbeat.interval.ms", 20);
-  conf.setInt("mapred.tasktracker.heartbeat.ms", 20);
   return conf;
 }
 

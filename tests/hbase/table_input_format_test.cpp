@@ -6,6 +6,7 @@
 #include <set>
 
 #include "mh/mr/mini_mr_cluster.h"
+#include "testutil/aggressive_timers.h"
 
 namespace mh::hbase {
 namespace {
@@ -97,11 +98,9 @@ TEST_F(TableInputFormatTest, BinaryRowKeysSurviveTheDescriptor) {
 
 TEST(TableMapReduceTest, JobScansTableOnCluster) {
   // End-to-end: a MapReduce job whose input is an HBase table on HDFS.
-  Config conf;
+  Config conf = testutil::aggressiveTimers();
   conf.setInt("dfs.replication", 2);
   conf.setInt("dfs.blocksize", 16 * 1024);
-  conf.setInt("mapred.tasktracker.heartbeat.ms", 20);
-  conf.setInt("dfs.heartbeat.interval.ms", 20);
   mr::MiniMrCluster cluster({.num_nodes = 3, .conf = conf});
   mr::HdfsFs hdfs(cluster.client());
 

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
+#include <memory>
+#include <thread>
 
 #include "mh/common/rng.h"
 #include "mh/hdfs/mini_cluster.h"
+#include "mh/net/fault_plan.h"
+#include "testutil/aggressive_timers.h"
 
 namespace mh::hdfs {
 namespace {
@@ -15,13 +20,9 @@ namespace {
 class HdfsChaosTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(HdfsChaosTest, RandomOpsMatchReferenceModel) {
-  Config conf;
+  Config conf = testutil::aggressiveTimers();
   conf.setInt("dfs.replication", 2);
   conf.setInt("dfs.blocksize", 2048);
-  conf.setInt("dfs.heartbeat.interval.ms", 20);
-  conf.setInt("dfs.namenode.heartbeat.expiry.ms", 250);
-  conf.setInt("dfs.namenode.monitor.interval.ms", 20);
-  conf.setInt("dfs.namenode.pending.replication.timeout.ms", 300);
   MiniDfsCluster cluster({.num_datanodes = 4, .conf = conf});
   auto client = cluster.client();
 
@@ -121,7 +122,57 @@ TEST_P(HdfsChaosTest, RandomOpsMatchReferenceModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HdfsChaosTest,
-                         ::testing::Values(1, 2, 3, 4));
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// A network partition mid-re-replication. Kill one DataNode so the
+// NameNode starts re-replicating its blocks, then sever one of the
+// surviving replication targets from the rest of the cluster. The
+// NameNode must fail over to the reachable nodes, and after the partition
+// heals every byte must still be readable.
+TEST(HdfsPartitionTest, PartitionDuringReplicationConverges) {
+  Config conf = testutil::aggressiveTimers();
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 1024);
+  MiniDfsCluster cluster({.num_datanodes = 4, .conf = conf});
+  auto client = cluster.client();
+
+  // Multi-block files so re-replication has real work to do.
+  Rng rng(42);
+  std::map<std::string, Bytes> files;
+  for (int i = 0; i < 6; ++i) {
+    Bytes body;
+    const auto n = 3000 + rng.uniform(3000);
+    body.reserve(n);
+    for (uint64_t b = 0; b < n; ++b) {
+      body.push_back(static_cast<char>('a' + rng.uniform(26)));
+    }
+    const std::string path = "/part/f" + std::to_string(i);
+    client.writeFile(path, body);
+    files[path] = std::move(body);
+  }
+
+  const auto hosts = cluster.dataNodeHosts();
+  cluster.killDataNode(hosts[0]);
+
+  // Mid-replication, partition a second DataNode away from everything
+  // else (NameNode included — its heartbeats now vanish too).
+  auto plan = std::make_shared<net::FaultPlan>(/*seed=*/7);
+  plan->partition({hosts[1]}, {"namenode", "client", hosts[2], hosts[3]});
+  cluster.network()->setFaultPlan(plan);
+  EXPECT_TRUE(plan->partitioned(hosts[1], "namenode"));
+
+  // Let the expiry declare the partitioned node dead and replication
+  // re-route through the two reachable survivors.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  EXPECT_GT(plan->injectedFaults(), 0u);
+
+  plan->heal();
+  cluster.restartDataNode(hosts[0]);
+  ASSERT_TRUE(cluster.waitHealthy(30'000));
+  for (const auto& [path, body] : files) {
+    EXPECT_EQ(client.readFile(path), body) << path;
+  }
+}
 
 }  // namespace
 }  // namespace mh::hdfs

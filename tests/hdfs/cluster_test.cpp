@@ -4,18 +4,15 @@
 
 #include "mh/common/error.h"
 #include "mh/common/rng.h"
+#include "testutil/aggressive_timers.h"
 
 namespace mh::hdfs {
 namespace {
 
 Config fastConf() {
-  Config conf;
+  Config conf = testutil::aggressiveTimers();
   conf.setInt("dfs.replication", 2);
   conf.setInt("dfs.blocksize", 1024);
-  conf.setInt("dfs.heartbeat.interval.ms", 20);
-  conf.setInt("dfs.namenode.heartbeat.expiry.ms", 200);
-  conf.setInt("dfs.namenode.monitor.interval.ms", 20);
-  conf.setInt("dfs.namenode.pending.replication.timeout.ms", 300);
   return conf;
 }
 

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "mh/hdfs/mini_cluster.h"
+#include "testutil/aggressive_timers.h"
 
 namespace mh::hdfs {
 namespace {
@@ -15,10 +16,9 @@ namespace fs = std::filesystem;
 class FsShellTest : public ::testing::Test {
  protected:
   FsShellTest() {
-    Config conf;
+    Config conf = testutil::aggressiveTimers();
     conf.setInt("dfs.replication", 2);
     conf.setInt("dfs.blocksize", 512);
-    conf.setInt("dfs.heartbeat.interval.ms", 20);
     cluster_ = std::make_unique<MiniDfsCluster>(
         MiniDfsOptions{.num_datanodes = 2, .conf = conf});
     client_ = std::make_unique<DfsClient>(cluster_->client());

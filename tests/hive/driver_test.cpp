@@ -10,6 +10,7 @@
 #include "mh/data/music.h"
 #include "mh/mr/local_runner.h"
 #include "mh/mr/mini_mr_cluster.h"
+#include "testutil/aggressive_timers.h"
 
 namespace mh::hive {
 namespace {
@@ -177,11 +178,9 @@ TEST_F(HiveDriverTest, CountersComeFromTheUnderlyingJob) {
 }
 
 TEST(HiveOnClusterTest, QueryRunsOnLiveMiniCluster) {
-  Config conf;
+  Config conf = testutil::aggressiveTimers();
   conf.setInt("dfs.replication", 2);
   conf.setInt("dfs.blocksize", 64 * 1024);
-  conf.setInt("mapred.tasktracker.heartbeat.ms", 20);
-  conf.setInt("dfs.heartbeat.interval.ms", 20);
   mr::MiniMrCluster cluster({.num_nodes = 3, .conf = conf});
 
   data::MusicGenerator generator({.seed = 5,

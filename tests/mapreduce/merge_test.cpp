@@ -80,6 +80,35 @@ TEST(KvRunMergerTest, EmptyRunsAreSkipped) {
   EXPECT_EQ(drain(merger), (std::vector<KeyValue>{{"a", "1"}, {"b", "2"}}));
 }
 
+TEST(KvRunMergerTest, ZeroRunsYieldNoGroups) {
+  // A reduce can legitimately receive no runs at all — e.g. after a chaos
+  // re-execution leaves a partition with zero map outputs.
+  const std::vector<Bytes> runs;
+  KvRunMerger merger(viewsOf(runs));
+  EXPECT_EQ(merger.segmentCount(), 0u);
+  EXPECT_FALSE(merger.nextGroup());
+  EXPECT_FALSE(merger.nextGroup());  // idempotent at end
+  EXPECT_EQ(merger.recordsRead(), 0);
+}
+
+TEST(KvRunMergerTest, ManyAllEmptyRunsYieldNoGroups) {
+  const std::vector<Bytes> runs(17, Bytes{});
+  KvRunMerger merger(viewsOf(runs));
+  EXPECT_EQ(merger.segmentCount(), 0u);
+  EXPECT_FALSE(merger.nextGroup());
+  EXPECT_EQ(merger.recordsRead(), 0);
+}
+
+TEST(KvRunMergerTest, SingleNonEmptyRunAmongEmptiesStreamsVerbatim) {
+  const std::vector<KeyValue> records{{"k1", "v1"}, {"k2", "v2"}};
+  std::vector<Bytes> runs(5, Bytes{});
+  runs[2] = encodeKvRun(records);
+  KvRunMerger merger(viewsOf(runs));
+  EXPECT_EQ(merger.segmentCount(), 1u);
+  EXPECT_EQ(drain(merger), records);
+  EXPECT_EQ(merger.recordsRead(), 2);
+}
+
 TEST(KvRunMergerTest, AllRunsEmptyYieldsNoGroups) {
   const std::vector<Bytes> runs{Bytes{}, Bytes{}};
   KvRunMerger merger(viewsOf(runs));

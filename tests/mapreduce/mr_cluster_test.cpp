@@ -8,6 +8,7 @@
 #include "mh/common/rng.h"
 #include "mh/mr/local_runner.h"
 #include "mr_test_jobs.h"
+#include "testutil/aggressive_timers.h"
 
 namespace mh::mr {
 namespace {
@@ -15,15 +16,9 @@ namespace {
 using namespace testjobs;
 
 Config fastConf() {
-  Config conf;
+  Config conf = testutil::aggressiveTimers();
   conf.setInt("dfs.replication", 2);
   conf.setInt("dfs.blocksize", 512);
-  conf.setInt("dfs.heartbeat.interval.ms", 20);
-  conf.setInt("dfs.namenode.heartbeat.expiry.ms", 300);
-  conf.setInt("dfs.namenode.monitor.interval.ms", 20);
-  conf.setInt("mapred.tasktracker.heartbeat.ms", 20);
-  conf.setInt("mapred.tasktracker.expiry.ms", 400);
-  conf.setInt("mapred.jobtracker.monitor.interval.ms", 20);
   return conf;
 }
 

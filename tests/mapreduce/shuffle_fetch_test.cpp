@@ -175,6 +175,107 @@ TEST(ShuffleFetchTest, MissingOutputAfterPurgeStillFailsWithShape) {
   }
 }
 
+TEST(ShuffleFetchTest, FlakyFetchSucceedsAfterRetriesWithoutDuplicates) {
+  // A fetch that fails N-1 times and then succeeds must deliver every run
+  // exactly once (no duplicated, no lost records) and surface the retry
+  // count in SHUFFLE_FETCH_RETRIES.
+  net::Network network;
+  network.addHost("reducer");
+  MapOutputStore store;
+  std::vector<std::string> hosts;
+  for (uint32_t m = 0; m < 3; ++m) {
+    hosts.push_back("tt" + std::to_string(m));
+    store.put(7, m, {Bytes("run-from-map" + std::to_string(m))});
+  }
+  serveMapOutputs(network, hosts[0], store);
+  serveMapOutputs(network, hosts[2], store);
+  // tt1 rejects the first two fetches, then recovers.
+  std::atomic<int> tt1_calls{0};
+  network.addHost(hosts[1]);
+  network.bind(hosts[1], kTaskTrackerPort,
+               [&](const net::RpcRequest& req) -> Bytes {
+                 if (tt1_calls.fetch_add(1) < 2) {
+                   throw NetworkError("connection reset by peer");
+                 }
+                 const auto [job, map_index, partition] =
+                     unpack<uint32_t, uint32_t, uint32_t>(req.body);
+                 return *store.get(job, map_index, partition);
+               });
+
+  Config conf;
+  conf.setInt("mapred.shuffle.fetch.retries", 3);
+  conf.setInt("mapred.shuffle.fetch.backoff.ms", 2);
+  Counters shuffle_counters;
+  const auto runs = fetchShuffleRuns(network, "reducer",
+                                     reduceAssignment(0, hosts), conf,
+                                     shuffle_counters);
+  ASSERT_EQ(runs.size(), 3u);
+  int64_t expected_bytes = 0;
+  for (uint32_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(runs[m], "run-from-map" + std::to_string(m));
+    expected_bytes += static_cast<int64_t>(runs[m].size());
+  }
+  EXPECT_EQ(tt1_calls.load(), 3);  // 2 failures + the success
+  EXPECT_EQ(shuffle_counters.value(counters::kShuffleGroup,
+                                   counters::kShuffleFetchRetries),
+            2);
+  // Bytes metered once per run — retries must not double-count.
+  EXPECT_EQ(shuffle_counters.value(counters::kShuffleGroup,
+                                   counters::kShuffleBytes),
+            expected_bytes);
+  // The fetch phase paid the backoff sleeps; the millis counter sees them.
+  EXPECT_GE(shuffle_counters.value(counters::kShuffleGroup,
+                                   counters::kShuffleFetchMillis),
+            2 + 4);
+}
+
+TEST(ShuffleFetchTest, RetriesExhaustedKeepFetchFailureShape) {
+  // Retries must not change the error contract the JobTracker parses.
+  net::Network network;
+  network.addHost("reducer");
+  MapOutputStore store;
+  std::vector<std::string> hosts{"tt0"};
+  std::atomic<int> calls{0};
+  network.addHost(hosts[0]);
+  network.bind(hosts[0], kTaskTrackerPort,
+               [&](const net::RpcRequest&) -> Bytes {
+                 ++calls;
+                 throw NetworkError("connection reset by peer");
+               });
+
+  Config conf;
+  conf.setInt("mapred.shuffle.fetch.retries", 4);
+  conf.setInt("mapred.shuffle.fetch.backoff.ms", 1);
+  Counters shuffle_counters;
+  try {
+    fetchShuffleRuns(network, "reducer", reduceAssignment(0, hosts), conf,
+                     shuffle_counters);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("fetch-failure host=tt0 map=0: "),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(calls.load(), 4);  // every configured attempt was used
+}
+
+TEST(ShuffleFetchTest, CleanFetchReportsZeroRetries) {
+  net::Network network;
+  network.addHost("reducer");
+  MapOutputStore store;
+  std::vector<std::string> hosts{"tt0"};
+  serveMapOutputs(network, hosts[0], store);
+  store.put(7, 0, {Bytes("run")});
+
+  Config conf;
+  Counters shuffle_counters;
+  fetchShuffleRuns(network, "reducer", reduceAssignment(0, hosts), conf,
+                   shuffle_counters);
+  EXPECT_EQ(shuffle_counters.value(counters::kShuffleGroup,
+                                   counters::kShuffleFetchRetries),
+            0);
+}
+
 TEST(ShuffleFetchTest, SingleParallelCopyDegradesToSequential) {
   net::Network network;
   network.addHost("reducer");

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "mh/common/config.h"
+
+/// \file aggressive_timers.h
+/// Shared aggressive-timer Config for timing-sensitive cluster tests.
+///
+/// Chaos and mini-cluster tests all want the same thing: heartbeats every
+/// few milliseconds and sub-second expiry so failure detection fits in a
+/// unit-test budget. Before this helper each test hardcoded (and
+/// occasionally mistyped) its own copies of these keys; keep them here so
+/// they stay consistent.
+
+namespace mh::testutil {
+
+/// Returns `base` with every daemon timer turned aggressive. Individual
+/// tests can still override keys afterwards.
+inline Config aggressiveTimers(Config base = {}) {
+  // HDFS: fast heartbeats, fast death detection, fast re-replication.
+  base.setInt("dfs.heartbeat.interval.ms", 20);
+  base.setInt("dfs.namenode.heartbeat.expiry.ms", 300);
+  base.setInt("dfs.namenode.monitor.interval.ms", 20);
+  base.setInt("dfs.namenode.pending.replication.timeout.ms", 300);
+  // MapReduce: fast tracker heartbeats and expiry.
+  base.setInt("mapred.tasktracker.heartbeat.ms", 20);
+  base.setInt("mapred.tasktracker.expiry.ms", 400);
+  base.setInt("mapred.jobtracker.monitor.interval.ms", 20);
+  return base;
+}
+
+}  // namespace mh::testutil
