@@ -35,6 +35,13 @@ target_link_libraries(bench_sort_spill PRIVATE mh_mapreduce)
 set_target_properties(bench_sort_spill PROPERTIES
                       RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# Tentpole perf benchmark: seed copy read path vs zero-copy views vs
+# short-circuit local reads, plus WordCount end-to-end off/on.
+add_executable(bench_data_path ${CMAKE_SOURCE_DIR}/bench/bench_data_path.cpp)
+target_link_libraries(bench_data_path PRIVATE mh_mapreduce mh_apps)
+set_target_properties(bench_data_path PROPERTIES
+                      RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # Engine micro-benchmarks on google-benchmark.
 add_executable(bench_microbench ${CMAKE_SOURCE_DIR}/bench/bench_microbench.cpp)
 target_link_libraries(bench_microbench PRIVATE mh_hdfs mh_mapreduce

@@ -79,6 +79,16 @@ struct Serde<std::string> {
   static std::string decode(ByteReader& r) { return r.readString(); }
 };
 
+/// Wire-compatible with Serde<std::string>. Decoding yields a view into the
+/// reader's buffer — the zero-copy unpack for bulk payloads (block data,
+/// shuffle runs); the caller must keep that buffer alive while the view is
+/// in use.
+template <>
+struct Serde<std::string_view> {
+  static void encode(ByteWriter& w, std::string_view v) { w.writeBytes(v); }
+  static std::string_view decode(ByteReader& r) { return r.readBytes(); }
+};
+
 template <typename A, typename B>
 struct Serde<std::pair<A, B>> {
   static void encode(ByteWriter& w, const std::pair<A, B>& v) {

@@ -70,16 +70,18 @@ class TableRecordReader final : public mr::RecordReader {
     rows_ = table->scan(descriptor.start, descriptor.end);
   }
 
-  bool next(Bytes& key, Bytes& value) override {
+  bool next(std::string_view& key, std::string_view& value) override {
     if (pos_ >= rows_.size()) return false;
     key = rows_[pos_].row;
-    value = encodeRowColumns(rows_[pos_]);
+    value_ = encodeRowColumns(rows_[pos_]);
+    value = value_;
     ++pos_;
     return true;
   }
 
  private:
   std::vector<RowResult> rows_;
+  Bytes value_;  // backing store for the returned value view
   size_t pos_ = 0;
 };
 

@@ -35,25 +35,31 @@ void verifyChunks(BlockId block_id, std::string_view data,
   }
 }
 
-Bytes BlockStore::readBlockRange(BlockId id, uint64_t offset,
-                                 uint64_t len) const {
-  const Bytes whole = readBlock(id);
+BufferView BlockStore::readBlockRange(BlockId id, uint64_t offset,
+                                      uint64_t len) const {
+  const BufferView whole = readBlock(id);
   if (offset > whole.size()) {
     throw InvalidArgumentError("range start past end of block " +
                                std::to_string(id));
   }
-  return whole.substr(offset, len);
+  return whole.slice(offset, len);
 }
 
 // ---------------------------------------------------------------- memory
 
 void MemBlockStore::writeBlock(BlockId id, std::string_view data) {
-  Replica replica{Bytes(data), chunkChecksums(data)};
+  Replica replica{Buffer::copyOf(data), chunkChecksums(data)};
   std::lock_guard<std::mutex> lock(mutex_);
-  replicas_[id] = std::move(replica);
+  auto& slot = replicas_[id];
+  used_bytes_ -= slot.data.size();  // overwrite: release the old payload
+  used_bytes_ += replica.data.size();
+  slot = std::move(replica);
 }
 
-Bytes MemBlockStore::readBlock(BlockId id) const {
+BufferView MemBlockStore::readBlock(BlockId id) const {
+  // Refcount the resident buffer under the lock, verify outside it: the
+  // replica map is immutable-value, so a concurrent overwrite/corrupt swaps
+  // the slot's buffer without touching the one we hold.
   Replica replica;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -63,8 +69,19 @@ Bytes MemBlockStore::readBlock(BlockId id) const {
     }
     replica = it->second;
   }
-  verifyChunks(id, replica.data, replica.crcs);
-  return replica.data;
+  if (!replica.verified) {
+    verifyChunks(id, replica.data.view(), replica.crcs);
+    // Mark the slot verified-once — but only if it still holds the buffer
+    // we hashed; an overwrite/corruption that raced the verify swapped in a
+    // fresh (unverified) buffer and must not inherit our verdict.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = replicas_.find(id);
+    if (it != replicas_.end() &&
+        it->second.data.shared().get() == replica.data.shared().get()) {
+      it->second.verified = true;
+    }
+  }
+  return BufferView(std::move(replica.data));
 }
 
 bool MemBlockStore::hasBlock(BlockId id) const {
@@ -74,7 +91,10 @@ bool MemBlockStore::hasBlock(BlockId id) const {
 
 void MemBlockStore::deleteBlock(BlockId id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  replicas_.erase(id);
+  const auto it = replicas_.find(id);
+  if (it == replicas_.end()) return;
+  used_bytes_ -= it->second.data.size();
+  replicas_.erase(it);
 }
 
 uint64_t MemBlockStore::blockSize(BlockId id) const {
@@ -96,21 +116,19 @@ std::vector<BlockId> MemBlockStore::listBlocks() const {
 
 uint64_t MemBlockStore::usedBytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  uint64_t total = 0;
-  for (const auto& [id, replica] : replicas_) total += replica.data.size();
-  return total;
+  return used_bytes_;
 }
 
 std::vector<BlockId> MemBlockStore::scanAll() const {
   std::map<BlockId, Replica> snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    snapshot = replicas_;
+    snapshot = replicas_;  // refcounted buffers: no payload copy
   }
   std::vector<BlockId> bad;
   for (const auto& [id, replica] : snapshot) {
     try {
-      verifyChunks(id, replica.data, replica.crcs);
+      verifyChunks(id, replica.data.view(), replica.crcs);
     } catch (const ChecksumError&) {
       bad.push_back(id);
     }
@@ -124,10 +142,17 @@ void MemBlockStore::corruptBlock(BlockId id, size_t byte_offset) {
   if (it == replicas_.end()) {
     throw NotFoundError("block " + std::to_string(id));
   }
-  Bytes& data = it->second.data;
-  if (data.empty()) throw InvalidArgumentError("cannot corrupt empty block");
+  // Copy-on-write: buffers are shared with outstanding read views, so the
+  // corruption lands in a fresh buffer and the slot is swapped. Readers
+  // holding the old view keep their clean bytes (as with a page cache).
+  if (it->second.data.empty()) {
+    throw InvalidArgumentError("cannot corrupt empty block");
+  }
+  Bytes data(it->second.data.view());
   const size_t pos = byte_offset % data.size();
   data[pos] = static_cast<char>(data[pos] ^ 0x5A);
+  it->second.data = Buffer::fromString(std::move(data));
+  it->second.verified = false;  // the next read must re-hash and throw
 }
 
 // ------------------------------------------------------------------ file
@@ -180,14 +205,16 @@ std::vector<uint32_t> FileBlockStore::readMeta(BlockId id) const {
   return crcs;
 }
 
-Bytes FileBlockStore::readBlock(BlockId id) const {
+BufferView FileBlockStore::readBlock(BlockId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ifstream in(dataPath(id), std::ios::binary);
   if (!in) throw NotFoundError("block " + std::to_string(id));
   Bytes data((std::istreambuf_iterator<char>(in)),
              std::istreambuf_iterator<char>());
   verifyChunks(id, data, readMeta(id));
-  return data;
+  // One buffer per read: the file bytes are loaded once and every
+  // downstream consumer (RPC reply, range slice) shares that load.
+  return BufferView(Buffer::fromString(std::move(data)));
 }
 
 bool FileBlockStore::hasBlock(BlockId id) const {

@@ -5,6 +5,7 @@
 #include "mh/common/error.h"
 #include "mh/common/log.h"
 #include "mh/common/stopwatch.h"
+#include "mh/hdfs/short_circuit.h"
 
 namespace mh::hdfs {
 
@@ -31,6 +32,11 @@ DataNode::DataNode(Config conf, std::shared_ptr<net::Network> network,
   metrics_->setGauge("store.used_bytes", [store = store_] {
     return static_cast<double>(store->usedBytes());
   });
+  // Payload bytes resident in the store. With refcounted replicas this is
+  // charged once per block no matter how many read views are outstanding.
+  metrics_->setGauge("blockstore.resident.bytes", [store = store_] {
+    return static_cast<double>(store->usedBytes());
+  });
   metrics_->setGauge("store.blocks", [store = store_] {
     return static_cast<double>(store->listBlocks().size());
   });
@@ -54,6 +60,8 @@ void DataNode::start() {
     running_ = true;
   }
   network_->setHostUp(host_, true);
+  // Offer co-located clients the short-circuit read path (HDFS-347).
+  ShortCircuitRegistry::instance().publish(network_.get(), host_, store_);
   const uint64_t capacity = static_cast<uint64_t>(
       conf_.getInt("dfs.datanode.capacity", 1'073'741'824));
   namenode_.registerDataNode(capacity,
@@ -85,6 +93,7 @@ void DataNode::stop() {
     if (!running_ && !port_bound_) return;
     running_ = false;
   }
+  ShortCircuitRegistry::instance().withdraw(network_.get(), host_);
   if (heartbeat_thread_.joinable()) {
     heartbeat_thread_.request_stop();
     heartbeat_thread_.join();
@@ -113,6 +122,8 @@ void DataNode::abandon() {
 }
 
 void DataNode::crash() {
+  // A dead process serves no fds: local readers lose short-circuit too.
+  ShortCircuitRegistry::instance().withdraw(network_.get(), host_);
   network_->setHostUp(host_, false);
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -177,7 +188,7 @@ void DataNode::replicateTo(BlockId block,
                            const std::vector<std::string>& targets) {
   TraceSpan span(tracer_, "datanode." + host_, "REPLICATE");
   span.arg("block", std::to_string(block));
-  Bytes data;
+  BufferView data;
   try {
     data = store_->readBlock(block);
   } catch (const ChecksumError&) {
@@ -189,7 +200,7 @@ void DataNode::replicateTo(BlockId block,
   for (const std::string& target : targets) {
     try {
       network_->call(host_, target, kDataNodePort, "writeBlock",
-                     pack(Block{block, data.size()}, data,
+                     pack(Block{block, data.size()}, data.view(),
                           std::vector<std::string>{}),
                      "replication");
       replications_->add();
@@ -201,10 +212,17 @@ void DataNode::replicateTo(BlockId block,
 }
 
 void DataNode::installRpc() {
-  network_->bind(host_, kDataNodePort, [this](const net::RpcRequest& req) -> Bytes {
+  // Buffer endpoint: readBlock replies are views of the store's replica
+  // buffers — a zero-copy caller (DfsClient) receives them uncopied, and a
+  // legacy call() materializes them once at the fabric boundary.
+  network_->bindBuf(host_, kDataNodePort, [this](const net::BufRpcRequest& req)
+                                              -> BufferView {
     if (req.method == "writeBlock") {
+      // string_view unpack: the payload stays inside the request buffer
+      // until the store copies it into a fresh replica.
       auto [block, data, downstream] =
-          unpack<Block, Bytes, std::vector<std::string>>(req.body);
+          unpack<Block, std::string_view, std::vector<std::string>>(
+              req.body.view());
       store_->writeBlock(block.id, data);
       blocks_written_->add();
       bytes_written_->add(static_cast<int64_t>(data.size()));
@@ -231,9 +249,9 @@ void DataNode::installRpc() {
     }
     if (req.method == "readBlock") {
       const auto [id, offset, len] =
-          unpack<uint64_t, uint64_t, uint64_t>(req.body);
+          unpack<uint64_t, uint64_t, uint64_t>(req.body.view());
       try {
-        Bytes data = store_->readBlockRange(id, offset, len);
+        BufferView data = store_->readBlockRange(id, offset, len);
         blocks_read_->add();
         bytes_read_->add(static_cast<int64_t>(data.size()));
         return data;
@@ -243,7 +261,7 @@ void DataNode::installRpc() {
       }
     }
     if (req.method == "scan") {
-      return pack(runBlockScanner());
+      return BufferView(Buffer::fromString(pack(runBlockScanner())));
     }
     throw InvalidArgumentError("datanode: unknown RPC method " + req.method);
   });

@@ -4,9 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "mh/common/error.h"
 #include "mh/common/log.h"
+#include "mh/hdfs/short_circuit.h"
+#include "mh/net/fault_plan.h"
 
 namespace mh::hdfs {
 
@@ -19,7 +22,11 @@ DfsClient::DfsClient(Config conf, std::shared_ptr<net::Network> network,
     : conf_(std::move(conf)),
       network_(network),
       namenode_(std::move(network), std::move(client_host),
-                std::move(namenode_host)) {}
+                std::move(namenode_host)) {
+  short_circuit_ = conf_.getBool("dfs.client.read.shortcircuit", false);
+  short_circuit_reads_ =
+      &network_->metrics().child("dfsclient").counter("short.circuit.reads");
+}
 
 void DfsClient::writeFile(const std::string& path, std::string_view data,
                           uint16_t replication, uint64_t block_size) {
@@ -44,7 +51,7 @@ void DfsClient::writeFile(const std::string& path, std::string_view data,
           network_->call(namenode_.localHost(), located.hosts[head],
                          kDataNodePort, "writeBlock",
                          pack(Block{located.block.id, payload.size()},
-                              Bytes(payload), downstream),
+                              payload, downstream),
                          "pipeline");
           written = true;
         } catch (const NetworkError& e) {
@@ -79,8 +86,52 @@ std::vector<std::string> DfsClient::orderByLocality(
   return hosts;
 }
 
-Bytes DfsClient::readBlockRange(const LocatedBlock& located, uint64_t offset,
-                                uint64_t len) {
+std::optional<BufferView> DfsClient::tryShortCircuitRead(
+    const LocatedBlock& located, uint64_t offset, uint64_t len) {
+  if (!short_circuit_) return std::nullopt;
+  const std::string& local = namenode_.localHost();
+  if (std::find(located.hosts.begin(), located.hosts.end(), local) ==
+      located.hosts.end()) {
+    return std::nullopt;
+  }
+  // A crashed DataNode serves no file descriptors, and a host fenced into
+  // its own partition keeps its replicas to itself — mirror the RPC path's
+  // reachability rules before touching the store.
+  if (!network_->hostUp(local)) return std::nullopt;
+  if (const auto plan = network_->faultPlan();
+      plan != nullptr && plan->partitioned(local, local)) {
+    return std::nullopt;
+  }
+  const std::shared_ptr<BlockStore> store =
+      ShortCircuitRegistry::instance().lookup(network_.get(), local);
+  if (store == nullptr) return std::nullopt;
+  try {
+    BufferView data = store->readBlockRange(located.block.id, offset, len);
+    short_circuit_reads_->add();
+    TraceCollector& tracer = network_->tracer();
+    if (tracer.enabled()) {
+      tracer.instant(
+          "dfsclient." + local,
+          "SHORT_CIRCUIT_READ blk_" + std::to_string(located.block.id),
+          {{"bytes", std::to_string(data.size())}});
+    }
+    return data;
+  } catch (const ChecksumError&) {
+    // Same report a failed RPC read would have produced; the replica sweep
+    // below falls over to the remote copies.
+    namenode_.reportBadBlock(located.block.id, local);
+    return std::nullopt;
+  } catch (const NotFoundError&) {
+    return std::nullopt;  // replica vanished between locate and read
+  }
+}
+
+BufferView DfsClient::readBlockRange(const LocatedBlock& located,
+                                     uint64_t offset, uint64_t len) {
+  if (std::optional<BufferView> local =
+          tryShortCircuitRead(located, offset, len)) {
+    return *std::move(local);
+  }
   const auto hosts = orderByLocality(located.hosts);
   if (hosts.empty()) {
     throw IoError("block " + std::to_string(located.block.id) +
@@ -106,9 +157,10 @@ Bytes DfsClient::readBlockRange(const LocatedBlock& located, uint64_t offset,
     }
     for (const std::string& host : hosts) {
       try {
-        return network_->call(
+        return network_->callBuf(
             namenode_.localHost(), host, kDataNodePort, "readBlock",
-            pack(static_cast<uint64_t>(located.block.id), offset, len),
+            BufferView(Buffer::fromString(
+                pack(static_cast<uint64_t>(located.block.id), offset, len))),
             "read");
       } catch (const ChecksumError& e) {
         // The DataNode already reported itself; also report from our side
@@ -124,12 +176,12 @@ Bytes DfsClient::readBlockRange(const LocatedBlock& located, uint64_t offset,
                 " from any replica: " + last_error);
 }
 
-Bytes DfsClient::readFile(const std::string& path) {
+std::vector<BufferView> DfsClient::readFileViews(const std::string& path) {
   const auto status = namenode_.getFileStatus(path);
   if (status.is_dir) throw InvalidArgumentError("is a directory: " + path);
   const std::vector<LocatedBlock> blocks = namenode_.getBlockLocations(path);
   const size_t n = blocks.size();
-  std::vector<Bytes> parts(n);
+  std::vector<BufferView> parts(n);
 
   // Fetch block ranges in parallel (each block still walks its replicas
   // best-first with checksum fallover inside readBlockRange), then
@@ -164,10 +216,16 @@ Bytes DfsClient::readFile(const std::string& path) {
       if (errors[i] != nullptr) throw IoError(*errors[i]);
     }
   }
+  return parts;
+}
 
+Bytes DfsClient::readFile(const std::string& path) {
+  const std::vector<BufferView> parts = readFileViews(path);
+  size_t total = 0;
+  for (const BufferView& part : parts) total += part.size();
   Bytes out;
-  out.reserve(status.length);
-  for (const Bytes& part : parts) out += part;
+  out.reserve(total);
+  for (const BufferView& part : parts) out.append(part.view());
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "mh/common/buffer.h"
 #include "mh/common/bytes.h"
 #include "mh/hdfs/types.h"
 
@@ -15,6 +16,12 @@
 /// 512-byte chunk (like HDFS's .meta sidecars); every read re-verifies and
 /// throws ChecksumError on a mismatch, which is what drives the
 /// corrupt-replica / re-replication machinery upstream.
+///
+/// Reads return refcounted BufferViews (buffer.h): MemBlockStore serves a
+/// view of the resident replica itself — zero payload bytes move — while
+/// FileBlockStore wraps the freshly read file. Replicas are immutable once
+/// written; corruptBlock is copy-on-write so outstanding views never see a
+/// mutation.
 ///
 /// Two implementations: MemBlockStore (fast, used by most tests and the
 /// mini-cluster) and FileBlockStore (blk_<id> + blk_<id>.meta files under a
@@ -41,12 +48,15 @@ class BlockStore {
   /// Stores a replica; overwrites any previous replica of the same block.
   virtual void writeBlock(BlockId id, std::string_view data) = 0;
 
-  /// Reads and checksum-verifies the whole replica.
+  /// Reads and checksum-verifies the whole replica, returned as a view of
+  /// the store's (or a freshly loaded) buffer — no payload copy.
   /// Throws NotFoundError / ChecksumError.
-  virtual Bytes readBlock(BlockId id) const = 0;
+  virtual BufferView readBlock(BlockId id) const = 0;
 
-  /// Reads [offset, offset+len) after verifying the whole replica.
-  Bytes readBlockRange(BlockId id, uint64_t offset, uint64_t len) const;
+  /// Reads [offset, offset+len) after verifying the whole replica. A view
+  /// of the same backing buffer (len clamps to the block end; an offset
+  /// past the end throws InvalidArgumentError).
+  BufferView readBlockRange(BlockId id, uint64_t offset, uint64_t len) const;
 
   virtual bool hasBlock(BlockId id) const = 0;
   virtual void deleteBlock(BlockId id) = 0;
@@ -57,7 +67,8 @@ class BlockStore {
   /// All stored block ids (sorted), as sent in block reports.
   virtual std::vector<BlockId> listBlocks() const = 0;
 
-  /// Sum of replica payload bytes.
+  /// Sum of replica payload bytes currently resident in the store. Shared
+  /// buffers are charged once — outstanding read views never inflate this.
   virtual uint64_t usedBytes() const = 0;
 
   /// Verifies every replica's checksums; returns ids that fail. This is the
@@ -66,7 +77,8 @@ class BlockStore {
   virtual std::vector<BlockId> scanAll() const = 0;
 
   /// Test/failure-injection hook: flips one byte of the stored payload
-  /// without updating checksums. Throws NotFoundError.
+  /// without updating checksums. Throws NotFoundError. Copy-on-write:
+  /// views handed out before the corruption keep seeing the clean bytes.
   virtual void corruptBlock(BlockId id, size_t byte_offset) = 0;
 };
 
@@ -74,7 +86,7 @@ class BlockStore {
 class MemBlockStore final : public BlockStore {
  public:
   void writeBlock(BlockId id, std::string_view data) override;
-  Bytes readBlock(BlockId id) const override;
+  BufferView readBlock(BlockId id) const override;
   bool hasBlock(BlockId id) const override;
   void deleteBlock(BlockId id) override;
   uint64_t blockSize(BlockId id) const override;
@@ -85,12 +97,21 @@ class MemBlockStore final : public BlockStore {
 
  private:
   struct Replica {
-    Bytes data;
+    Buffer data;
     std::vector<uint32_t> crcs;
+    /// Set after the first successful read verification; later reads of the
+    /// same resident buffer skip re-hashing. Any buffer swap (overwrite,
+    /// corruption) resets it, so detection is never lost — and scanAll()
+    /// (the block scanner) always verifies regardless.
+    bool verified = false;
   };
 
   mutable std::mutex mutex_;
-  std::map<BlockId, Replica> replicas_;
+  /// mutable: const reads cache their verification verdict in the slot.
+  mutable std::map<BlockId, Replica> replicas_;
+  /// Running total of replica payload bytes (O(1) usedBytes; gauge reads
+  /// never walk the map while the data path contends for the mutex).
+  uint64_t used_bytes_ = 0;
 };
 
 /// Replicas as blk_<id> / blk_<id>.meta files under `root`.
@@ -100,7 +121,7 @@ class FileBlockStore final : public BlockStore {
   explicit FileBlockStore(std::filesystem::path root);
 
   void writeBlock(BlockId id, std::string_view data) override;
-  Bytes readBlock(BlockId id) const override;
+  BufferView readBlock(BlockId id) const override;
   bool hasBlock(BlockId id) const override;
   void deleteBlock(BlockId id) override;
   uint64_t blockSize(BlockId id) const override;

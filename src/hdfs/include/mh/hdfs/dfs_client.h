@@ -1,10 +1,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "mh/common/config.h"
+#include "mh/common/metrics.h"
 #include "mh/hdfs/namenode_rpc.h"
 #include "mh/hdfs/types.h"
 #include "mh/net/network.h"
@@ -15,6 +17,13 @@
 /// the replica on the caller's own host — the data-locality read path that
 /// MapReduce tasks rely on. Checksum failures on read are reported to the
 /// NameNode and the client falls over to the next replica.
+///
+/// Reads return refcounted views (buffer.h) of the serving store's buffer —
+/// no payload copy on the loopback/zero-copy RPC path. With
+/// `dfs.client.read.shortcircuit=true` and a replica on the caller's own
+/// host, the client bypasses the RPC entirely and reads checksum-verified
+/// views straight from the co-located BlockStore (HDFS-347); failures fall
+/// back to the normal replica sweep.
 
 namespace mh::hdfs {
 
@@ -37,17 +46,24 @@ class DfsClient {
   /// Reads the whole file, preferring local replicas. Blocks are fetched
   /// in parallel (up to `dfs.client.parallel.reads`, default 4, in flight)
   /// and assembled in order; per-block replica retry and error reporting
-  /// behave exactly as in the serial path.
+  /// behave exactly as in the serial path. This is the owned-copy
+  /// convenience wrapper over readFileViews().
   Bytes readFile(const std::string& path);
+
+  /// Zero-copy whole-file read: one view per block, in file order. The
+  /// views alias the serving stores' buffers; concatenation (and its copy)
+  /// is the caller's choice.
+  std::vector<BufferView> readFileViews(const std::string& path);
 
   // ----- block-granular access (used by MapReduce record readers) ----------
 
   std::vector<LocatedBlock> getBlockLocations(const std::string& path);
 
   /// Reads [offset, offset+len) of one block, trying replicas best-first
-  /// (local first). Reports checksum failures and retries other replicas.
-  Bytes readBlockRange(const LocatedBlock& located, uint64_t offset,
-                       uint64_t len);
+  /// (short-circuit local store when enabled, then local-first RPC sweep).
+  /// Reports checksum failures and retries other replicas.
+  BufferView readBlockRange(const LocatedBlock& located, uint64_t offset,
+                            uint64_t len);
 
   // ----- namespace passthrough ---------------------------------------------
 
@@ -84,9 +100,18 @@ class DfsClient {
   std::vector<std::string> orderByLocality(
       std::vector<std::string> hosts) const;
 
+  /// Short-circuit attempt: a checksum-verified view straight from the
+  /// co-located BlockStore, or an empty optional when the path does not
+  /// apply (disabled, no local replica, store withdrawn, host fenced) or
+  /// failed in a way the RPC sweep should retry.
+  std::optional<BufferView> tryShortCircuitRead(const LocatedBlock& located,
+                                                uint64_t offset, uint64_t len);
+
   Config conf_;
   std::shared_ptr<net::Network> network_;
   NameNodeRpc namenode_;
+  bool short_circuit_ = false;
+  Counter* short_circuit_reads_ = nullptr;
 };
 
 }  // namespace mh::hdfs

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "mh/hdfs/block_store.h"
+
+/// \file short_circuit.h
+/// Short-circuit local reads (HDFS-347). When a DfsClient runs on the same
+/// host as a replica, the RPC round-trip through the DataNode is pure
+/// overhead: in real Hadoop the DataNode passes the client an open file
+/// descriptor over a Unix domain socket and the client reads the block file
+/// directly. Here the analogue is a process-wide registry mapping
+/// (network fabric, host) -> the BlockStore the host's DataNode serves, so
+/// a co-located client can read checksum-verified views straight from the
+/// store.
+///
+/// The DataNode publishes its store on start() and withdraws it on stop()
+/// and crash() — a dead DataNode's blocks are unreadable even though the
+/// store object survives for restart, matching the RPC path's behavior.
+/// Entries hold weak_ptrs: the registry never extends a store's lifetime.
+
+namespace mh::net {
+class Network;
+}  // namespace mh::net
+
+namespace mh::hdfs {
+
+class ShortCircuitRegistry {
+ public:
+  /// The process-wide registry (covers every in-process fabric; entries are
+  /// keyed by fabric so two mini-clusters in one test never cross wires).
+  static ShortCircuitRegistry& instance();
+
+  /// Announces that `host`'s DataNode on `fabric` serves `store`.
+  void publish(const net::Network* fabric, const std::string& host,
+               std::weak_ptr<BlockStore> store);
+
+  /// Removes the host's entry (no-op if absent).
+  void withdraw(const net::Network* fabric, const std::string& host);
+
+  /// The store co-located with `host`, or nullptr when no live DataNode has
+  /// published one (the caller then takes the normal RPC path).
+  std::shared_ptr<BlockStore> lookup(const net::Network* fabric,
+                                     const std::string& host) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<const net::Network*, std::string>,
+           std::weak_ptr<BlockStore>>
+      stores_;
+};
+
+}  // namespace mh::hdfs

@@ -1,0 +1,30 @@
+#include "mh/hdfs/short_circuit.h"
+
+namespace mh::hdfs {
+
+ShortCircuitRegistry& ShortCircuitRegistry::instance() {
+  static ShortCircuitRegistry registry;
+  return registry;
+}
+
+void ShortCircuitRegistry::publish(const net::Network* fabric,
+                                   const std::string& host,
+                                   std::weak_ptr<BlockStore> store) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stores_[{fabric, host}] = std::move(store);
+}
+
+void ShortCircuitRegistry::withdraw(const net::Network* fabric,
+                                    const std::string& host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stores_.erase({fabric, host});
+}
+
+std::shared_ptr<BlockStore> ShortCircuitRegistry::lookup(
+    const net::Network* fabric, const std::string& host) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stores_.find({fabric, host});
+  return it == stores_.end() ? nullptr : it->second.lock();
+}
+
+}  // namespace mh::hdfs

@@ -9,6 +9,11 @@ namespace mh::mr {
 
 namespace fs = std::filesystem;
 
+BufferView FileSystemView::readRangeView(const std::string& path,
+                                         uint64_t offset, uint64_t length) {
+  return BufferView(Buffer::fromString(readRange(path, offset, length)));
+}
+
 // ------------------------------------------------------------------ local
 
 LocalFs::LocalFs(uint64_t split_size) : split_size_(split_size) {
@@ -101,9 +106,9 @@ uint64_t HdfsFs::fileLength(const std::string& path) {
   return client_.getFileStatus(path).length;
 }
 
-Bytes HdfsFs::readRange(const std::string& path, uint64_t offset,
-                        uint64_t length) {
-  Bytes out;
+std::vector<BufferView> HdfsFs::readPieces(const std::string& path,
+                                           uint64_t offset, uint64_t length) {
+  std::vector<BufferView> pieces;
   for (const auto& located : client_.getBlockLocations(path)) {
     const uint64_t block_end = located.offset + located.block.size;
     if (block_end <= offset) continue;
@@ -112,9 +117,34 @@ Bytes HdfsFs::readRange(const std::string& path, uint64_t offset,
         offset > located.offset ? offset - located.offset : 0;
     const uint64_t want =
         std::min(block_end, offset + length) - (located.offset + start_in_block);
-    out += client_.readBlockRange(located, start_in_block, want);
+    pieces.push_back(client_.readBlockRange(located, start_in_block, want));
   }
+  return pieces;
+}
+
+Bytes HdfsFs::readRange(const std::string& path, uint64_t offset,
+                        uint64_t length) {
+  const std::vector<BufferView> pieces = readPieces(path, offset, length);
+  size_t total = 0;
+  for (const BufferView& piece : pieces) total += piece.size();
+  Bytes out;
+  out.reserve(total);
+  for (const BufferView& piece : pieces) out.append(piece.view());
   return out;
+}
+
+BufferView HdfsFs::readRangeView(const std::string& path, uint64_t offset,
+                                 uint64_t length) {
+  std::vector<BufferView> pieces = readPieces(path, offset, length);
+  // The common case — a record reader's range inside one block — returns
+  // the replica's buffer uncopied. Multi-block ranges pay one splice.
+  if (pieces.size() == 1) return std::move(pieces.front());
+  size_t total = 0;
+  for (const BufferView& piece : pieces) total += piece.size();
+  Bytes out;
+  out.reserve(total);
+  for (const BufferView& piece : pieces) out.append(piece.view());
+  return BufferView(Buffer::fromString(std::move(out)));
 }
 
 void HdfsFs::writeFile(const std::string& path, std::string_view data) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "mh/common/buffer.h"
 #include "mh/common/bytes.h"
 #include "mh/hdfs/dfs_client.h"
 
@@ -40,6 +41,12 @@ class FileSystemView {
   /// Reads [offset, offset+length); short reads only at end of file.
   virtual Bytes readRange(const std::string& path, uint64_t offset,
                           uint64_t length) = 0;
+
+  /// Zero-copy variant of readRange(): a refcounted view of the fetched
+  /// range. The default wraps readRange() in a fresh buffer; HDFS serves a
+  /// range inside one block as an uncopied view of the replica's buffer.
+  virtual BufferView readRangeView(const std::string& path, uint64_t offset,
+                                   uint64_t length);
 
   /// Creates/overwrites a whole file.
   virtual void writeFile(const std::string& path, std::string_view data) = 0;
@@ -83,6 +90,8 @@ class HdfsFs final : public FileSystemView {
   uint64_t fileLength(const std::string& path) override;
   Bytes readRange(const std::string& path, uint64_t offset,
                   uint64_t length) override;
+  BufferView readRangeView(const std::string& path, uint64_t offset,
+                           uint64_t length) override;
   void writeFile(const std::string& path, std::string_view data) override;
   bool exists(const std::string& path) override;
   void mkdirs(const std::string& path) override;
@@ -93,6 +102,10 @@ class HdfsFs final : public FileSystemView {
   hdfs::DfsClient& client() { return client_; }
 
  private:
+  /// Per-block views covering [offset, offset+length), in file order.
+  std::vector<BufferView> readPieces(const std::string& path, uint64_t offset,
+                                     uint64_t length);
+
   hdfs::DfsClient client_;
 };
 

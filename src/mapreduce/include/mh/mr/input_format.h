@@ -20,8 +20,11 @@ namespace mh::mr {
 class RecordReader {
  public:
   virtual ~RecordReader() = default;
-  /// Produces the next record; false at end of split.
-  virtual bool next(Bytes& key, Bytes& value) = 0;
+  /// Produces the next record; false at end of split. The views point at
+  /// reader-owned storage (usually the split's backing buffer, uncopied)
+  /// and stay valid until the next call to next() or the reader's
+  /// destruction — copy (`Bytes(key)`) to keep a record longer.
+  virtual bool next(std::string_view& key, std::string_view& value) = 0;
 };
 
 class InputFormat {

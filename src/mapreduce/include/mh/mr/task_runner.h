@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "mh/common/buffer.h"
 #include "mh/common/trace.h"
 #include "mh/mr/job.h"
 
@@ -47,11 +48,12 @@ struct ReduceTaskResult {
   int64_t millis = 0;
 };
 
-/// Executes one reduce task over the collected map runs for `partition` and
-/// commits output_dir/part-NNNNN via `fs`.
+/// Executes one reduce task over the collected map runs for `partition`
+/// (refcounted views — shuffled runs are merged in place, never copied)
+/// and commits output_dir/part-NNNNN via `fs`.
 ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
                                uint32_t partition, uint32_t attempt,
-                               const std::vector<Bytes>& input_runs,
+                               const std::vector<BufferView>& input_runs,
                                TaskContext::HeapFn heap = {},
                                TraceCollector* trace = nullptr,
                                std::string_view trace_component = {});

@@ -39,17 +39,19 @@ namespace mh::mr {
 
 /// Fetches partition `assignment.task_index`'s run from every map host in
 /// `assignment.map_outputs`, with up to `mapred.reduce.parallel.copies`
-/// (default 5) fetches in flight at once. On any failure throws
+/// (default 5) fetches in flight at once. Runs arrive as refcounted views —
+/// a run served by a tracker on this fabric is the map output store's own
+/// buffer, uncopied. On any failure throws
 /// IoError("fetch-failure host=<h> map=<i>: ...") — the shape the
 /// JobTracker parses to re-execute the source map; when several concurrent
 /// fetches fail, the lowest map index is reported. On success, meters
 /// SHUFFLE_BYTES and the wall-clock SHUFFLE_FETCH_MILLIS of the whole fetch
 /// phase into `shuffle_counters`.
-std::vector<Bytes> fetchShuffleRuns(net::Network& network,
-                                    const std::string& host,
-                                    const TaskAssignment& assignment,
-                                    const Config& conf,
-                                    Counters& shuffle_counters);
+std::vector<BufferView> fetchShuffleRuns(net::Network& network,
+                                         const std::string& host,
+                                         const TaskAssignment& assignment,
+                                         const Config& conf,
+                                         Counters& shuffle_counters);
 
 class TaskTracker {
  public:

@@ -27,22 +27,26 @@ std::vector<InputSplit> InputFormat::getSplits(
 
 namespace {
 
-/// Line reader honoring the split contract. Materializes the split plus the
-/// tail of its final line (read ahead in chunks of
-/// `mapred.linerecordreader.readahead.bytes`).
+/// Line reader honoring the split contract, zero-copy over the split's
+/// backing buffer: the split itself is held as a refcounted view (for an
+/// HDFS split inside one block, the replica's buffer, uncopied) and values
+/// are string_views into it. Only the final line's tail — read ahead in
+/// chunks of `mapred.linerecordreader.readahead.bytes` past the split end —
+/// lands in an owned spill buffer, and only a line straddling the
+/// view/spill seam is ever spliced.
 class LineRecordReader final : public RecordReader {
  public:
   LineRecordReader(FileSystemView& fs, const InputSplit& split,
                    uint64_t readahead)
       : fs_(fs), split_(split), readahead_(std::max<uint64_t>(1, readahead)) {
-    data_ = fs_.readRange(split.path, split.offset, split.length);
-    read_end_ = split.offset + data_.size();
+    base_ = fs_.readRangeView(split.path, split.offset, split.length);
+    read_end_ = split.offset + base_.size();
     if (split.offset > 0) {
       // The previous split owns our leading partial line.
-      const size_t nl = data_.find('\n');
-      if (nl == Bytes::npos) {
+      const size_t nl = base_.view().find('\n');
+      if (nl == std::string_view::npos) {
         // The whole split is the middle of one line owned by someone else.
-        pos_ = data_.size();
+        pos_ = base_.size();
         exhausted_ = true;
       } else {
         pos_ = nl + 1;
@@ -50,50 +54,84 @@ class LineRecordReader final : public RecordReader {
     }
   }
 
-  bool next(Bytes& key, Bytes& value) override {
-    if (exhausted_ && pos_ >= data_.size()) return false;
+  bool next(std::string_view& key, std::string_view& value) override {
+    if (exhausted_ && pos_ >= size()) return false;
     // Lines STARTING strictly after the split end belong to a later split.
     // A line starting exactly AT the end boundary is ours: the next split
     // unconditionally skips its leading partial-or-boundary line, so we
     // must read one line "past the end" (Hadoop's `pos <= end` rule).
     if (pos_ > split_.length) return false;
 
-    size_t nl = data_.find('\n', pos_);
-    while (nl == Bytes::npos) {
+    size_t nl = findNewline(pos_);
+    while (nl == kNpos) {
       // Line crosses the end of what we fetched; read ahead.
       const Bytes more = fs_.readRange(split_.path, read_end_, readahead_);
       if (more.empty()) break;  // EOF: last line has no terminator
       read_end_ += more.size();
-      data_ += more;
-      nl = data_.find('\n', pos_);
+      tail_ += more;
+      nl = findNewline(pos_);
     }
 
     const size_t line_start = pos_;
     size_t line_end;
-    if (nl == Bytes::npos) {
-      line_end = data_.size();
-      pos_ = data_.size();
+    if (nl == kNpos) {
+      line_end = size();
+      pos_ = size();
       exhausted_ = true;
       if (line_end == line_start) return false;  // empty tail
     } else {
       line_end = nl;
       pos_ = nl + 1;
     }
-    if (line_end > line_start && data_[line_end - 1] == '\r') --line_end;
+    if (line_end > line_start && at(line_end - 1) == '\r') --line_end;
 
-    key = MrCodec<int64_t>::enc(
+    key_ = MrCodec<int64_t>::enc(
         static_cast<int64_t>(split_.offset + line_start));
-    value.assign(data_, line_start, line_end - line_start);
+    key = key_;
+    value = lineView(line_start, line_end);
     return true;
   }
 
  private:
+  static constexpr size_t kNpos = std::string_view::npos;
+
+  /// Logical stream length: the split view plus readahead spill.
+  size_t size() const { return base_.size() + tail_.size(); }
+
+  char at(size_t i) const {
+    return i < base_.size() ? base_.view()[i] : tail_[i - base_.size()];
+  }
+
+  size_t findNewline(size_t from) const {
+    if (from < base_.size()) {
+      const size_t nl = base_.view().find('\n', from);
+      if (nl != kNpos) return nl;
+    }
+    const size_t tail_from = from > base_.size() ? from - base_.size() : 0;
+    const size_t nl = tail_.find('\n', tail_from);
+    return nl == Bytes::npos ? kNpos : base_.size() + nl;
+  }
+
+  std::string_view lineView(size_t start, size_t end) {
+    if (end <= base_.size()) return base_.view().substr(start, end - start);
+    if (start >= base_.size()) {
+      return std::string_view(tail_).substr(start - base_.size(), end - start);
+    }
+    // Straddles the view/spill seam (at most once, for the final line).
+    line_.assign(base_.view().substr(start));
+    line_.append(tail_, 0, end - base_.size());
+    return line_;
+  }
+
   FileSystemView& fs_;
   InputSplit split_;
   uint64_t readahead_;
-  Bytes data_;
-  uint64_t read_end_ = 0;  // absolute file offset of the end of data_
-  size_t pos_ = 0;         // cursor within data_ (relative to split offset)
+  BufferView base_;  // the split's bytes; values alias this buffer
+  Bytes tail_;       // readahead past the split end (final-line spillover)
+  Bytes key_;        // backing store for the returned key view
+  Bytes line_;       // splice buffer for a line straddling base_/tail_
+  uint64_t read_end_ = 0;  // absolute file offset of the end of the stream
+  size_t pos_ = 0;         // cursor within the stream (0 = split offset)
   bool exhausted_ = false;
 };
 
@@ -107,21 +145,16 @@ class KvRecordReader final : public RecordReader {
       throw InvalidArgumentError(
           "KvInputFormat requires whole-file splits: " + split.path);
     }
-    data_ = fs.readRange(split.path, 0, split.length);
-    reader_ = std::make_unique<KvReader>(data_);
+    data_ = fs.readRangeView(split.path, 0, split.length);
+    reader_ = std::make_unique<KvReader>(data_.view());
   }
 
-  bool next(Bytes& key, Bytes& value) override {
-    std::string_view k;
-    std::string_view v;
-    if (!reader_->next(k, v)) return false;
-    key.assign(k);
-    value.assign(v);
-    return true;
+  bool next(std::string_view& key, std::string_view& value) override {
+    return reader_->next(key, value);
   }
 
  private:
-  Bytes data_;
+  BufferView data_;  // frames decode as views into this buffer
   std::unique_ptr<KvReader> reader_;
 };
 

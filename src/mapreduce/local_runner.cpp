@@ -44,8 +44,9 @@ JobResult LocalJobRunner::run(JobSpec spec) {
                               static_cast<int64_t>(splits.size()));
 
     // "Shuffle": gather the runs for each partition (all in memory, all
-    // local — that is the point of the serial mode).
-    std::vector<std::vector<Bytes>> partition_runs(spec.num_reducers);
+    // local — that is the point of the serial mode). Wrapping adopts each
+    // run's storage into a refcounted buffer; the merge reads it in place.
+    std::vector<std::vector<BufferView>> partition_runs(spec.num_reducers);
     for (uint32_t p = 0; p < spec.num_reducers; ++p) {
       auto& runs = partition_runs[p];
       runs.reserve(map_results.size());
@@ -55,7 +56,7 @@ JobResult LocalJobRunner::run(JobSpec spec) {
               counters::kShuffleGroup, counters::kShuffleBytes,
               static_cast<int64_t>(mr.partitions[p].size()));
         }
-        runs.push_back(std::move(mr.partitions[p]));
+        runs.emplace_back(Buffer::fromString(std::move(mr.partitions[p])));
       }
     }
 

@@ -41,8 +41,8 @@ MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
     const auto mapper = spec.mapper();
     const auto reader = input_format->createReader(fs, split, spec.conf);
     mapper->setup(map_ctx);
-    Bytes key;
-    Bytes value;
+    std::string_view key;
+    std::string_view value;
     while (reader->next(key, value)) {
       c.increment(kTaskGroup, kMapInputRecords);
       mapper->map(key, value, map_ctx);
@@ -58,7 +58,7 @@ MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
 
 ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
                                uint32_t partition, uint32_t attempt,
-                               const std::vector<Bytes>& input_runs,
+                               const std::vector<BufferView>& input_runs,
                                TaskContext::HeapFn heap, TraceCollector* trace,
                                std::string_view trace_component) {
   Stopwatch watch;
@@ -68,7 +68,9 @@ ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
   // Merge phase: each input run is already key-sorted, so stream them
   // through a k-way merge — no run is ever decoded whole, and keys/values
   // reach the reducer as views into the fetched buffers.
-  std::vector<std::string_view> views(input_runs.begin(), input_runs.end());
+  std::vector<std::string_view> views;
+  views.reserve(input_runs.size());
+  for (const BufferView& run : input_runs) views.push_back(run.view());
   KvRunMerger merger(views);
   c.increment(kTaskGroup, kMergeSegments,
               static_cast<int64_t>(merger.segmentCount()));

@@ -16,13 +16,13 @@ namespace {
 constexpr const char* kLog = "tasktracker";
 }  // namespace
 
-std::vector<Bytes> fetchShuffleRuns(net::Network& network,
-                                    const std::string& host,
-                                    const TaskAssignment& assignment,
-                                    const Config& conf,
-                                    Counters& shuffle_counters) {
+std::vector<BufferView> fetchShuffleRuns(net::Network& network,
+                                         const std::string& host,
+                                         const TaskAssignment& assignment,
+                                         const Config& conf,
+                                         Counters& shuffle_counters) {
   const size_t n = assignment.map_outputs.size();
-  std::vector<Bytes> runs(n);
+  std::vector<BufferView> runs(n);
   if (n == 0) return runs;
 
   TraceSpan span(&network.tracer(), "tasktracker." + host,
@@ -49,9 +49,10 @@ std::vector<Bytes> fetchShuffleRuns(net::Network& network,
       const MapOutputLocation& location = assignment.map_outputs[i];
       for (size_t attempt = 0; attempt < attempts; ++attempt) {
         try {
-          runs[i] = network.call(
+          runs[i] = network.callBuf(
               host, location.host, kTaskTrackerPort, "getMapOutput",
-              pack(assignment.job, location.map_index, assignment.task_index),
+              BufferView(Buffer::fromString(pack(
+                  assignment.job, location.map_index, assignment.task_index))),
               "shuffle");
           errors[i].reset();
           break;
@@ -88,7 +89,9 @@ std::vector<Bytes> fetchShuffleRuns(net::Network& network,
   }
 
   int64_t total_bytes = 0;
-  for (const Bytes& run : runs) total_bytes += static_cast<int64_t>(run.size());
+  for (const BufferView& run : runs) {
+    total_bytes += static_cast<int64_t>(run.size());
+  }
   shuffle_counters.increment(counters::kShuffleGroup, counters::kShuffleBytes,
                              total_bytes);
   shuffle_counters.increment(counters::kShuffleGroup,
@@ -284,6 +287,11 @@ void TaskTracker::chargeHeap(int64_t delta) {
   int64_t peak = heap_peak_.load();
   while (used > peak && !heap_peak_.compare_exchange_weak(peak, used)) {
   }
+  // Only growth can bust the budget. Releases must never throw: they run
+  // from destructors (e.g. ~MapOutputBuffer) during the unwind of a sibling
+  // task's OOM, when the tracker may still be over budget — throwing there
+  // would terminate() the process instead of failing the task.
+  if (delta <= 0) return;
   const int64_t budget =
       conf_.getInt("mapred.tasktracker.memory.bytes",
                    std::numeric_limits<int64_t>::max());
@@ -379,7 +387,7 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
 
     // Shuffle: pull this partition's run from every map's tracker, several
     // fetches in flight at once.
-    const std::vector<Bytes> runs = fetchShuffleRuns(
+    const std::vector<BufferView> runs = fetchShuffleRuns(
         *network_, host_, assignment, conf_, shuffle_counters);
 
     // The fetched runs are the reduce task's working set; charge them
@@ -387,7 +395,7 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
     // Unlike user allocateHeap() leaks, these buffers really are freed when
     // the task ends, so the charge is released even on failure.
     int64_t shuffle_heap = 0;
-    for (const Bytes& run : runs) {
+    for (const BufferView& run : runs) {
       shuffle_heap += static_cast<int64_t>(run.size());
     }
     struct ShuffleHeapGuard {
@@ -429,14 +437,14 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
 }
 
 void TaskTracker::installRpc() {
-  network_->bind(host_, kTaskTrackerPort,
-                 [this](const net::RpcRequest& req) -> Bytes {
+  network_->bindBuf(host_, kTaskTrackerPort,
+                    [this](const net::BufRpcRequest& req) -> BufferView {
     if (req.method == "getMapOutput") {
       const auto [job, map_index, partition] =
-          unpack<uint32_t, uint32_t, uint32_t>(req.body);
-      // The store hands back a refcounted run; the wire copy happens here,
-      // outside the store mutex.
-      return *outputs_.get(job, map_index, partition);
+          unpack<uint32_t, uint32_t, uint32_t>(req.body.view());
+      // The store hands back a refcounted run; wrapping it is the whole
+      // serve — a zero-copy fetcher merges straight out of this buffer.
+      return BufferView(Buffer::wrap(outputs_.get(job, map_index, partition)));
     }
     throw InvalidArgumentError("tasktracker: unknown RPC method " +
                                req.method);

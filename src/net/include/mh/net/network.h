@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -10,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "mh/common/buffer.h"
 #include "mh/common/bytes.h"
 #include "mh/common/metrics.h"
 #include "mh/common/trace.h"
@@ -54,6 +56,21 @@ struct RpcRequest {
 /// the exception propagates to the caller (mimicking an RPC fault).
 using RpcHandler = std::function<Bytes(const RpcRequest&)>;
 
+/// A message delivered to a buffer endpoint: same shape as RpcRequest but
+/// the body is a refcounted view, so bulk payloads cross the fabric without
+/// being copied.
+struct BufRpcRequest {
+  std::string method;
+  BufferView body;
+  std::string from_host;
+};
+
+/// Buffer endpoint handler: the zero-copy sibling of RpcHandler. The
+/// returned view is handed to the caller uncopied; the handler must return
+/// a view whose backing buffer outlives the handler frame (i.e. owned by a
+/// store or freshly built — never a view of handler-local bytes).
+using BufRpcHandler = std::function<BufferView(const BufRpcRequest&)>;
+
 /// Accumulated traffic for one tag.
 struct TrafficStats {
   uint64_t remote_bytes = 0;  ///< bytes that crossed between two hosts
@@ -77,12 +94,24 @@ class Network {
   /// is taken — the ghost-daemon failure mode.
   void bind(const std::string& host, int port, RpcHandler handler);
 
+  /// Binds a zero-copy handler to (host, port). Same port-exclusivity rules
+  /// as bind(). A buffer endpoint is reachable through BOTH call() (the
+  /// reply is copied into a Bytes for the legacy caller) and callBuf() (the
+  /// reply view is moved through untouched).
+  void bindBuf(const std::string& host, int port, BufRpcHandler handler);
+
   /// Releases a port. Unknown endpoints are ignored (idempotent teardown).
+  /// Blocks until every in-flight invocation of the endpoint's handler has
+  /// returned — the caller is usually a daemon about to destroy the state
+  /// those handlers touch, so returning early would hand a concurrent RPC a
+  /// dangling `this`. Must not be called from inside the endpoint's own
+  /// handler (it would wait for itself).
   void unbind(const std::string& host, int port);
 
   /// Releases every port on a host — the batch scheduler's node-cleanup
   /// epilogue that kills leftover ghost daemons. Returns how many ports
-  /// were freed.
+  /// were freed. Same drain barrier as unbind(): in-flight handlers finish
+  /// before this returns.
   size_t unbindAll(const std::string& host);
 
   /// True if something is bound at (host, port).
@@ -100,6 +129,18 @@ class Network {
   /// attribute traffic).
   Bytes call(const std::string& from, const std::string& to, int port,
              std::string method, Bytes body, std::string_view tag = "rpc");
+
+  /// Zero-copy sibling of call(): the body and reply move as refcounted
+  /// views instead of owned Bytes, so a loopback fetch of a 64 MB payload
+  /// bumps a refcount instead of copying. Fault injection, host-liveness
+  /// checks, traffic-tag byte accounting, bandwidth pacing, and the
+  /// per-method latency histogram are charged IDENTICALLY to call() —
+  /// zero-copy changes who owns the bytes, never what the bytes cost.
+  /// Calling a legacy (bind()) endpoint through callBuf copies the body in
+  /// and wraps the reply without a copy.
+  BufferView callBuf(const std::string& from, const std::string& to, int port,
+                     std::string method, BufferView body,
+                     std::string_view tag = "rpc");
 
   /// Meters (and, if bandwidth is configured, throttles) a bulk data
   /// movement of `bytes` between two hosts under `tag`. Throws NetworkError
@@ -143,6 +184,41 @@ class Network {
   std::shared_ptr<FaultPlan> faultPlan() const;
 
  private:
+  /// One bound endpoint: exactly one of the two handler kinds is set, plus
+  /// a count of handler invocations currently executing. The count is what
+  /// makes unbind() a barrier: once it drains to zero, no thread is inside
+  /// the handler and whatever the handler captured may be destroyed.
+  struct Endpoint {
+    RpcHandler legacy;
+    BufRpcHandler buf;
+    std::atomic<uint64_t> inflight{0};
+  };
+
+  /// Pins an endpoint for one handler invocation: holds a strong reference
+  /// (the std::function outlives a concurrent unbind) and keeps `inflight`
+  /// raised until destruction, at which point a draining unbind() is woken.
+  class Pin {
+   public:
+    Pin(Network* net, std::shared_ptr<Endpoint> endpoint)
+        : net_(net), endpoint_(std::move(endpoint)) {}
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin();
+    const Endpoint* operator->() const { return endpoint_.get(); }
+
+   private:
+    Network* net_;
+    std::shared_ptr<Endpoint> endpoint_;
+  };
+
+  /// Resolves (to, port) under the lock: host-liveness checks plus a pin on
+  /// the endpoint so the handler runs without holding the lock while a
+  /// concurrent unbind() waits for it. Shared by call() and callBuf() so
+  /// the two paths cannot drift.
+  Pin route(const std::string& from, const std::string& to, int port);
+  void bindEndpoint(const std::string& host, int port, RpcHandler legacy,
+                    BufRpcHandler buf);
+
   void meter(const std::string& from, const std::string& to, uint64_t bytes,
              std::string_view tag);
   void pace(const std::string& from, const std::string& to,
@@ -157,8 +233,11 @@ class Network {
                   std::string_view method, std::string_view tag);
 
   mutable std::mutex mutex_;
+  /// Signaled when an endpoint's inflight count drops to zero; unbind()
+  /// waits here for its victim to drain.
+  std::condition_variable drain_cv_;
   std::map<std::string, bool> host_up_;
-  std::map<std::pair<std::string, int>, RpcHandler> endpoints_;
+  std::map<std::pair<std::string, int>, std::shared_ptr<Endpoint>> endpoints_;
   std::map<std::string, TrafficStats, std::less<>> traffic_;
   int64_t latency_micros_ = 0;
   uint64_t bandwidth_bps_ = 0;

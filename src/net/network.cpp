@@ -21,6 +21,19 @@ std::vector<std::string> Network::hosts() const {
 }
 
 void Network::bind(const std::string& host, int port, RpcHandler handler) {
+  bindEndpoint(host, port, std::move(handler), nullptr);
+}
+
+void Network::bindBuf(const std::string& host, int port,
+                      BufRpcHandler handler) {
+  bindEndpoint(host, port, nullptr, std::move(handler));
+}
+
+void Network::bindEndpoint(const std::string& host, int port,
+                           RpcHandler legacy, BufRpcHandler buf) {
+  auto endpoint = std::make_shared<Endpoint>();
+  endpoint->legacy = std::move(legacy);
+  endpoint->buf = std::move(buf);
   std::lock_guard<std::mutex> lock(mutex_);
   host_up_.try_emplace(host, true);
   const auto key = std::make_pair(host, port);
@@ -28,26 +41,52 @@ void Network::bind(const std::string& host, int port, RpcHandler handler) {
     throw AlreadyExistsError("port " + std::to_string(port) +
                              " already bound on " + host);
   }
-  endpoints_.emplace(key, std::move(handler));
+  endpoints_.emplace(key, std::move(endpoint));
+}
+
+Network::Pin::~Pin() {
+  if (endpoint_->inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last invocation out: wake any unbind() draining this endpoint.
+    // Notifying under the lock closes the window where the waiter checks
+    // the count, sees us still here, and goes to sleep after our notify.
+    std::lock_guard<std::mutex> lock(net_->mutex_);
+    net_->drain_cv_.notify_all();
+  }
 }
 
 void Network::unbind(const std::string& host, int port) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  endpoints_.erase(std::make_pair(host, port));
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = endpoints_.find(std::make_pair(host, port));
+  if (it == endpoints_.end()) return;
+  const std::shared_ptr<Endpoint> victim = std::move(it->second);
+  endpoints_.erase(it);
+  // Drain barrier: the port is free (rebinding may proceed — the wait
+  // releases mutex_), but do not return until every in-flight handler
+  // invocation has left. Whatever the handler captured is typically
+  // destroyed right after this returns.
+  drain_cv_.wait(lock, [&] {
+    return victim->inflight.load(std::memory_order_acquire) == 0;
+  });
 }
 
 size_t Network::unbindAll(const std::string& host) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  size_t freed = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<Endpoint>> victims;
   for (auto it = endpoints_.begin(); it != endpoints_.end();) {
     if (it->first.first == host) {
+      victims.push_back(std::move(it->second));
       it = endpoints_.erase(it);
-      ++freed;
     } else {
       ++it;
     }
   }
-  return freed;
+  drain_cv_.wait(lock, [&] {
+    for (const auto& victim : victims) {
+      if (victim->inflight.load(std::memory_order_acquire) != 0) return false;
+    }
+    return true;
+  });
+  return victims.size();
 }
 
 bool Network::isBound(const std::string& host, int port) const {
@@ -76,20 +115,25 @@ void Network::checkHostUpLocked(const std::string& host) const {
   }
 }
 
+Network::Pin Network::route(const std::string& from, const std::string& to,
+                            int port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  checkHostUpLocked(from);
+  checkHostUpLocked(to);
+  const auto it = endpoints_.find(std::make_pair(to, port));
+  if (it == endpoints_.end()) {
+    throw NetworkError("connection refused: " + to + ":" +
+                       std::to_string(port));
+  }
+  // Raised under the lock, so an unbind() that finds the endpoint gone has
+  // already seen this invocation and will wait for the Pin to release it.
+  it->second->inflight.fetch_add(1, std::memory_order_relaxed);
+  return Pin{this, it->second};
+}
+
 Bytes Network::call(const std::string& from, const std::string& to, int port,
                     std::string method, Bytes body, std::string_view tag) {
-  RpcHandler handler;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    checkHostUpLocked(from);
-    checkHostUpLocked(to);
-    const auto it = endpoints_.find(std::make_pair(to, port));
-    if (it == endpoints_.end()) {
-      throw NetworkError("connection refused: " + to + ":" +
-                         std::to_string(port));
-    }
-    handler = it->second;  // copy so the handler runs without the lock
-  }
+  const Pin endpoint = route(from, to, port);
   // Zero-fault fast path: one relaxed load, no lock, no RNG draw.
   bool drop_response = false;
   if (faults_enabled_.load(std::memory_order_relaxed)) {
@@ -98,20 +142,73 @@ Bytes Network::call(const std::string& from, const std::string& to, int port,
   meter(from, to, body.size() + method.size(), tag);
   pace(from, to, body.size());
   const auto started = std::chrono::steady_clock::now();
-  RpcRequest request{std::move(method), std::move(body), from};
-  Bytes response = handler(request);
+  std::string method_name;
+  Bytes response;
+  if (endpoint->legacy) {
+    RpcRequest request{std::move(method), std::move(body), from};
+    response = endpoint->legacy(request);
+    method_name = std::move(request.method);
+  } else {
+    // Legacy caller, buffer endpoint: the body moves in without a copy; the
+    // reply view is materialized once for the Bytes-shaped return.
+    BufRpcRequest request{std::move(method),
+                          BufferView(Buffer::fromString(std::move(body))),
+                          from};
+    response = endpoint->buf(request).str();
+    method_name = std::move(request.method);
+  }
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - started)
                           .count();
-  net_metrics_->histogram("rpc." + request.method + ".micros").record(micros);
+  net_metrics_->histogram("rpc." + method_name + ".micros").record(micros);
   if (drop_response) {
     // The handler's side effects stand; only the reply is lost.
-    throw NetworkError("injected fault: response lost for " + request.method +
+    throw NetworkError("injected fault: response lost for " + method_name +
                        " " + to + " -> " + from);
   }
   meter(to, from, response.size(), tag);
   pace(to, from, response.size());
   return response;
+}
+
+BufferView Network::callBuf(const std::string& from, const std::string& to,
+                            int port, std::string method, BufferView body,
+                            std::string_view tag) {
+  const Pin endpoint = route(from, to, port);
+  bool drop_response = false;
+  if (faults_enabled_.load(std::memory_order_relaxed)) {
+    drop_response = applyFault(from, to, method, tag);
+  }
+  // Accounting mirrors call() exactly: the request leg is charged
+  // body+method bytes and the response leg its own size — a view crossing
+  // the fabric costs the bandwidth model the same as a copy would.
+  meter(from, to, body.size() + method.size(), tag);
+  pace(from, to, body.size());
+  const auto started = std::chrono::steady_clock::now();
+  std::string method_name;
+  BufferView reply;
+  if (endpoint->buf) {
+    BufRpcRequest request{std::move(method), std::move(body), from};
+    reply = endpoint->buf(request);
+    method_name = std::move(request.method);
+  } else {
+    // Buffer caller, legacy endpoint: the handler needs owned Bytes, so the
+    // body is copied in; the reply is adopted without a copy.
+    RpcRequest request{std::move(method), body.str(), from};
+    reply = BufferView(Buffer::fromString(endpoint->legacy(request)));
+    method_name = std::move(request.method);
+  }
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+  net_metrics_->histogram("rpc." + method_name + ".micros").record(micros);
+  if (drop_response) {
+    throw NetworkError("injected fault: response lost for " + method_name +
+                       " " + to + " -> " + from);
+  }
+  meter(to, from, reply.size(), tag);
+  pace(to, from, reply.size());
+  return reply;
 }
 
 void Network::transfer(const std::string& from, const std::string& to,

@@ -1,0 +1,133 @@
+#include "mh/common/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+
+namespace mh {
+namespace {
+
+TEST(BufferTest, DefaultIsEmpty) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.view(), "");
+  EXPECT_EQ(b.useCount(), 0);
+}
+
+TEST(BufferTest, FromStringAdoptsWithoutCopying) {
+  Bytes payload = "hello zero-copy world";
+  const char* raw = payload.data();
+  Buffer b = Buffer::fromString(std::move(payload));
+  EXPECT_EQ(b.view(), "hello zero-copy world");
+  // Moved, not copied: the buffer serves the original allocation.
+  EXPECT_EQ(b.data(), raw);
+}
+
+TEST(BufferTest, CopyOfCopies) {
+  const Bytes payload = "abc";
+  Buffer b = Buffer::copyOf(payload);
+  EXPECT_EQ(b.view(), "abc");
+  EXPECT_NE(b.data(), payload.data());
+}
+
+TEST(BufferTest, WrapAliasesSharedPayload) {
+  auto run = std::make_shared<const Bytes>("map-output-run");
+  Buffer b = Buffer::wrap(run);
+  EXPECT_EQ(b.data(), run->data());
+  EXPECT_EQ(b.useCount(), 2);  // `run` + the buffer
+}
+
+TEST(BufferTest, CopyBumpsRefcountOnly) {
+  Buffer a = Buffer::fromString("shared");
+  Buffer b = a;
+  EXPECT_EQ(a.useCount(), 2);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(BufferViewTest, DefaultIsEmpty) {
+  BufferView v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v, "");
+}
+
+TEST(BufferViewTest, WholeBufferView) {
+  Buffer b = Buffer::fromString("0123456789");
+  BufferView v(b);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v, "0123456789");
+  EXPECT_EQ(v.data(), b.data());  // zero copy
+}
+
+TEST(BufferViewTest, SubRangeView) {
+  Buffer b = Buffer::fromString("0123456789");
+  BufferView v(b, 2, 5);
+  EXPECT_EQ(v, "23456");
+  EXPECT_EQ(v.data(), b.data() + 2);
+}
+
+TEST(BufferViewTest, OutOfRangeConstructionThrows) {
+  Buffer b = Buffer::fromString("0123456789");
+  EXPECT_THROW(BufferView(b, 11, 0), InvalidArgumentError);
+  EXPECT_THROW(BufferView(b, 0, 11), InvalidArgumentError);
+  EXPECT_THROW(BufferView(b, 6, 5), InvalidArgumentError);
+  EXPECT_NO_THROW(BufferView(b, 10, 0));  // empty view at the end is fine
+}
+
+TEST(BufferViewTest, SliceClampsLengthButChecksOffset) {
+  Buffer b = Buffer::fromString("0123456789");
+  BufferView v(b, 2, 6);  // "234567"
+  EXPECT_EQ(v.slice(1, 3), "345");
+  EXPECT_EQ(v.slice(4, 100), "67");  // substr semantics: length clamps
+  EXPECT_EQ(v.slice(6, 1), "");     // offset == size: empty
+  EXPECT_THROW(v.slice(7, 0), InvalidArgumentError);
+  // Slices share the backing buffer — still zero copy.
+  EXPECT_EQ(v.slice(1, 3).data(), b.data() + 3);
+}
+
+TEST(BufferViewTest, ViewKeepsBufferAlive) {
+  BufferView v;
+  {
+    Buffer b = Buffer::fromString("does not dangle");
+    v = BufferView(b, 5, 3);
+  }  // `b` gone; the view still owns a reference
+  EXPECT_EQ(v, "not");
+  EXPECT_EQ(v.buffer().useCount(), 1);
+}
+
+TEST(BufferViewTest, CopyIsCheapAndShared) {
+  Buffer b = Buffer::fromString("payload");
+  BufferView v1(b);
+  BufferView v2 = v1;
+  EXPECT_EQ(b.useCount(), 3);  // buffer + two views
+  EXPECT_EQ(v1.data(), v2.data());
+}
+
+TEST(BufferViewTest, StrIsTheExplicitCopyPoint) {
+  Buffer b = Buffer::fromString("copy me");
+  BufferView v(b);
+  Bytes owned = v.str();
+  EXPECT_EQ(owned, "copy me");
+  EXPECT_NE(owned.data(), v.data());
+}
+
+TEST(BufferViewTest, ImplicitStringViewConversion) {
+  Buffer b = Buffer::fromString("via string_view");
+  BufferView v(b, 4, 11);
+  std::string_view sv = v;
+  EXPECT_EQ(sv, "string_view");
+  EXPECT_EQ(sv.data(), b.data() + 4);
+}
+
+TEST(BufferViewTest, EqualityComparesContentNotIdentity) {
+  Buffer b1 = Buffer::fromString("same");
+  Buffer b2 = Buffer::fromString("same");
+  EXPECT_EQ(BufferView(b1), BufferView(b2));
+  EXPECT_EQ(BufferView(b1), "same");
+  EXPECT_EQ("same", BufferView(b2));
+  EXPECT_FALSE(BufferView(b1) == "different");
+}
+
+}  // namespace
+}  // namespace mh

@@ -111,6 +111,20 @@ TEST_P(BlockStoreTest, CorruptionInLastPartialChunkDetected) {
   EXPECT_THROW(store_->readBlock(9), ChecksumError);
 }
 
+TEST_P(BlockStoreTest, CorruptionAfterVerifiedReadStillDetected) {
+  // Read verification is cached per resident replica (verified-once); the
+  // cache MUST be dropped when the payload changes, or corruption injected
+  // between two reads would slip through.
+  store_->writeBlock(9, randomPayload(4096, 2));
+  store_->readBlock(9);  // verifies and caches the verdict
+  store_->readBlock(9);  // served from the verified replica
+  store_->corruptBlock(9, 1000);
+  EXPECT_THROW(store_->readBlock(9), ChecksumError);
+  // Overwrite resets the cache too: the fresh payload verifies cleanly.
+  store_->writeBlock(9, "clean again");
+  EXPECT_EQ(store_->readBlock(9), "clean again");
+}
+
 TEST_P(BlockStoreTest, ScanAllFindsOnlyCorruptBlocks) {
   store_->writeBlock(1, randomPayload(2048, 4));
   store_->writeBlock(2, randomPayload(2048, 5));
@@ -127,6 +141,65 @@ TEST_P(BlockStoreTest, ReadRange) {
   EXPECT_EQ(store_->readBlockRange(4, 5, 100), "56789");
   EXPECT_EQ(store_->readBlockRange(4, 10, 5), "");
   EXPECT_THROW(store_->readBlockRange(4, 11, 1), InvalidArgumentError);
+}
+
+TEST_P(BlockStoreTest, ReadRangeZeroLength) {
+  store_->writeBlock(4, "0123456789");
+  EXPECT_EQ(store_->readBlockRange(4, 0, 0), "");
+  EXPECT_EQ(store_->readBlockRange(4, 5, 0), "");
+  // Zero-length at exactly the end is a valid empty read, not an error.
+  EXPECT_EQ(store_->readBlockRange(4, 10, 0), "");
+}
+
+TEST_P(BlockStoreTest, ReadsAreViewsOfStoredPayload) {
+  const Bytes payload = randomPayload(4096, 11);
+  store_->writeBlock(8, payload);
+  const BufferView whole = store_->readBlock(8);
+  const BufferView range = store_->readBlockRange(8, 100, 50);
+  EXPECT_EQ(whole, payload);
+  EXPECT_EQ(range, std::string_view(payload).substr(100, 50));
+}
+
+TEST(MemBlockStoreTest, ReadsAliasTheResidentReplica) {
+  MemBlockStore store;
+  store.writeBlock(8, randomPayload(4096, 11));
+  const BufferView first = store.readBlock(8);
+  const BufferView second = store.readBlock(8);
+  const BufferView range = store.readBlockRange(8, 100, 50);
+  // Every read serves the same resident buffer — zero payload copies.
+  EXPECT_EQ(first.view().data(), second.view().data());
+  EXPECT_EQ(range.view().data(), first.view().data() + 100);
+}
+
+TEST_P(BlockStoreTest, OutstandingViewsDoNotInflateUsedBytes) {
+  store_->writeBlock(1, Bytes(1000, 'a'));
+  const uint64_t before = store_->usedBytes();
+  std::vector<BufferView> views;
+  for (int i = 0; i < 16; ++i) views.push_back(store_->readBlock(1));
+  // Shared buffers are charged once, no matter how many views are out.
+  EXPECT_EQ(store_->usedBytes(), before);
+}
+
+TEST_P(BlockStoreTest, OverwriteAndDeleteKeepUsedBytesExact) {
+  store_->writeBlock(1, Bytes(100, 'a'));
+  store_->writeBlock(2, Bytes(250, 'b'));
+  store_->writeBlock(1, Bytes(40, 'c'));  // overwrite shrinks the charge
+  EXPECT_EQ(store_->usedBytes(), 290u);
+  store_->deleteBlock(2);
+  EXPECT_EQ(store_->usedBytes(), 40u);
+  store_->deleteBlock(1);
+  EXPECT_EQ(store_->usedBytes(), 0u);
+}
+
+TEST_P(BlockStoreTest, ViewSurvivesDeleteAndOverwrite) {
+  const Bytes payload = randomPayload(2048, 12);
+  store_->writeBlock(6, payload);
+  const BufferView view = store_->readBlock(6);
+  store_->writeBlock(6, "replaced");
+  store_->deleteBlock(6);
+  // The view's refcount keeps the original payload alive (no use-after-free
+  // for readers holding views across a delete — ASan would catch it).
+  EXPECT_EQ(view, payload);
 }
 
 TEST_P(BlockStoreTest, CorruptMissingBlockThrows) {

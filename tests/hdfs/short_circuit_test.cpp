@@ -1,0 +1,181 @@
+#include "mh/hdfs/short_circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "mh/common/error.h"
+#include "mh/common/rng.h"
+#include "mh/hdfs/mini_cluster.h"
+#include "testutil/aggressive_timers.h"
+
+namespace mh::hdfs {
+namespace {
+
+Config scConf() {
+  Config conf = testutil::aggressiveTimers();
+  conf.setInt("dfs.replication", 3);
+  conf.setInt("dfs.blocksize", 1024);
+  return conf;
+}
+
+Bytes randomPayload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Bytes out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>('a' + rng.uniform(26)));
+  }
+  return out;
+}
+
+/// A client on `host` with dfs.client.read.shortcircuit enabled.
+DfsClient scClient(MiniDfsCluster& cluster, const std::string& host) {
+  Config conf = cluster.conf();
+  conf.setBool("dfs.client.read.shortcircuit", true);
+  return DfsClient(conf, cluster.network(), host, "namenode");
+}
+
+int64_t scReads(MiniDfsCluster& cluster) {
+  return cluster.metrics().child("dfsclient").counterValue(
+      "short.circuit.reads");
+}
+
+TEST(ShortCircuitTest, NodeLocalReadBypassesEveryReadRpc) {
+  MiniDfsCluster cluster({.num_datanodes = 3, .conf = scConf()});
+  const Bytes payload = randomPayload(5'000, 1);  // 5 blocks, replication 3
+  cluster.client().writeFile("/sc/data.txt", payload);
+
+  auto client = scClient(cluster, "node01");
+  const auto before = cluster.network()->messages("read");
+  EXPECT_EQ(client.readFile("/sc/data.txt"), payload);
+  // Every block had a replica on node01: zero readBlock RPCs, one
+  // short-circuit read per block.
+  EXPECT_EQ(cluster.network()->messages("read"), before);
+  EXPECT_EQ(scReads(cluster), 5);
+}
+
+TEST(ShortCircuitTest, DisabledByDefault) {
+  MiniDfsCluster cluster({.num_datanodes = 3, .conf = scConf()});
+  const Bytes payload = randomPayload(2'000, 2);
+  cluster.client().writeFile("/sc/off.txt", payload);
+
+  auto client = cluster.client("node01");  // cluster conf: no short-circuit
+  const auto before = cluster.network()->messages("read");
+  EXPECT_EQ(client.readFile("/sc/off.txt"), payload);
+  EXPECT_GT(cluster.network()->messages("read"), before);
+  EXPECT_EQ(scReads(cluster), 0);
+}
+
+TEST(ShortCircuitTest, OffClusterClientTakesRpcPath) {
+  MiniDfsCluster cluster({.num_datanodes = 3, .conf = scConf()});
+  const Bytes payload = randomPayload(2'000, 3);
+  cluster.client().writeFile("/sc/remote.txt", payload);
+
+  auto client = scClient(cluster, "client");  // no co-located replicas
+  const auto before = cluster.network()->messages("read");
+  EXPECT_EQ(client.readFile("/sc/remote.txt"), payload);
+  EXPECT_GT(cluster.network()->messages("read"), before);
+  EXPECT_EQ(scReads(cluster), 0);
+}
+
+TEST(ShortCircuitTest, CorruptLocalReplicaFallsBackToRpcAndReportsIt) {
+  MiniDfsCluster cluster({.num_datanodes = 3, .conf = scConf()});
+  const Bytes payload = randomPayload(1'000, 4);  // one block
+  cluster.client().writeFile("/sc/corrupt.txt", payload);
+
+  auto client = scClient(cluster, "node01");
+  const auto located = client.getBlockLocations("/sc/corrupt.txt");
+  ASSERT_EQ(located.size(), 1u);
+  const auto store =
+      ShortCircuitRegistry::instance().lookup(cluster.network().get(),
+                                              "node01");
+  ASSERT_NE(store, nullptr);
+  store->corruptBlock(located[0].block.id, 17);
+
+  // The short-circuit attempt hits the checksum failure, reports the bad
+  // replica, and the sweep reads a healthy copy over RPC — same fallover
+  // shape as a corrupt replica on the RPC path.
+  const auto before = cluster.network()->messages("read");
+  EXPECT_EQ(client.readFile("/sc/corrupt.txt"), payload);
+  EXPECT_GT(cluster.network()->messages("read"), before);
+  EXPECT_EQ(scReads(cluster), 0);
+  EXPECT_GE(cluster.nameNode().fsck().corrupt_blocks, 1u);
+}
+
+TEST(ShortCircuitTest, StoppedAndCrashedDataNodesWithdraw) {
+  MiniDfsCluster cluster({.num_datanodes = 2, .conf = scConf()});
+  auto* network = cluster.network().get();
+  EXPECT_NE(ShortCircuitRegistry::instance().lookup(network, "node01"),
+            nullptr);
+
+  cluster.stopDataNode("node01");
+  EXPECT_EQ(ShortCircuitRegistry::instance().lookup(network, "node01"),
+            nullptr);
+  cluster.restartDataNode("node01");
+  EXPECT_NE(ShortCircuitRegistry::instance().lookup(network, "node01"),
+            nullptr);
+
+  cluster.killDataNode("node02");
+  EXPECT_EQ(ShortCircuitRegistry::instance().lookup(network, "node02"),
+            nullptr);
+}
+
+TEST(ShortCircuitTest, FencedHostFallsBackToRemoteReplicas) {
+  MiniDfsCluster cluster({.num_datanodes = 3, .conf = scConf()});
+  const Bytes payload = randomPayload(2'000, 5);
+  cluster.client().writeFile("/sc/fenced.txt", payload);
+
+  // Fence node01 into its own partition: its loopback traffic is severed,
+  // so the short-circuit path must refuse too (the local "DataNode" is
+  // unreachable) and the sweep reads the remote replicas.
+  auto plan = std::make_shared<net::FaultPlan>(1);
+  plan->partition({"node01"}, {"node01", "node02", "node03"});
+  cluster.network()->setFaultPlan(plan);
+
+  auto client = scClient(cluster, "node01");
+  EXPECT_THROW(client.readFile("/sc/fenced.txt"), IoError);
+  EXPECT_EQ(scReads(cluster), 0);
+
+  cluster.network()->setFaultPlan(nullptr);
+  EXPECT_EQ(client.readFile("/sc/fenced.txt"), payload);
+  EXPECT_EQ(scReads(cluster), 2);
+}
+
+TEST(ShortCircuitTest, TraceInstantRecordsLocalReads) {
+  MiniDfsCluster cluster({.num_datanodes = 1, .conf = scConf()});
+  const Bytes payload = randomPayload(1'000, 6);
+  cluster.client().writeFile("/sc/traced.txt", payload);
+
+  cluster.tracer().setEnabled(true);
+  auto client = scClient(cluster, "node01");
+  EXPECT_EQ(client.readFile("/sc/traced.txt"), payload);
+  bool saw_instant = false;
+  for (const auto& event : cluster.tracer().snapshot()) {
+    if (event.component == "dfsclient.node01" &&
+        event.name.starts_with("SHORT_CIRCUIT_READ")) {
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(ShortCircuitTest, ReadsAreViewsOfTheResidentReplica) {
+  MiniDfsCluster cluster({.num_datanodes = 1, .conf = scConf()});
+  const Bytes payload = randomPayload(1'000, 7);  // one block
+  cluster.client().writeFile("/sc/alias.txt", payload);
+
+  auto client = scClient(cluster, "node01");
+  const auto located = client.getBlockLocations("/sc/alias.txt");
+  ASSERT_EQ(located.size(), 1u);
+  const BufferView view = client.readBlockRange(located[0], 0, 1'000);
+  const auto store = ShortCircuitRegistry::instance().lookup(
+      cluster.network().get(), "node01");
+  ASSERT_NE(store, nullptr);
+  // Byte-identical AND pointer-identical: the client reads the store's own
+  // resident buffer, no payload copy anywhere on the path.
+  EXPECT_EQ(view, payload);
+  EXPECT_EQ(view.view().data(),
+            store->readBlock(located[0].block.id).view().data());
+}
+
+}  // namespace
+}  // namespace mh::hdfs

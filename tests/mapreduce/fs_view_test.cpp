@@ -133,5 +133,29 @@ TEST(HdfsFsTest, ReadRangeCrossesBlockBoundaries) {
   EXPECT_EQ(view.readRange("/f", 95, 100), payload.substr(95));
 }
 
+TEST(HdfsFsTest, ReadRangeViewCrossesBlockBoundaries) {
+  Config conf;
+  conf.setInt("dfs.blocksize", 16);
+  conf.setInt("dfs.replication", 1);
+  hdfs::MiniDfsCluster cluster({.num_datanodes = 1, .conf = conf});
+  HdfsFs view(cluster.client());
+  std::string payload;
+  for (int i = 0; i < 10; ++i) payload += "0123456789";
+  view.writeFile("/f", payload);
+
+  // Spanning blocks: the pieces are spliced into one buffer, bytes exact.
+  EXPECT_EQ(view.readRangeView("/f", 10, 45), payload.substr(10, 45));
+  EXPECT_EQ(view.readRangeView("/f", 0, 100), payload);
+  EXPECT_EQ(view.readRangeView("/f", 95, 100), payload.substr(95));
+  EXPECT_EQ(view.readRangeView("/f", 100, 5), "");  // start at EOF
+
+  // Within one block there is no splice: two reads of the same range are
+  // views of the same resident replica buffer.
+  const BufferView a = view.readRangeView("/f", 20, 8);
+  const BufferView b = view.readRangeView("/f", 20, 8);
+  EXPECT_EQ(a, payload.substr(20, 8));
+  EXPECT_EQ(a.view().data(), b.view().data());
+}
+
 }  // namespace
 }  // namespace mh::mr

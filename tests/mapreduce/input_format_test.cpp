@@ -37,10 +37,10 @@ class TextInputTest : public ::testing::Test {
     std::vector<std::string> lines;
     for (const auto& split : local_->splitsForFile(path)) {
       const auto reader = format.createReader(*local_, split, conf);
-      Bytes key;
-      Bytes value;
+      std::string_view key;
+      std::string_view value;
       while (reader->next(key, value)) {
-        lines.push_back(value);
+        lines.emplace_back(value);
       }
     }
     return lines;
@@ -85,8 +85,8 @@ TEST_F(TextInputTest, KeysAreByteOffsets) {
   TextInputFormat format;
   const auto splits = local_->splitsForFile(path);
   const auto reader = format.createReader(*local_, splits[0], Config{});
-  Bytes key;
-  Bytes value;
+  std::string_view key;
+  std::string_view value;
   std::vector<int64_t> offsets;
   while (reader->next(key, value)) {
     offsets.push_back(MrCodec<int64_t>::dec(key));
@@ -169,8 +169,8 @@ TEST_F(TextInputTest, KvFormatsRoundTripThroughFiles) {
   const auto path = dir + "/part-00000";
   InputSplit split{path, 0, local_->fileLength(path), {}};
   const auto reader = in_format.createReader(*local_, split, Config{});
-  Bytes key;
-  Bytes value;
+  std::string_view key;
+  std::string_view value;
   ASSERT_TRUE(reader->next(key, value));
   EXPECT_EQ(key, "k1");
   ASSERT_TRUE(reader->next(key, value));

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <thread>
 
+#include "mh/common/buffer.h"
 #include "mh/common/error.h"
+#include "mh/net/fault_plan.h"
 
 namespace mh::net {
 namespace {
@@ -222,6 +226,161 @@ TEST(NetworkTest, HostsAreSorted) {
   ASSERT_EQ(h.size(), 2u);
   EXPECT_EQ(h[0], "a");
   EXPECT_EQ(h[1], "b");
+}
+
+TEST(NetworkTest, UnbindDrainsInflightHandlers) {
+  // A daemon tears down its port and then destroys the state its handler
+  // captured; unbind must therefore not return while an invocation is still
+  // inside the handler on another thread.
+  Network net;
+  net.addHost("client");
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> unbound{false};
+  net.bind("dn", 50, [&](const RpcRequest&) {
+    entered = true;
+    while (!release) std::this_thread::yield();
+    return Bytes("ok");
+  });
+  std::thread caller([&] {
+    EXPECT_EQ(net.call("client", "dn", 50, "slow", ""), "ok");
+  });
+  while (!entered) std::this_thread::yield();
+  std::thread closer([&] {
+    net.unbind("dn", 50);
+    unbound = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(unbound);                // parked behind the running handler
+  EXPECT_FALSE(net.isBound("dn", 50));  // but the port is already free
+  release = true;
+  closer.join();
+  caller.join();
+  EXPECT_TRUE(unbound);
+  EXPECT_THROW(net.call("client", "dn", 50, "slow", ""), NetworkError);
+}
+
+TEST(NetworkTest, CallBufReachesBufEndpoint) {
+  Network net;
+  net.bindBuf("dn", 1, [](const BufRpcRequest& req) {
+    return BufferView(Buffer::fromString("got:" + Bytes(req.body.view()) +
+                                         "@" + req.from_host));
+  });
+  net.addHost("client");
+  const BufferView reply = net.callBuf(
+      "client", "dn", 1, "read", BufferView(Buffer::copyOf("blk")), "read");
+  EXPECT_EQ(reply, "got:blk@client");
+}
+
+TEST(NetworkTest, CallBufAccountingMatchesLegacyCall) {
+  // The zero-copy path must charge bandwidth and per-tag bytes IDENTICALLY
+  // to call(): same method, same body, same reply size through both paths
+  // must produce the exact same TrafficStats — zero-copy changes who owns
+  // the bytes, never what the bytes cost.
+  Network net;
+  const Bytes body(1000, 'p');
+  net.bind("legacy", 1, [](const RpcRequest&) { return Bytes(300, 'r'); });
+  const Buffer reply = Buffer::copyOf(Bytes(300, 'r'));
+  net.bindBuf("zero", 1,
+              [&reply](const BufRpcRequest&) { return BufferView(reply); });
+  net.addHost("client");
+
+  net.call("client", "legacy", 1, "fetch", body, "tag_legacy");
+  net.callBuf("client", "zero", 1, "fetch",
+              BufferView(Buffer::copyOf(body)), "tag_buf");
+  EXPECT_EQ(net.remoteBytes("tag_buf"), net.remoteBytes("tag_legacy"));
+  EXPECT_EQ(net.localBytes("tag_buf"), net.localBytes("tag_legacy"));
+  EXPECT_EQ(net.messages("tag_buf"), net.messages("tag_legacy"));
+
+  // Loopback is metered as local bytes on both paths alike.
+  net.call("legacy", "legacy", 1, "fetch", body, "tag_legacy_lo");
+  net.callBuf("zero", "zero", 1, "fetch", BufferView(Buffer::copyOf(body)),
+              "tag_buf_lo");
+  EXPECT_EQ(net.localBytes("tag_buf_lo"), net.localBytes("tag_legacy_lo"));
+  EXPECT_EQ(net.remoteBytes("tag_buf_lo"), net.remoteBytes("tag_legacy_lo"));
+  EXPECT_EQ(net.remoteBytes("tag_buf_lo"), 0u);
+
+  // Both flavors land in the same per-method latency histogram.
+  EXPECT_EQ(net.metrics().child("network").histogram("rpc.fetch.micros")
+                .count(),
+            4u);
+}
+
+TEST(NetworkTest, CallAndCallBufInteroperateAcrossEndpointKinds) {
+  Network net;
+  net.bind("legacy", 1, echoHandler);
+  net.bindBuf("zero", 1, [](const BufRpcRequest& req) {
+    return BufferView(Buffer::fromString(req.method + ":" +
+                                         Bytes(req.body.view()) + "@" +
+                                         req.from_host));
+  });
+  net.addHost("client");
+  // Legacy call() into a buffer endpoint: reply copied out to Bytes.
+  EXPECT_EQ(net.call("client", "zero", 1, "ls", "/user"), "ls:/user@client");
+  // callBuf() into a legacy endpoint: body copied in, reply wrapped.
+  EXPECT_EQ(net.callBuf("client", "legacy", 1, "ls",
+                        BufferView(Buffer::copyOf("/user"))),
+            "ls:/user@client");
+}
+
+TEST(NetworkTest, CallBufReplyAliasesTheServedBuffer) {
+  // End-to-end zero-copy: the view the caller receives points into the
+  // very buffer the handler served — even across "remote" hosts, since the
+  // fabric is in-process and only the bandwidth model distinguishes them.
+  Network net;
+  const Buffer block = Buffer::copyOf(Bytes(4096, 'd'));
+  net.bindBuf("dn", 1,
+              [&block](const BufRpcRequest&) { return BufferView(block); });
+  net.addHost("client");
+  const BufferView reply =
+      net.callBuf("client", "dn", 1, "read", BufferView(), "read");
+  EXPECT_EQ(reply.view().data(), block.view().data());
+  EXPECT_EQ(reply.size(), 4096u);
+}
+
+TEST(NetworkTest, FaultPlanAppliesToCallBuf) {
+  Network net;
+  std::atomic<int> served{0};
+  net.bindBuf("dn", 1, [&served](const BufRpcRequest&) {
+    ++served;
+    return BufferView(Buffer::copyOf("ok"));
+  });
+  net.addHost("client");
+
+  auto plan = std::make_shared<FaultPlan>(1);
+  plan->addRule({.match = {.method = "read"},
+                 .action = FaultAction::kDrop,
+                 .nth = 1});
+  // Rules after a firing rule don't see the call, so this rule's first
+  // matching call is the second callBuf below.
+  plan->addRule({.match = {.method = "read"},
+                 .action = FaultAction::kDropResponse,
+                 .nth = 1});
+  net.setFaultPlan(plan);
+
+  // Drop: lost before delivery, handler never runs.
+  EXPECT_THROW(net.callBuf("client", "dn", 1, "read", BufferView(), "read"),
+               NetworkError);
+  EXPECT_EQ(served.load(), 0);
+  // DropResponse: the handler runs but the caller still sees the error.
+  EXPECT_THROW(net.callBuf("client", "dn", 1, "read", BufferView(), "read"),
+               NetworkError);
+  EXPECT_EQ(served.load(), 1);
+  // Budget exhausted: traffic flows again.
+  EXPECT_EQ(net.callBuf("client", "dn", 1, "read", BufferView(), "read"),
+            "ok");
+}
+
+TEST(NetworkTest, CallBufRefusedWhenHostDownOrUnbound) {
+  Network net;
+  net.bindBuf("dn", 1,
+              [](const BufRpcRequest&) { return BufferView(); });
+  net.addHost("client");
+  EXPECT_THROW(net.callBuf("client", "dn", 99, "read", BufferView()),
+               NetworkError);
+  net.setHostUp("dn", false);
+  EXPECT_THROW(net.callBuf("client", "dn", 1, "read", BufferView()),
+               NetworkError);
 }
 
 }  // namespace
