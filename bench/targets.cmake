@@ -42,6 +42,14 @@ target_link_libraries(bench_data_path PRIVATE mh_mapreduce mh_apps)
 set_target_properties(bench_data_path PROPERTIES
                       RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# Tentpole perf benchmark: codec micro-throughput, compressed short-circuit
+# reads vs the copying RPC path, and seams-off/on end-to-end jobs.
+add_executable(bench_compression
+               ${CMAKE_SOURCE_DIR}/bench/bench_compression.cpp)
+target_link_libraries(bench_compression PRIVATE mh_mapreduce mh_apps mh_data)
+set_target_properties(bench_compression PROPERTIES
+                      RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # Engine micro-benchmarks on google-benchmark.
 add_executable(bench_microbench ${CMAKE_SOURCE_DIR}/bench/bench_microbench.cpp)
 target_link_libraries(bench_microbench PRIVATE mh_hdfs mh_mapreduce

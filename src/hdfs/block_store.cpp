@@ -35,20 +35,80 @@ void verifyChunks(BlockId block_id, std::string_view data,
   }
 }
 
+// ------------------------------------------------------------------ base
+
+void BlockStore::configureCodec(CodecKind codec, MetricsRegistry* metrics,
+                                TraceCollector* trace, std::string component) {
+  codec_ = codec;
+  codec_metrics_ = metrics;
+  codec_trace_ = trace;
+  codec_component_ = std::move(component);
+}
+
+void BlockStore::checkReplicaCodec(BlockId id, CodecKind replica_codec) const {
+  if (replica_codec == CodecKind::kNone || replica_codec == codec_) return;
+  throw IoError("block " + std::to_string(id) + " is " +
+                std::string(codecName(replica_codec)) +
+                " encoded but store codec is " +
+                std::string(codecName(codec_)));
+}
+
+void BlockStore::writeBlock(BlockId id, std::string_view data) {
+  if (codec_ == CodecKind::kNone) {
+    putStored(id, data, data.size(), CodecKind::kNone);
+    return;
+  }
+  const Bytes encoded = codecEncode(codec_, data, codec_metrics_, codec_trace_,
+                                    codec_component_);
+  putStored(id, encoded, data.size(), codec_);
+}
+
+void BlockStore::adoptStored(BlockId id, std::string_view stored) {
+  if (isEncodedStream(stored)) {
+    // Header walk only: the raw size is recovered without decompressing,
+    // and a torn stream is rejected before it lands in the store.
+    const EncodedStreamInfo info = encodedStreamInfo(stored);
+    putStored(id, stored, info.raw_size, info.codec);
+  } else {
+    putStored(id, stored, stored.size(), CodecKind::kNone);
+  }
+}
+
+BufferView BlockStore::readBlock(BlockId id) const {
+  StoredReplica replica = readStored(id);
+  checkReplicaCodec(id, replica.codec);
+  if (replica.codec == CodecKind::kNone) return std::move(replica.stored);
+  return BufferView(codecDecode(replica.stored.view(), codec_metrics_,
+                                codec_trace_, codec_component_));
+}
+
 BufferView BlockStore::readBlockRange(BlockId id, uint64_t offset,
                                       uint64_t len) const {
-  const BufferView whole = readBlock(id);
-  if (offset > whole.size()) {
+  StoredReplica replica = readStored(id);
+  checkReplicaCodec(id, replica.codec);
+  if (replica.codec == CodecKind::kNone) {
+    if (offset > replica.stored.size()) {
+      throw InvalidArgumentError("range start past end of block " +
+                                 std::to_string(id));
+    }
+    return replica.stored.slice(offset, len);
+  }
+  try {
+    // Only the frames covering [offset, offset+len) are decompressed.
+    return codecDecodeRange(replica.stored.view(), offset, len, codec_metrics_,
+                            codec_trace_, codec_component_);
+  } catch (const InvalidArgumentError&) {
     throw InvalidArgumentError("range start past end of block " +
                                std::to_string(id));
   }
-  return whole.slice(offset, len);
 }
 
 // ---------------------------------------------------------------- memory
 
-void MemBlockStore::writeBlock(BlockId id, std::string_view data) {
-  Replica replica{Buffer::copyOf(data), chunkChecksums(data)};
+void MemBlockStore::putStored(BlockId id, std::string_view stored,
+                              uint64_t raw_size, CodecKind codec) {
+  Replica replica{Buffer::copyOf(stored), chunkChecksums(stored), raw_size,
+                  codec};
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = replicas_[id];
   used_bytes_ -= slot.data.size();  // overwrite: release the old payload
@@ -56,7 +116,7 @@ void MemBlockStore::writeBlock(BlockId id, std::string_view data) {
   slot = std::move(replica);
 }
 
-BufferView MemBlockStore::readBlock(BlockId id) const {
+StoredReplica MemBlockStore::readStored(BlockId id) const {
   // Refcount the resident buffer under the lock, verify outside it: the
   // replica map is immutable-value, so a concurrent overwrite/corrupt swaps
   // the slot's buffer without touching the one we hold.
@@ -81,7 +141,8 @@ BufferView MemBlockStore::readBlock(BlockId id) const {
       it->second.verified = true;
     }
   }
-  return BufferView(std::move(replica.data));
+  return {BufferView(std::move(replica.data)), replica.raw_size,
+          replica.codec};
 }
 
 bool MemBlockStore::hasBlock(BlockId id) const {
@@ -98,6 +159,15 @@ void MemBlockStore::deleteBlock(BlockId id) {
 }
 
 uint64_t MemBlockStore::blockSize(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    throw NotFoundError("block " + std::to_string(id));
+  }
+  return it->second.raw_size;
+}
+
+uint64_t MemBlockStore::storedSize(BlockId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = replicas_.find(id);
   if (it == replicas_.end()) {
@@ -171,13 +241,14 @@ fs::path FileBlockStore::metaPath(BlockId id) const {
   return root_ / ("blk_" + std::to_string(id) + ".meta");
 }
 
-void FileBlockStore::writeBlock(BlockId id, std::string_view data) {
-  const auto crcs = chunkChecksums(data);
+void FileBlockStore::putStored(BlockId id, std::string_view stored,
+                               uint64_t raw_size, CodecKind codec) {
+  const auto crcs = chunkChecksums(stored);
   std::lock_guard<std::mutex> lock(mutex_);
   {
     std::ofstream out(dataPath(id), std::ios::binary | std::ios::trunc);
     if (!out) throw IoError("open for write: " + dataPath(id).string());
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.write(stored.data(), static_cast<std::streamsize>(stored.size()));
     if (!out) throw IoError("write: " + dataPath(id).string());
   }
   {
@@ -185,6 +256,10 @@ void FileBlockStore::writeBlock(BlockId id, std::string_view data) {
     ByteWriter w(meta);
     w.writeVarU64(crcs.size());
     for (const uint32_t crc : crcs) w.writeU32(crc);
+    // v2 extension: codec id + raw size. Metas written before compression
+    // existed end after the CRCs and imply codec none / raw == file size.
+    w.writeU8(static_cast<uint8_t>(codec));
+    w.writeVarU64(raw_size);
     std::ofstream out(metaPath(id), std::ios::binary | std::ios::trunc);
     if (!out) throw IoError("open for write: " + metaPath(id).string());
     out.write(meta.data(), static_cast<std::streamsize>(meta.size()));
@@ -192,29 +267,38 @@ void FileBlockStore::writeBlock(BlockId id, std::string_view data) {
   }
 }
 
-std::vector<uint32_t> FileBlockStore::readMeta(BlockId id) const {
+FileBlockStore::Meta FileBlockStore::readMeta(BlockId id) const {
   std::ifstream in(metaPath(id), std::ios::binary);
   if (!in) throw IoError("missing meta for block " + std::to_string(id));
-  Bytes meta((std::istreambuf_iterator<char>(in)),
-             std::istreambuf_iterator<char>());
-  ByteReader r(meta);
+  Bytes raw((std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+  ByteReader r(raw);
+  Meta meta;
   const uint64_t n = r.readVarU64();
-  std::vector<uint32_t> crcs;
-  crcs.reserve(n);
-  for (uint64_t i = 0; i < n; ++i) crcs.push_back(r.readU32());
-  return crcs;
+  meta.crcs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) meta.crcs.push_back(r.readU32());
+  if (!r.atEnd()) {
+    const uint8_t codec_id = r.readU8();
+    meta.codec = codec_id == 0 ? CodecKind::kNone : codecFromId(codec_id);
+    meta.raw_size = r.readVarU64();
+    meta.has_raw_size = true;
+  }
+  return meta;
 }
 
-BufferView FileBlockStore::readBlock(BlockId id) const {
+StoredReplica FileBlockStore::readStored(BlockId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ifstream in(dataPath(id), std::ios::binary);
   if (!in) throw NotFoundError("block " + std::to_string(id));
   Bytes data((std::istreambuf_iterator<char>(in)),
              std::istreambuf_iterator<char>());
-  verifyChunks(id, data, readMeta(id));
+  const Meta meta = readMeta(id);
+  verifyChunks(id, data, meta.crcs);
+  const uint64_t raw_size = meta.has_raw_size ? meta.raw_size : data.size();
   // One buffer per read: the file bytes are loaded once and every
-  // downstream consumer (RPC reply, range slice) shares that load.
-  return BufferView(Buffer::fromString(std::move(data)));
+  // downstream consumer (RPC reply, range slice, decode) shares that load.
+  return {BufferView(Buffer::fromString(std::move(data))), raw_size,
+          meta.codec};
 }
 
 bool FileBlockStore::hasBlock(BlockId id) const {
@@ -230,6 +314,20 @@ void FileBlockStore::deleteBlock(BlockId id) {
 }
 
 uint64_t FileBlockStore::blockSize(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  const auto size = fs::file_size(dataPath(id), ec);
+  if (ec) throw NotFoundError("block " + std::to_string(id));
+  try {
+    const Meta meta = readMeta(id);
+    if (meta.has_raw_size) return meta.raw_size;
+  } catch (const IoError&) {
+    // adopted bare data file (no meta); its stored size is its raw size
+  }
+  return size;
+}
+
+uint64_t FileBlockStore::storedSize(BlockId id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::error_code ec;
   const auto size = fs::file_size(dataPath(id), ec);
@@ -254,7 +352,7 @@ uint64_t FileBlockStore::usedBytes() const {
   uint64_t total = 0;
   for (const BlockId id : listBlocks()) {
     try {
-      total += blockSize(id);
+      total += storedSize(id);
     } catch (const NotFoundError&) {
       // raced with a delete; skip
     }
@@ -266,7 +364,7 @@ std::vector<BlockId> FileBlockStore::scanAll() const {
   std::vector<BlockId> bad;
   for (const BlockId id : listBlocks()) {
     try {
-      readBlock(id);
+      readStored(id);
     } catch (const ChecksumError&) {
       bad.push_back(id);
     } catch (const IoError&) {

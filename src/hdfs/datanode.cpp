@@ -29,6 +29,13 @@ DataNode::DataNode(Config conf, std::shared_ptr<net::Network> network,
   bytes_written_ = &metrics_->counter("bytes.written");
   replications_ = &metrics_->counter("replications");
   deletes_ = &metrics_->counter("deletes");
+  block_raw_bytes_ = &metrics_->counter("block.raw.bytes");
+  block_compressed_bytes_ = &metrics_->counter("block.compressed.bytes");
+  // At-rest compression: the store encodes on write and decodes on read;
+  // everything resident (checksums, scans, replication) is the stored form.
+  store_->configureCodec(
+      codecFromName(conf_.get("dfs.block.compression.codec", "none")),
+      metrics_, tracer_, "datanode." + host_);
   metrics_->setGauge("store.used_bytes", [store = store_] {
     return static_cast<double>(store->usedBytes());
   });
@@ -188,20 +195,25 @@ void DataNode::replicateTo(BlockId block,
                            const std::vector<std::string>& targets) {
   TraceSpan span(tracer_, "datanode." + host_, "REPLICATE");
   span.arg("block", std::to_string(block));
-  BufferView data;
+  // Ship the replica in its STORED form: compressed frames replicate
+  // without a decode/re-encode round trip, and the per-frame CRCs travel
+  // with the bytes.
+  StoredReplica replica;
   try {
-    data = store_->readBlock(block);
+    replica = store_->readStored(block);
   } catch (const ChecksumError&) {
     namenode_.reportBadBlock(block, host_);
     return;
   } catch (const NotFoundError&) {
     return;  // replica vanished; NameNode will reschedule elsewhere
   }
+  const bool stored = replica.codec != CodecKind::kNone;
   for (const std::string& target : targets) {
     try {
       network_->call(host_, target, kDataNodePort, "writeBlock",
-                     pack(Block{block, data.size()}, data.view(),
-                          std::vector<std::string>{}),
+                     pack(Block{block, replica.raw_size},
+                          replica.stored.view(), std::vector<std::string>{},
+                          stored),
                      "replication");
       replications_->add();
     } catch (const NetworkError& e) {
@@ -219,25 +231,39 @@ void DataNode::installRpc() {
                                               -> BufferView {
     if (req.method == "writeBlock") {
       // string_view unpack: the payload stays inside the request buffer
-      // until the store copies it into a fresh replica.
-      auto [block, data, downstream] =
-          unpack<Block, std::string_view, std::vector<std::string>>(
+      // until the store copies it into a fresh replica. `stored` marks a
+      // payload already in its resident (framed) form — the replication /
+      // pipeline path — which is adopted byte-for-byte, never re-encoded.
+      auto [block, data, downstream, stored] =
+          unpack<Block, std::string_view, std::vector<std::string>, bool>(
               req.body.view());
-      store_->writeBlock(block.id, data);
+      if (stored) {
+        store_->adoptStored(block.id, data);
+      } else {
+        store_->writeBlock(block.id, data);
+      }
       blocks_written_->add();
       bytes_written_->add(static_cast<int64_t>(data.size()));
+      // Raw counts the logical payload; compressed counts resident bytes
+      // only for encoded replicas, so the pair reads as a codec ratio and
+      // stays silent when the seam is off.
+      block_raw_bytes_->add(static_cast<int64_t>(block.size));
+      const uint64_t resident = store_->storedSize(block.id);
+      if (resident != block.size || store_->codec() != CodecKind::kNone) {
+        block_compressed_bytes_->add(static_cast<int64_t>(resident));
+      }
       if (tracer_->enabled()) {
         tracer_->instant("datanode." + host_,
                          "WRITE_BLOCK blk_" + std::to_string(block.id),
                          {{"bytes", std::to_string(data.size())}});
       }
-      namenode_.blockReceived(Block{block.id, data.size()});
+      namenode_.blockReceived(Block{block.id, block.size});
       if (!downstream.empty()) {
         const std::string next = downstream.front();
         downstream.erase(downstream.begin());
         try {
           network_->call(host_, next, kDataNodePort, "writeBlock",
-                         pack(block, data, downstream), "pipeline");
+                         pack(block, data, downstream, stored), "pipeline");
         } catch (const NetworkError& e) {
           // Pipeline recovery: the block lands under-replicated and the
           // NameNode's monitor repairs it later.

@@ -51,7 +51,7 @@ void DfsClient::writeFile(const std::string& path, std::string_view data,
           network_->call(namenode_.localHost(), located.hosts[head],
                          kDataNodePort, "writeBlock",
                          pack(Block{located.block.id, payload.size()},
-                              payload, downstream),
+                              payload, downstream, /*stored=*/false),
                          "pipeline");
           written = true;
         } catch (const NetworkError& e) {

@@ -97,6 +97,10 @@ class DataNode {
   Counter* bytes_written_ = nullptr;
   Counter* replications_ = nullptr;
   Counter* deletes_ = nullptr;
+  /// Per-write raw (logical) vs stored (possibly compressed) byte totals;
+  /// equal while `dfs.block.compression.codec` is "none".
+  Counter* block_raw_bytes_ = nullptr;
+  Counter* block_compressed_bytes_ = nullptr;
 
   mutable std::mutex state_mutex_;
   bool running_ = false;

@@ -3,13 +3,17 @@
 #include <string_view>
 #include <vector>
 
+#include "mh/common/buffer.h"
 #include "mh/common/bytes.h"
+#include "mh/common/codec.h"
 #include "mh/mr/types.h"
 
 /// \file kv_stream.h
 /// The intermediate record format: a run of [varint klen][key][varint
 /// vlen][value] frames. Map outputs are stored and shuffled in this format;
-/// reduce merges decode it back.
+/// reduce merges decode it back. When a compression seam is on, whole runs
+/// travel as framed codec streams (codec.h) and `DecodedRunSet` unwraps
+/// them at the merge input.
 
 namespace mh::mr {
 
@@ -51,5 +55,40 @@ std::vector<KeyValue> decodeKvRun(std::string_view run);
 
 /// Encodes records into one run.
 Bytes encodeKvRun(const std::vector<KeyValue>& records);
+
+/// Presents a set of possibly codec-compressed kv runs as plain decoded
+/// views for the KvRunMerger. Compressed runs (`isEncodedStream`) decode
+/// into fresh refcounted buffers owned by this set; raw runs pass through
+/// as views of their original buffers — zero copy either way downstream.
+/// The set must outlive the merger consuming `views()`.
+///
+/// `allow_decode=false` pins every run as raw — the caller's seams are all
+/// off, so bytes that merely resemble a codec header are not misdecoded.
+class DecodedRunSet {
+ public:
+  /// `metrics`/`trace`/`component` meter DECOMPRESS work (all optional).
+  DecodedRunSet(const std::vector<BufferView>& runs, bool allow_decode,
+                MetricsRegistry* metrics = nullptr,
+                TraceCollector* trace = nullptr,
+                std::string_view component = "kvstream");
+
+  const std::vector<std::string_view>& views() const { return views_; }
+
+  /// Total decoded (logical) bytes across all runs.
+  int64_t rawBytes() const { return raw_bytes_; }
+  /// Encoded wire bytes of the runs that actually decoded (0 when none).
+  int64_t encodedBytes() const { return encoded_bytes_; }
+  /// Extra resident bytes the decode materialized (the decoded buffers'
+  /// sizes — the encoded originals stay alive and charged by the caller),
+  /// i.e. what a heap budget should additionally charge.
+  int64_t decodedHeapBytes() const { return decoded_heap_bytes_; }
+
+ private:
+  std::vector<BufferView> owned_;  ///< originals or fresh decoded buffers
+  std::vector<std::string_view> views_;
+  int64_t raw_bytes_ = 0;
+  int64_t encoded_bytes_ = 0;
+  int64_t decoded_heap_bytes_ = 0;
+};
 
 }  // namespace mh::mr

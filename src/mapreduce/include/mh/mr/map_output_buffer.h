@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "mh/common/codec.h"
 #include "mh/common/trace.h"
 #include "mh/mr/job.h"
 
@@ -51,13 +52,16 @@ namespace mh::mr {
 
 class MapOutputBuffer {
  public:
-  /// `spec` supplies conf (budget keys) and the optional combiner factory;
-  /// `counters` receives the spill/combine counters; `heap` (optional) is
-  /// the TaskTracker budget callback; `fs`/`trace`/`trace_component`
-  /// (optional) plumb side-data access for combiners and SORT_SPILL spans.
+  /// `spec` supplies conf (budget keys, the map-output codec) and the
+  /// optional combiner factory; `counters` receives the spill/combine
+  /// counters; `heap` (optional) is the TaskTracker budget callback;
+  /// `fs`/`trace`/`trace_component` (optional) plumb side-data access for
+  /// combiners and SORT_SPILL spans; `metrics` (optional) hosts the
+  /// per-codec encode/decode histograms.
   MapOutputBuffer(const JobSpec& spec, Counters& counters,
                   TaskContext::HeapFn heap, FileSystemView* fs,
-                  TraceCollector* trace, std::string_view trace_component);
+                  TraceCollector* trace, std::string_view trace_component,
+                  MetricsRegistry* metrics = nullptr);
   ~MapOutputBuffer();
   MapOutputBuffer(const MapOutputBuffer&) = delete;
   MapOutputBuffer& operator=(const MapOutputBuffer&) = delete;
@@ -119,6 +123,9 @@ class MapOutputBuffer {
 
   void sortIndex();
   void spill();
+  /// Encodes one finished run in place when the map-output codec is on,
+  /// bumping the SPILL_RAW/COMPRESSED_BYTES counters. No-op otherwise.
+  void maybeEncodeRun(Bytes& run);
   /// Runs the combiner over the key-grouped records described by
   /// `entries[begin, end)` (one partition), appending re-sorted framed
   /// output to `out`. Returns records written.
@@ -134,9 +141,14 @@ class MapOutputBuffer {
   FileSystemView* fs_;
   TraceCollector* trace_;
   std::string trace_component_;
+  MetricsRegistry* metrics_;
 
   uint32_t partitions_;
   size_t spill_threshold_;
+  /// `mapred.map.output.compression.codec`: spill runs are encoded at
+  /// spill time, so the retained runs — and their heap charge — are the
+  /// compressed bytes.
+  CodecKind codec_ = CodecKind::kNone;
 
   Bytes arena_;
   std::vector<IndexEntry> index_;

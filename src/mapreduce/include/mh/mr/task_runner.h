@@ -35,13 +35,16 @@ struct MapTaskResult {
 /// Executes one map task over `split`. `heap` (optional) is the
 /// TaskTracker's memory-budget callback passed through to the TaskContext.
 /// `trace`/`trace_component` (optional) route phase events into the
-/// cluster's trace journal; the LocalJobRunner passes neither.
+/// cluster's trace journal; the LocalJobRunner passes neither. `metrics`
+/// (optional) hosts the per-codec encode/decode histograms when the
+/// map-output compression seam is on.
 /// Exceptions from user code propagate to the caller (task failure).
 MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
                          const InputSplit& split,
                          TaskContext::HeapFn heap = {},
                          TraceCollector* trace = nullptr,
-                         std::string_view trace_component = {});
+                         std::string_view trace_component = {},
+                         MetricsRegistry* metrics = nullptr);
 
 struct ReduceTaskResult {
   Counters counters;
@@ -50,12 +53,16 @@ struct ReduceTaskResult {
 
 /// Executes one reduce task over the collected map runs for `partition`
 /// (refcounted views — shuffled runs are merged in place, never copied)
-/// and commits output_dir/part-NNNNN via `fs`.
+/// and commits output_dir/part-NNNNN via `fs`. When a compression seam is
+/// on (`mapred.map.output.compression.codec` or `mapred.shuffle.compression`
+/// in the spec conf), encoded input runs decode at the merge input; the
+/// decoded working set is charged to `heap` for the task's duration.
 ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
                                uint32_t partition, uint32_t attempt,
                                const std::vector<BufferView>& input_runs,
                                TaskContext::HeapFn heap = {},
                                TraceCollector* trace = nullptr,
-                               std::string_view trace_component = {});
+                               std::string_view trace_component = {},
+                               MetricsRegistry* metrics = nullptr);
 
 }  // namespace mh::mr

@@ -117,6 +117,10 @@ class TaskTracker {
   Counter* shuffle_bytes_ = nullptr;
   Counter* map_spills_ = nullptr;
   Counter* spilled_records_ = nullptr;
+  /// Serve-side shuffle compression accounting: logical vs wire bytes of
+  /// runs served while `mapred.shuffle.compression` is on for the job.
+  Counter* shuffle_raw_bytes_ = nullptr;
+  Counter* shuffle_compressed_bytes_ = nullptr;
   LatencyHistogram* map_micros_ = nullptr;
   LatencyHistogram* reduce_micros_ = nullptr;
   LatencyHistogram* map_sort_micros_ = nullptr;

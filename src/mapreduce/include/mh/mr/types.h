@@ -64,6 +64,10 @@ inline constexpr const char* kReduceOutputRecords = "REDUCE_OUTPUT_RECORDS";
 inline constexpr const char* kSpilledRecords = "SPILLED_RECORDS";
 inline constexpr const char* kMapSpills = "MAP_SPILLS";
 inline constexpr const char* kMergeSegments = "MERGE_SEGMENTS";
+/// Spill-run bytes before/after map-output compression; equal counts are
+/// never recorded — both stay 0 while the codec is off.
+inline constexpr const char* kSpillRawBytes = "SPILL_RAW_BYTES";
+inline constexpr const char* kSpillCompressedBytes = "SPILL_COMPRESSED_BYTES";
 
 inline constexpr const char* kJobGroup = "job";
 inline constexpr const char* kDataLocalMaps = "DATA_LOCAL_MAPS";
@@ -79,6 +83,11 @@ inline constexpr const char* kShuffleGroup = "shuffle";
 inline constexpr const char* kShuffleBytes = "SHUFFLE_BYTES";
 inline constexpr const char* kShuffleFetchMillis = "SHUFFLE_FETCH_MILLIS";
 inline constexpr const char* kShuffleFetchRetries = "SHUFFLE_FETCH_RETRIES";
+/// Reduce-input run bytes after/before decoding shuffled payloads; both
+/// stay 0 while no compression seam is enabled.
+inline constexpr const char* kShuffleRawBytes = "SHUFFLE_RAW_BYTES";
+inline constexpr const char* kShuffleCompressedBytes =
+    "SHUFFLE_COMPRESSED_BYTES";
 }  // namespace counters
 
 }  // namespace mh::mr

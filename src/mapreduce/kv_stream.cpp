@@ -20,4 +20,25 @@ Bytes encodeKvRun(const std::vector<KeyValue>& records) {
   return out;
 }
 
+DecodedRunSet::DecodedRunSet(const std::vector<BufferView>& runs,
+                             bool allow_decode, MetricsRegistry* metrics,
+                             TraceCollector* trace,
+                             std::string_view component) {
+  owned_.reserve(runs.size());
+  views_.reserve(runs.size());
+  for (const BufferView& run : runs) {
+    if (allow_decode && isEncodedStream(run.view())) {
+      Buffer decoded = codecDecode(run.view(), metrics, trace, component);
+      encoded_bytes_ += static_cast<int64_t>(run.size());
+      raw_bytes_ += static_cast<int64_t>(decoded.size());
+      decoded_heap_bytes_ += static_cast<int64_t>(decoded.size());
+      owned_.emplace_back(std::move(decoded));
+    } else {
+      raw_bytes_ += static_cast<int64_t>(run.size());
+      owned_.push_back(run);
+    }
+    views_.push_back(owned_.back().view());
+  }
+}
+
 }  // namespace mh::mr

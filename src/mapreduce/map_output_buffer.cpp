@@ -45,14 +45,18 @@ int64_t writeSortedRecords(std::vector<KeyValue>& records, Bytes& out) {
 MapOutputBuffer::MapOutputBuffer(const JobSpec& spec, Counters& counters,
                                  TaskContext::HeapFn heap, FileSystemView* fs,
                                  TraceCollector* trace,
-                                 std::string_view trace_component)
+                                 std::string_view trace_component,
+                                 MetricsRegistry* metrics)
     : spec_(spec),
       counters_(counters),
       heap_(std::move(heap)),
       fs_(fs),
       trace_(trace),
       trace_component_(trace_component),
-      partitions_(spec.num_reducers) {
+      metrics_(metrics),
+      partitions_(spec.num_reducers),
+      codec_(codecFromName(
+          spec.conf.get("mapred.map.output.compression.codec", "none"))) {
   // Offsets are 32-bit, so the budget must stay under 4 GiB; 2047 MiB
   // leaves headroom for one oversized record past the threshold.
   const int64_t sort_mb =
@@ -198,6 +202,17 @@ int64_t MapOutputBuffer::combineIndexRange(size_t begin, size_t end,
   return writeSortedRecords(combined, out);
 }
 
+void MapOutputBuffer::maybeEncodeRun(Bytes& run) {
+  if (codec_ == CodecKind::kNone || run.empty()) return;
+  counters_.increment(kTaskGroup, kSpillRawBytes,
+                      static_cast<int64_t>(run.size()));
+  Bytes encoded =
+      codecEncode(codec_, run, metrics_, trace_, trace_component_);
+  counters_.increment(kTaskGroup, kSpillCompressedBytes,
+                      static_cast<int64_t>(encoded.size()));
+  run = std::move(encoded);
+}
+
 void MapOutputBuffer::spill() {
   if (index_.empty()) return;
   TraceSpan span(trace_, trace_component_,
@@ -227,6 +242,10 @@ void MapOutputBuffer::spill() {
     }
     i = j;
   }
+
+  // Encode each finished run before retaining it: the working set (and the
+  // heap charge below) holds only the compressed bytes.
+  for (Bytes& run : runs) maybeEncodeRun(run);
 
   size_t run_bytes = 0;
   for (const Bytes& run : runs) run_bytes += run.size();
@@ -267,9 +286,21 @@ std::vector<Bytes> MapOutputBuffer::finish() {
     // Multi-spill: per partition, loser-tree merge of the spill runs, with
     // one more combine pass over the merged stream (Hadoop's final merge).
     for (uint32_t p = 0; p < partitions_; ++p) {
+      // Encoded spill runs decode transiently for this partition's merge;
+      // the decoded buffers die with the iteration.
+      std::vector<Buffer> decoded;
       std::vector<std::string_view> views;
+      decoded.reserve(spills_.size());
       views.reserve(spills_.size());
-      for (const auto& spill : spills_) views.push_back(spill[p]);
+      for (const auto& spill : spills_) {
+        if (codec_ != CodecKind::kNone && isEncodedStream(spill[p])) {
+          decoded.push_back(
+              codecDecode(spill[p], metrics_, trace_, trace_component_));
+          views.push_back(decoded.back().view());
+        } else {
+          views.push_back(spill[p]);
+        }
+      }
       KvRunMerger merger(views);
 
       int64_t records_out = 0;
@@ -301,8 +332,11 @@ std::vector<Bytes> MapOutputBuffer::finish() {
           }
         }
       }
-      // Hadoop counts the final merge's rewrite as spilled records too.
+      // Hadoop counts the final merge's rewrite as spilled records too —
+      // and the re-encoded final run counts toward the byte counters the
+      // same way.
       counters_.increment(kTaskGroup, kSpilledRecords, records_out);
+      maybeEncodeRun(result[p]);
     }
   }
 

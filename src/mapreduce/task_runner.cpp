@@ -15,7 +15,8 @@ using namespace counters;
 MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
                          const InputSplit& split, TaskContext::HeapFn heap,
                          TraceCollector* trace,
-                         std::string_view trace_component) {
+                         std::string_view trace_component,
+                         MetricsRegistry* metrics) {
   Stopwatch watch;
   MapTaskResult result;
   Counters& c = result.counters;
@@ -26,7 +27,7 @@ MapTaskResult runMapTask(const JobSpec& spec, FileSystemView& fs,
 
   // Collect into the arena-backed sort/spill buffer: no per-record
   // allocation, bounded working set (io.sort.mb), combiner run per spill.
-  MapOutputBuffer buffer(spec, c, heap, &fs, trace, trace_component);
+  MapOutputBuffer buffer(spec, c, heap, &fs, trace, trace_component, metrics);
   TaskContext map_ctx(
       spec.conf, c,
       [&](Bytes key, Bytes value) {
@@ -60,18 +61,46 @@ ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
                                uint32_t partition, uint32_t attempt,
                                const std::vector<BufferView>& input_runs,
                                TaskContext::HeapFn heap, TraceCollector* trace,
-                               std::string_view trace_component) {
+                               std::string_view trace_component,
+                               MetricsRegistry* metrics) {
   Stopwatch watch;
   ReduceTaskResult result;
   Counters& c = result.counters;
 
+  // Compression seams deliver whole runs as framed codec streams; unwrap
+  // them at the merge input. The conf gate keeps raw bytes that merely
+  // resemble a codec header from being misdecoded when both seams are off.
+  const bool seams_on =
+      codecFromName(spec.conf.get("mapred.map.output.compression.codec",
+                                  "none")) != CodecKind::kNone ||
+      codecFromName(spec.conf.get("mapred.shuffle.compression", "none")) !=
+          CodecKind::kNone;
+  DecodedRunSet run_set(input_runs, seams_on, metrics, trace,
+                        trace_component);
+  if (run_set.encodedBytes() > 0) {
+    c.increment(kShuffleGroup, kShuffleCompressedBytes,
+                run_set.encodedBytes());
+    c.increment(kShuffleGroup, kShuffleRawBytes, run_set.rawBytes());
+  }
+  // The decoded buffers join the reduce working set for the whole merge;
+  // charge them alongside the fetched (encoded) runs the caller charged.
+  struct DecodeHeapGuard {
+    TaskContext::HeapFn* heap;
+    int64_t amount = 0;
+    ~DecodeHeapGuard() {
+      if (amount != 0 && *heap) (*heap)(-amount);
+    }
+  } decode_guard{&heap};
+  if (heap && run_set.decodedHeapBytes() > 0) {
+    decode_guard.amount = run_set.decodedHeapBytes();
+    heap(decode_guard.amount);
+  }
+
   // Merge phase: each input run is already key-sorted, so stream them
-  // through a k-way merge — no run is ever decoded whole, and keys/values
-  // reach the reducer as views into the fetched buffers.
-  std::vector<std::string_view> views;
-  views.reserve(input_runs.size());
-  for (const BufferView& run : input_runs) views.push_back(run.view());
-  KvRunMerger merger(views);
+  // through a k-way merge — no run is ever decoded whole beyond that
+  // unwrap, and keys/values reach the reducer as views into the fetched
+  // (or freshly decoded) buffers.
+  KvRunMerger merger(run_set.views());
   c.increment(kTaskGroup, kMergeSegments,
               static_cast<int64_t>(merger.segmentCount()));
   if (trace != nullptr) {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "mh/common/codec.h"
 #include "mh/common/error.h"
 #include "mh/common/log.h"
 #include "mh/common/stopwatch.h"
@@ -140,6 +141,8 @@ TaskTracker::TaskTracker(Config conf, std::shared_ptr<net::Network> network,
   shuffle_bytes_ = &metrics_->counter("shuffle_bytes");
   map_spills_ = &metrics_->counter("map_spills");
   spilled_records_ = &metrics_->counter("spilled_records");
+  shuffle_raw_bytes_ = &metrics_->counter("shuffle.raw.bytes");
+  shuffle_compressed_bytes_ = &metrics_->counter("shuffle.compressed.bytes");
   map_micros_ = &metrics_->histogram("task.map.micros");
   reduce_micros_ = &metrics_->histogram("task.reduce.micros");
   map_sort_micros_ = &metrics_->histogram("map.sort.micros");
@@ -346,7 +349,7 @@ void TaskTracker::runMapAssignment(const TaskAssignment& assignment) {
     HdfsFs fs(std::move(dfs));
     auto result = runMapTask(*spec, fs, assignment.split,
                              [this](int64_t d) { chargeHeap(d); }, tracer_,
-                             "tasktracker." + host_);
+                             "tasktracker." + host_, metrics_);
     outputs_.put(assignment.job, assignment.task_index,
                  std::move(result.partitions));
     report.succeeded = true;
@@ -410,7 +413,7 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
     auto result = runReduceTask(*spec, fs, assignment.task_index,
                                 assignment.attempt, runs,
                                 [this](int64_t d) { chargeHeap(d); }, tracer_,
-                                "tasktracker." + host_);
+                                "tasktracker." + host_, metrics_);
     result.counters.merge(shuffle_counters);
     report.succeeded = true;
     report.counters = result.counters.snapshot();
@@ -442,9 +445,47 @@ void TaskTracker::installRpc() {
     if (req.method == "getMapOutput") {
       const auto [job, map_index, partition] =
           unpack<uint32_t, uint32_t, uint32_t>(req.body.view());
+      const std::shared_ptr<const Bytes> run =
+          outputs_.get(job, map_index, partition);
+
+      // Shuffle seam (`mapred.shuffle.compression`, a job-level key). The
+      // common fast path — map-output codec on, shuffle codec on — ships
+      // the STORED frames as a wrapped view with no re-encode at all; the
+      // reducer decodes at merge input. The off-diagonal cases encode or
+      // decode at serve time so each seam stays independently switchable.
+      CodecKind shuffle = CodecKind::kNone;
+      try {
+        shuffle = codecFromName(registry_->get(job)->conf.get(
+            "mapred.shuffle.compression", "none"));
+      } catch (const std::exception&) {
+        // Unknown job spec (purged mid-serve): serve the bytes as stored.
+      }
+      const bool encoded = isEncodedStream(*run);
+      if (shuffle != CodecKind::kNone) {
+        if (!run->empty() && !encoded) {
+          // Stored raw (map-output codec off): encode for the wire.
+          Bytes wire = codecEncode(shuffle, *run, metrics_, tracer_,
+                                   "tasktracker." + host_);
+          shuffle_raw_bytes_->add(static_cast<int64_t>(run->size()));
+          shuffle_compressed_bytes_->add(static_cast<int64_t>(wire.size()));
+          return BufferView(Buffer::fromString(std::move(wire)));
+        }
+        if (encoded) {
+          shuffle_raw_bytes_->add(
+              static_cast<int64_t>(encodedStreamInfo(*run).raw_size));
+          shuffle_compressed_bytes_->add(static_cast<int64_t>(run->size()));
+        }
+        return BufferView(Buffer::wrap(run));
+      }
+      if (encoded) {
+        // Stored compressed but shuffle compression off: decode at serve so
+        // the wire carries plain kv bytes (seam independence).
+        return BufferView(codecDecode(*run, metrics_, tracer_,
+                                      "tasktracker." + host_));
+      }
       // The store hands back a refcounted run; wrapping it is the whole
       // serve — a zero-copy fetcher merges straight out of this buffer.
-      return BufferView(Buffer::wrap(outputs_.get(job, map_index, partition)));
+      return BufferView(Buffer::wrap(run));
     }
     throw InvalidArgumentError("tasktracker: unknown RPC method " +
                                req.method);

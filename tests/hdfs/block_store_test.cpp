@@ -228,6 +228,141 @@ TEST(FileBlockStoreTest, AdoptsExistingBlocksOnRestart) {
   fs::remove_all(root);
 }
 
+// Compression seam: same contract, replicas resident as framed streams.
+class CompressedBlockStoreTest : public BlockStoreTest {
+ protected:
+  void SetUp() override {
+    BlockStoreTest::SetUp();
+    store_->configureCodec(codecFromName("mh-lz"));
+  }
+
+  static Bytes compressiblePayload(size_t n) {
+    Bytes out;
+    while (out.size() < n) out += "hdfs block compression seam payload ";
+    out.resize(n);
+    return out;
+  }
+};
+
+TEST_P(CompressedBlockStoreTest, RoundTripReportsRawAndStoredSizes) {
+  const Bytes payload = compressiblePayload(100'000);
+  store_->writeBlock(7, payload);
+  EXPECT_EQ(store_->readBlock(7), payload);
+  // blockSize is the logical size the namespace accounts in; the resident
+  // replica (and usedBytes) is the compressed stream.
+  EXPECT_EQ(store_->blockSize(7), payload.size());
+  EXPECT_LT(store_->storedSize(7), payload.size() / 2);
+  EXPECT_EQ(store_->usedBytes(), store_->storedSize(7));
+  const StoredReplica replica = store_->readStored(7);
+  EXPECT_EQ(replica.codec, CodecKind::kMhLz);
+  EXPECT_EQ(replica.raw_size, payload.size());
+  EXPECT_EQ(replica.stored.size(), store_->storedSize(7));
+}
+
+TEST_P(CompressedBlockStoreTest, RangeReadDecodesOnlyCoveringFrames) {
+  const Bytes payload = compressiblePayload(3 * kCodecFrameRawBytes + 1000);
+  store_->writeBlock(4, payload);
+  for (size_t off : {size_t{0}, kCodecFrameRawBytes - 3,
+                     2 * kCodecFrameRawBytes + 11, payload.size() - 1}) {
+    EXPECT_EQ(store_->readBlockRange(4, off, 200),
+              std::string_view(payload).substr(off, 200));
+  }
+  EXPECT_EQ(store_->readBlockRange(4, payload.size(), 5), "");
+  EXPECT_THROW(store_->readBlockRange(4, payload.size() + 1, 1),
+               InvalidArgumentError);
+}
+
+TEST_P(CompressedBlockStoreTest, CorruptionDetectedOnCompressedReplica) {
+  store_->writeBlock(9, compressiblePayload(50'000));
+  store_->readBlock(9);  // verified-once cache primed on the stored form
+  store_->corruptBlock(9, 2000);
+  // Chunk CRCs cover the stored bytes, so the flip is caught before decode.
+  EXPECT_THROW(store_->readBlock(9), ChecksumError);
+  const auto bad = store_->scanAll();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], 9u);
+}
+
+TEST_P(CompressedBlockStoreTest, AdoptedCorruptFrameFailsAtDecode) {
+  // Replication receive: chunk checksums are computed over the wire bytes,
+  // so a frame corrupted in transit passes chunk verification but the
+  // frame CRC rejects it at decode — the same ChecksumError shape that
+  // drives replica sweeps.
+  const Bytes payload = compressiblePayload(50'000);
+  Bytes stream = codecEncode(CodecKind::kMhLz, payload);
+  stream[stream.size() - 20] ^= 0x10;  // corrupt "in transit"
+  store_->adoptStored(3, stream);
+  EXPECT_EQ(store_->blockSize(3), payload.size());
+  EXPECT_THROW(store_->readBlock(3), Error);
+  try {
+    store_->readBlock(3);
+    FAIL() << "corrupt adopted frame must not decode";
+  } catch (const ChecksumError&) {
+  } catch (const InvalidArgumentError&) {
+    // Depending on which byte the flip lands in, damage may be structural.
+  }
+}
+
+TEST_P(CompressedBlockStoreTest, RawReplicasRemainReadable) {
+  // A block written before compression was enabled must stay readable.
+  store_->configureCodec(CodecKind::kNone);
+  store_->writeBlock(1, "written before the codec era");
+  store_->configureCodec(codecFromName("mh-lz"));
+  EXPECT_EQ(store_->readBlock(1), "written before the codec era");
+  EXPECT_EQ(store_->readStored(1).codec, CodecKind::kNone);
+}
+
+TEST_P(CompressedBlockStoreTest, CodecMismatchIsIoErrorNotChecksumError) {
+  // An mh-lz replica served by a store configured for a different codec is
+  // a configuration error, not data corruption — it must not trigger the
+  // replica-sweep machinery.
+  store_->writeBlock(2, compressiblePayload(10'000));
+  store_->configureCodec(codecFromName("var-rle"));
+  try {
+    store_->readBlock(2);
+    FAIL() << "cross-codec read must be rejected";
+  } catch (const ChecksumError&) {
+    FAIL() << "mismatch must not masquerade as corruption";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("mh-lz"), std::string::npos);
+  }
+}
+
+TEST_P(CompressedBlockStoreTest, EmptyBlockCompressed) {
+  store_->writeBlock(1, "");
+  EXPECT_EQ(store_->readBlock(1), "");
+  EXPECT_EQ(store_->blockSize(1), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, CompressedBlockStoreTest,
+                         ::testing::Values("mem", "file"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(FileBlockStoreTest, CompressedReplicaSurvivesRestart) {
+  const fs::path root = fs::temp_directory_path() /
+                        ("mh_bs_codec_restart_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  Bytes payload;
+  while (payload.size() < 80'000) payload += "restart survives compression ";
+  {
+    FileBlockStore store(root);
+    store.configureCodec(codecFromName("mh-lz"));
+    store.writeBlock(11, payload);
+  }
+  {
+    FileBlockStore store(root);  // restart: meta v2 carries codec + raw size
+    store.configureCodec(codecFromName("mh-lz"));
+    ASSERT_TRUE(store.hasBlock(11));
+    EXPECT_EQ(store.blockSize(11), payload.size());
+    EXPECT_LT(store.storedSize(11), payload.size());
+    EXPECT_EQ(store.readBlock(11), payload);
+    EXPECT_TRUE(store.scanAll().empty());
+  }
+  fs::remove_all(root);
+}
+
 TEST(ChunkChecksumTest, ChunkCountMatchesPayload) {
   EXPECT_EQ(chunkChecksums("").size(), 1u);
   EXPECT_EQ(chunkChecksums(Bytes(512, 'x')).size(), 1u);

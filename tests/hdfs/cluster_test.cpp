@@ -169,6 +169,51 @@ TEST(MiniDfsClusterTest, ClientReadFallsOverOnCorruptReplica) {
               cluster.waitHealthy(15'000));
 }
 
+TEST(MiniDfsClusterTest, FrameCrcMismatchSweepsReplicaLikeChecksumError) {
+  // Compressed at-rest replicas have two integrity layers: chunk CRCs over
+  // the stored bytes and per-frame CRCs over the raw bytes. Poison one
+  // replica so only the frame CRC can object (adoptStored recomputes chunk
+  // CRCs over the bytes it is given — the transit-corruption shape), and
+  // the read path must fall over to the good replica and report the bad
+  // one exactly as a chunk-checksum failure would.
+  Config conf = fastConf();
+  conf.set("dfs.block.compression.codec", "mh-lz");
+  conf.setInt("dfs.blocksize", 4096);
+  MiniDfsCluster cluster({.num_datanodes = 3, .conf = conf});
+  auto writer = cluster.client("node01");
+  Bytes payload;
+  while (payload.size() < 3000) payload += "frame crc sweeps the replica ";
+  writer.writeFile("/f", payload);
+  ASSERT_TRUE(cluster.waitHealthy());
+  const auto located = writer.getBlockLocations("/f");
+
+  // Find a single-bit corruption the frame CRC (not frame structure)
+  // rejects, and adopt it on the local replica holder.
+  const Bytes stream = codecEncode(CodecKind::kMhLz, payload);
+  Bytes bad;
+  for (size_t pos = kCodecHeaderBytes; pos < stream.size() && bad.empty();
+       ++pos) {
+    Bytes candidate = stream;
+    candidate[pos] = static_cast<char>(candidate[pos] ^ 0x01);
+    try {
+      codecDecode(candidate);
+    } catch (const ChecksumError&) {
+      bad = candidate;
+    } catch (const InvalidArgumentError&) {
+    }
+  }
+  ASSERT_FALSE(bad.empty());
+  cluster.dataNode("node01").store().adoptStored(located[0].block.id, bad);
+
+  // Local-first read hits the poisoned frame, falls over, still decodes.
+  EXPECT_EQ(cluster.client("node01").readFile("/f"), payload);
+  EXPECT_TRUE(cluster.nameNode().fsck().corrupt_blocks > 0 ||
+              cluster.waitHealthy(15'000));
+  // After the sweep converges the cluster is healthy and byte-exact.
+  ASSERT_TRUE(cluster.waitHealthy(15'000));
+  EXPECT_EQ(cluster.client().readFile("/f"), payload);
+}
+
 TEST(MiniDfsClusterTest, NameNodeRestartSafeModeLifecycle) {
   MiniDfsCluster cluster({.num_datanodes = 3, .conf = fastConf()});
   auto client = cluster.client();

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "mh/common/rng.h"
+#include "mh/mr/mini_mr_cluster.h"
+#include "mr_test_jobs.h"
+#include "testutil/aggressive_timers.h"
+
+/// The three compression seams (block at rest, map-output spill, shuffle)
+/// switch independently; any subset must leave job outputs byte-identical
+/// to the all-off baseline while the seam-specific raw/compressed counters
+/// show the codec actually engaged.
+
+namespace mh::mr {
+namespace {
+
+using namespace testjobs;
+using namespace counters;
+
+std::string makeCorpus(int lines, uint64_t seed) {
+  static const char* kWords[] = {"compress", "block", "spill",   "shuffle",
+                                 "frame",    "codec", "replica", "merge"};
+  Rng rng(seed);
+  std::string corpus;
+  for (int i = 0; i < lines; ++i) {
+    const auto words = 1 + rng.uniform(8);
+    for (uint64_t w = 0; w < words; ++w) {
+      corpus += kWords[rng.uniform(8)];
+      corpus.push_back(w + 1 == words ? '\n' : ' ');
+    }
+  }
+  return corpus;
+}
+
+struct SeamRun {
+  std::vector<Bytes> parts;  ///< part file bytes, name order
+  JobResult result;
+  int64_t dn_raw = 0, dn_compressed = 0;  ///< datanode block.{raw,comp}.bytes
+  int64_t tt_raw = 0, tt_compressed = 0;  ///< tracker shuffle.{raw,comp}
+};
+
+SeamRun runWithSeams(const std::string& corpus, const std::string& block,
+                     const std::string& mapout, const std::string& shuffle) {
+  Config conf = testutil::aggressiveTimers();
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 4096);
+  conf.set("dfs.block.compression.codec", block);
+
+  MiniMrCluster cluster({.num_nodes = 3, .conf = conf});
+  auto client = cluster.client();
+  client.writeFile("/in/corpus.txt", corpus);
+
+  // Map-output and shuffle codecs are job-level settings: they ride the
+  // JobSpec conf to every task, not the daemons' cluster conf.
+  JobSpec spec = wordCountSpec({"/in"}, "/out", false, 3);
+  spec.conf.set("mapred.map.output.compression.codec", mapout);
+  spec.conf.set("mapred.shuffle.compression", shuffle);
+
+  SeamRun run;
+  run.result = cluster.runJob(std::move(spec));
+  if (!run.result.succeeded()) return run;
+
+  std::vector<std::string> files = client.listFilesRecursive("/out");
+  std::sort(files.begin(), files.end());
+  for (const auto& f : files) {
+    if (f.find("part-") == std::string::npos) continue;
+    run.parts.push_back(client.readFile(f));
+  }
+  for (const auto& host : cluster.trackerHosts()) {
+    auto& dn = cluster.metrics().child("datanode." + host);
+    run.dn_raw += dn.counterValue("block.raw.bytes");
+    run.dn_compressed += dn.counterValue("block.compressed.bytes");
+    auto& tt = cluster.metrics().child("tasktracker." + host);
+    run.tt_raw += tt.counterValue("shuffle.raw.bytes");
+    run.tt_compressed += tt.counterValue("shuffle.compressed.bytes");
+  }
+  return run;
+}
+
+TEST(CompressionSeamsTest, EverySeamSubsetIsByteIdentical) {
+  const std::string corpus = makeCorpus(400, 21);
+
+  const SeamRun off = runWithSeams(corpus, "none", "none", "none");
+  ASSERT_TRUE(off.result.succeeded()) << off.result.error;
+  ASSERT_EQ(off.parts.size(), 3u);
+  EXPECT_EQ(off.dn_compressed, 0);
+  EXPECT_EQ(off.tt_compressed, 0);
+  EXPECT_EQ(off.result.counters.value(kTaskGroup, kSpillRawBytes), 0);
+
+  // Seam 1: blocks at rest. The DataNodes store framed replicas (and
+  // replicate them compressed), yet reads reassemble the raw file.
+  const SeamRun block = runWithSeams(corpus, "mh-lz", "none", "none");
+  ASSERT_TRUE(block.result.succeeded()) << block.result.error;
+  EXPECT_EQ(block.parts, off.parts);
+  EXPECT_GT(block.dn_raw, 0);
+  EXPECT_GT(block.dn_compressed, 0);
+  EXPECT_LT(block.dn_compressed, block.dn_raw);
+
+  // Seam 2: map-output spills. Stored runs shrink; outputs don't change.
+  const SeamRun spill = runWithSeams(corpus, "none", "mh-lz", "none");
+  ASSERT_TRUE(spill.result.succeeded()) << spill.result.error;
+  EXPECT_EQ(spill.parts, off.parts);
+  const auto spill_raw = spill.result.counters.value(kTaskGroup,
+                                                     kSpillRawBytes);
+  EXPECT_GT(spill_raw, 0);
+  EXPECT_LT(spill.result.counters.value(kTaskGroup, kSpillCompressedBytes),
+            spill_raw);
+
+  // Seam 3: shuffle. Trackers serve encoded runs; reducers meter the
+  // decode. Fewer bytes cross the wire than the raw runs they carry.
+  const SeamRun wire = runWithSeams(corpus, "none", "none", "mh-lz");
+  ASSERT_TRUE(wire.result.succeeded()) << wire.result.error;
+  EXPECT_EQ(wire.parts, off.parts);
+  EXPECT_GT(wire.tt_raw, 0);
+  EXPECT_LT(wire.tt_compressed, wire.tt_raw);
+  const auto fetched_raw = wire.result.counters.value(kShuffleGroup,
+                                                      kShuffleRawBytes);
+  EXPECT_GT(fetched_raw, 0);
+  EXPECT_LT(wire.result.counters.value(kShuffleGroup,
+                                       kShuffleCompressedBytes),
+            fetched_raw);
+  EXPECT_LT(wire.result.counters.value(kShuffleGroup, kShuffleBytes),
+            off.result.counters.value(kShuffleGroup, kShuffleBytes));
+
+  // All three at once.
+  const SeamRun all = runWithSeams(corpus, "mh-lz", "mh-lz", "mh-lz");
+  ASSERT_TRUE(all.result.succeeded()) << all.result.error;
+  EXPECT_EQ(all.parts, off.parts);
+  EXPECT_GT(all.dn_compressed, 0);
+  EXPECT_GT(all.tt_raw, 0);
+  EXPECT_GT(all.result.counters.value(kTaskGroup, kSpillCompressedBytes), 0);
+}
+
+TEST(CompressionSeamsTest, MapOutputPlusShuffleServesStoredFramesAsIs) {
+  // With both task seams on the same codec, getMapOutput ships the stored
+  // frames untouched — the raw/compressed ratio the tracker reports equals
+  // the spill-side ratio (no re-encode at serve time).
+  const std::string corpus = makeCorpus(300, 33);
+  const SeamRun run = runWithSeams(corpus, "none", "mh-lz", "mh-lz");
+  ASSERT_TRUE(run.result.succeeded()) << run.result.error;
+  EXPECT_GT(run.tt_compressed, 0);
+  EXPECT_LT(run.tt_compressed, run.tt_raw);
+
+  const SeamRun off = runWithSeams(corpus, "none", "none", "none");
+  ASSERT_TRUE(off.result.succeeded()) << off.result.error;
+  EXPECT_EQ(run.parts, off.parts);
+}
+
+TEST(CompressionSeamsTest, VarRleSeamAlsoRoundTrips) {
+  // The seams are codec-agnostic: the fallback codec must satisfy the same
+  // byte-identity contract even where it barely compresses.
+  const std::string corpus = makeCorpus(200, 44);
+  const SeamRun off = runWithSeams(corpus, "none", "none", "none");
+  const SeamRun rle = runWithSeams(corpus, "var-rle", "var-rle", "var-rle");
+  ASSERT_TRUE(off.result.succeeded()) << off.result.error;
+  ASSERT_TRUE(rle.result.succeeded()) << rle.result.error;
+  EXPECT_EQ(rle.parts, off.parts);
+}
+
+}  // namespace
+}  // namespace mh::mr

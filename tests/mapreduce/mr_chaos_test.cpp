@@ -65,18 +65,36 @@ Config chaosConf(uint64_t seed) {
   // byte-identical output, same counters. Both the reference and the chaos
   // run share this conf, so the comparison stays apples-to-apples.
   if (seed == 6) conf.setBool("dfs.client.read.shortcircuit", true);
+  // Two seeds (one per exemplar job) run with blocks stored compressed —
+  // re-replication after a killed node ships framed replicas, and a fetch
+  // retried through chaos decodes the same bytes.
+  if (seed == 4 || seed == 7) conf.set("dfs.block.compression.codec", "mh-lz");
   return conf;
+}
+
+/// Seeds 4 and 7 also turn on the two task-side seams, so those chaos runs
+/// exercise compressed spills and a compressed shuffle under node kills,
+/// dropped fetches, and re-executed maps.
+void applySeamsForSeed(JobSpec& spec, uint64_t seed) {
+  if (seed == 4 || seed == 7) {
+    spec.conf.set("mapred.map.output.compression.codec", "mh-lz");
+    spec.conf.set("mapred.shuffle.compression", "mh-lz");
+  }
 }
 
 /// The per-seed job: even seeds run WordCount-with-combiner, odd seeds the
 /// airline mean-delay job, so both exemplar jobs get chaos coverage.
 JobSpec jobForSeed(uint64_t seed) {
+  JobSpec spec;
   if (seed % 2 == 0) {
-    return wordCountSpec({"/in"}, "/out", /*with_combiner=*/true,
+    spec = wordCountSpec({"/in"}, "/out", /*with_combiner=*/true,
                          /*reducers=*/2);
+  } else {
+    spec = apps::makeAirlineDelayJob(apps::AirlineVariant::kCombiner, {"/in"},
+                                     "/out", /*num_reducers=*/2);
   }
-  return apps::makeAirlineDelayJob(apps::AirlineVariant::kCombiner, {"/in"},
-                                   "/out", /*num_reducers=*/2);
+  applySeamsForSeed(spec, seed);
+  return spec;
 }
 
 void stageInput(MiniMrCluster& cluster, uint64_t seed) {

@@ -174,6 +174,42 @@ TEST_F(SortSpillTest, HeapPeakStaysNearSortBudgetNotInputSize) {
   EXPECT_EQ(cur, 0);
 }
 
+/// Map-output compression seam: spill runs are encoded at spill time, the
+/// compressed (not raw) bytes are what the memory budget retains, and the
+/// multi-spill merge — which must transiently decode each spill run —
+/// commits byte-identical part files vs the uncompressed run.
+TEST_F(SortSpillTest, CompressedSpillsMergeByteIdentically) {
+  const std::string corpus = makeCorpus(2000, 11);
+  local_->writeFile(p("in.txt"), corpus);
+  LocalJobRunner runner(*local_);
+
+  auto plain = wordCountSpec({p("in.txt")}, p("out_plain"), false, 3);
+  plain.conf.setInt("io.sort.mb", 1);
+  plain.conf.setDouble("io.sort.spill.percent", 0.05);
+  auto packed = wordCountSpec({p("in.txt")}, p("out_packed"), false, 3);
+  packed.conf.setInt("io.sort.mb", 1);
+  packed.conf.setDouble("io.sort.spill.percent", 0.05);
+  packed.conf.set("mapred.map.output.compression.codec", "mh-lz");
+
+  const auto plain_result = runner.run(std::move(plain));
+  const auto packed_result = runner.run(std::move(packed));
+  ASSERT_TRUE(plain_result.succeeded()) << plain_result.error;
+  ASSERT_TRUE(packed_result.succeeded()) << packed_result.error;
+  ASSERT_GE(packed_result.counters.value(kTaskGroup, kMapSpills), 3);
+
+  // Every spilled run was metered through the codec, and word-count text
+  // compresses: the retained form is strictly smaller than the raw runs.
+  const auto raw = packed_result.counters.value(kTaskGroup, kSpillRawBytes);
+  const auto packed_bytes =
+      packed_result.counters.value(kTaskGroup, kSpillCompressedBytes);
+  ASSERT_GT(raw, 0);
+  EXPECT_LT(packed_bytes, raw);
+  EXPECT_EQ(plain_result.counters.value(kTaskGroup, kSpillRawBytes), 0);
+
+  EXPECT_EQ(partFileBytes(p("out_packed")), partFileBytes(p("out_plain")));
+  EXPECT_EQ(readCounts(*local_, p("out_packed")), referenceCounts(corpus));
+}
+
 /// Sanity for the comfortable case: a small task spills exactly once at
 /// finish() and SPILLED_RECORDS degenerates to MAP_OUTPUT_RECORDS.
 TEST_F(SortSpillTest, SingleSpillTaskWritesEachRecordOnce) {
