@@ -1,0 +1,152 @@
+// Tentpole benchmark — causal tracing & critical-path analysis. Three
+// parts:
+//
+//  1. Disabled fast path: 10M instant() calls against a disabled
+//     collector. The contract is one relaxed atomic load per call — no
+//     clock read, no id, no allocation — so this must stay in the
+//     single-digit-ns range (gate: < 100 ns/op, generous for shared CI).
+//  2. End-to-end overhead: the same WordCount untraced vs traced with the
+//     metrics snapshotter sampling at 20 ms (reported, not gated — short
+//     jobs on shared runners are too noisy for a wall-clock gate).
+//  3. Trace quality gates on the traced run: the job's events form one
+//     connected tree spanning all daemon kinds, zero ring drops, and the
+//     critical-path phases partition the job's wall time exactly.
+//
+// Artifacts (uploaded by CI): trace.json (chrome://tracing /
+// ui.perfetto.dev), critical_path.txt, metrics_timeseries.jsonl, and the
+// machine-readable summary BENCH_trace.json (or argv[1]). Exits non-zero
+// if a gate fails.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "mh/apps/wordcount.h"
+#include "mh/common/rng.h"
+#include "mh/common/stopwatch.h"
+#include "mh/common/trace_analysis.h"
+#include "mh/mr/mini_mr_cluster.h"
+
+namespace {
+
+using namespace mh;
+
+std::string corpus(size_t n, uint64_t seed) {
+  static const char* kWords[] = {"data",  "local", "block", "shuffle",
+                                 "merge", "sort",  "map",   "reduce",
+                                 "spill", "fetch", "track", "heart"};
+  Rng rng(seed);
+  std::string out;
+  while (out.size() < n) {
+    out += kWords[rng.uniform(12)];
+    out.push_back(rng.chance(0.12) ? '\n' : ' ');
+  }
+  return out;
+}
+
+int64_t runWordCount(mr::MiniMrCluster& cluster, const std::string& text,
+                     mr::JobResult* result) {
+  cluster.client().writeFile("/in/corpus.txt", text);
+  Stopwatch sw;
+  *result = cluster.runJob(
+      apps::makeWordCountJob({"/in"}, "/out", /*with_combiner=*/false, 3));
+  return sw.elapsedMillis();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_trace.json";
+  const std::string text = corpus(2 * 1024 * 1024, 9);
+
+  // ---- 1. Disabled fast path. --------------------------------------------
+  constexpr int kOps = 10'000'000;
+  TraceCollector off;  // disabled is the default
+  Stopwatch sw;
+  for (int i = 0; i < kOps; ++i) off.instant("bench", "NOP");
+  const double disabled_ns =
+      static_cast<double>(sw.elapsedMicros()) * 1000.0 / kOps;
+  const bool ids_untouched = off.idsAllocated() == 0 && off.size() == 0;
+  std::printf("disabled instant(): %.2f ns/op over %d calls "
+              "(ids allocated: %llu)\n",
+              disabled_ns, kOps,
+              static_cast<unsigned long long>(off.idsAllocated()));
+
+  // ---- 2. WordCount, untraced vs traced + snapshotted. -------------------
+  mr::JobResult plain_result;
+  int64_t plain_ms = 0;
+  {
+    mr::MiniMrCluster cluster({.num_nodes = 3});
+    plain_ms = runWordCount(cluster, text, &plain_result);
+  }
+
+  mr::MiniMrCluster cluster({.num_nodes = 3});
+  cluster.tracer().setEnabled(true);
+  MetricsSnapshotter& snapshotter =
+      cluster.network()->startSnapshotter({.interval_ms = 20});
+  mr::JobResult traced_result;
+  const int64_t traced_ms = runWordCount(cluster, text, &traced_result);
+  const bool jobs_ok = plain_result.succeeded() && traced_result.succeeded();
+  const double overhead =
+      plain_ms > 0 ? static_cast<double>(traced_ms) / plain_ms : 0.0;
+  std::printf("wordcount: untraced %lld ms vs traced+snapshotted %lld ms "
+              "(%.2fx)\n",
+              static_cast<long long>(plain_ms),
+              static_cast<long long>(traced_ms), overhead);
+
+  // ---- 3. Trace quality gates + artifacts. -------------------------------
+  const auto events = cluster.tracer().snapshot();
+  const TraceTreeStats stats =
+      analyzeTraceTree(events, traced_result.trace_id);
+  const CriticalPathReport path =
+      computeCriticalPath(events, traced_result.trace_id);
+  int64_t phase_sum = 0;
+  for (const auto& p : path.phases) phase_sum += p.micros;
+  const bool phases_partition = path.found && phase_sum == path.total_us;
+  const uint64_t dropped = cluster.tracer().droppedEvents();
+  std::printf("trace: %zu spans + %zu instants, connected: %s, dropped: "
+              "%llu; critical path total %.1f ms, dominant phase: %s; "
+              "%zu metric snapshots\n",
+              stats.span_count, stats.instant_count,
+              stats.connected() ? "yes" : "NO",
+              static_cast<unsigned long long>(dropped),
+              static_cast<double>(path.total_us) / 1000.0,
+              path.dominantPhase().c_str(), snapshotter.size());
+
+  std::ofstream("trace.json") << cluster.tracer().exportChromeJson();
+  std::ofstream("critical_path.txt")
+      << traced_result.criticalPathReport(cluster.tracer());
+  std::ofstream("metrics_timeseries.jsonl") << snapshotter.exportJsonl();
+  std::puts(path.renderAscii().c_str());
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"bench\": \"trace\",\n"
+       << "  \"disabled_instant_ns_per_op\": " << disabled_ns << ",\n"
+       << "  \"disabled_ids_allocated\": " << off.idsAllocated() << ",\n"
+       << "  \"untraced_ms\": " << plain_ms << ",\n"
+       << "  \"traced_ms\": " << traced_ms << ",\n"
+       << "  \"traced_overhead_ratio\": " << overhead << ",\n"
+       << "  \"span_count\": " << stats.span_count << ",\n"
+       << "  \"instant_count\": " << stats.instant_count << ",\n"
+       << "  \"tree_connected\": " << (stats.connected() ? "true" : "false")
+       << ",\n"
+       << "  \"dropped_events\": " << dropped << ",\n"
+       << "  \"critical_path_total_us\": " << path.total_us << ",\n"
+       << "  \"critical_path_dominant_phase\": \"" << path.dominantPhase()
+       << "\",\n"
+       << "  \"phases_partition_wall_clock\": "
+       << (phases_partition ? "true" : "false") << ",\n"
+       << "  \"metric_snapshots\": " << snapshotter.size() << "\n"
+       << "}\n";
+  json.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!jobs_ok || !ids_untouched) return 1;
+  if (disabled_ns >= 100.0) return 1;
+  if (!stats.connected() || dropped != 0) return 1;
+  if (!phases_partition) return 1;
+  if (snapshotter.size() < 3) return 1;
+  return 0;
+}

@@ -50,6 +50,14 @@ target_link_libraries(bench_compression PRIVATE mh_mapreduce mh_apps mh_data)
 set_target_properties(bench_compression PROPERTIES
                       RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# Tentpole observability benchmark: disabled-tracing fast-path gate,
+# traced-vs-untraced WordCount, connected-tree/critical-path gates, and the
+# trace.json / critical_path.txt / metrics_timeseries.jsonl artifacts.
+add_executable(bench_trace ${CMAKE_SOURCE_DIR}/bench/bench_trace.cpp)
+target_link_libraries(bench_trace PRIVATE mh_mapreduce mh_apps)
+set_target_properties(bench_trace PROPERTIES
+                      RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # Engine micro-benchmarks on google-benchmark.
 add_executable(bench_microbench ${CMAKE_SOURCE_DIR}/bench/bench_microbench.cpp)
 target_link_libraries(bench_microbench PRIVATE mh_hdfs mh_mapreduce

@@ -84,6 +84,12 @@ int main() {
   // The JobHistory: when every attempt ran, where, and for how long.
   std::printf("\n%s\n", distributed.historyReport().c_str());
 
+  // The causal view: the chain of spans that actually bounded the job's
+  // wall clock, with per-phase attribution (tracing was enabled above; set
+  // MH_TRACE=1 to get the same view from any program without code changes).
+  std::printf("%s\n",
+              distributed.criticalPathReport(cluster.tracer()).c_str());
+
   using namespace mh::mr::counters;
   std::printf("  data-local maps:    %lld of %lld\n",
               static_cast<long long>(

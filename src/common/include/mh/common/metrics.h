@@ -118,7 +118,16 @@ class MetricsRegistry {
   /// Nested JSON object mirroring the registry tree.
   std::string exportJson() const;
 
+  /// Flattened numeric view of this registry and all children, for
+  /// time-series sampling (`MetricsSnapshotter`): counters as their value,
+  /// gauges sampled now, histograms as `<name>.count` / `<name>.sum_us`.
+  /// Names are '/'-joined paths ("tasktracker.node01/shuffle_bytes" —
+  /// child names contain literal dots, so the separator is '/').
+  std::vector<std::pair<std::string, double>> flattenValues() const;
+
  private:
+  void flattenInto(std::vector<std::pair<std::string, double>>& out,
+                   const std::string& prefix) const;
   void renderInto(std::string& out, const std::string& label) const;
   void prometheusInto(std::string& out, const std::string& prefix) const;
   void jsonInto(std::string& out, int indent) const;

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mh/common/metrics.h"
+
+/// \file metrics_snapshot.h
+/// Background metrics time-series sampler. A `MetricsSnapshotter` walks a
+/// `MetricsRegistry` tree at a fixed interval and keeps a bounded ring of
+/// timestamped flattened snapshots (counters, sampled gauges, histogram
+/// count/sum), exportable as JSONL — turning end-of-run totals into
+/// rate-over-time views (shuffle bytes/sec, heap gauge trajectories).
+///
+/// Lifetime: gauge callbacks capture their owning daemon, so the
+/// snapshotter must be stopped before any daemon it samples is destroyed
+/// (the mini-clusters stop it first in their destructors; daemons also
+/// freeze their gauges to final values on destruction as a second line of
+/// defense). `stop()` joins the sampling thread and is idempotent.
+
+namespace mh {
+
+struct MetricsSnapshotOptions {
+  int64_t interval_ms = 250;  ///< Sampling period.
+  size_t capacity = 2048;     ///< Ring size; oldest snapshots drop.
+};
+
+class MetricsSnapshotter {
+ public:
+  using Options = MetricsSnapshotOptions;
+
+  /// One timestamped flattened sample of the whole registry tree.
+  struct Snapshot {
+    int64_t ts_ms = 0;  ///< Millis since the snapshotter was constructed.
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  explicit MetricsSnapshotter(MetricsRegistry* root, Options options = {});
+  ~MetricsSnapshotter();
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  /// Launches the background sampling thread (no-op if already running).
+  void start();
+  /// Stops and joins the sampling thread (no-op if not running).
+  void stop();
+  bool running() const;
+
+  /// Takes one sample synchronously (also what the background thread
+  /// calls) — the deterministic test hook.
+  void sampleOnce();
+
+  size_t size() const;
+  /// Snapshots discarded because the ring was full.
+  uint64_t droppedSnapshots() const;
+  int64_t intervalMs() const { return options_.interval_ms; }
+
+  /// Chronological copy of the buffered snapshots (oldest first).
+  std::vector<Snapshot> snapshots() const;
+
+  /// One JSON object per line: a header
+  /// `{"type":"header","interval_ms":..,"snapshot_count":..,"dropped_snapshots":..}`
+  /// then `{"ts_ms":..,"values":{"name":value,...}}` per snapshot.
+  std::string exportJsonl() const;
+
+ private:
+  void runLoop(std::stop_token token);
+
+  MetricsRegistry* const root_;
+  const Options options_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::vector<Snapshot> ring_;
+  size_t next_ = 0;
+  uint64_t dropped_ = 0;
+  bool running_ = false;
+  std::jthread thread_;
+};
+
+}  // namespace mh

@@ -411,4 +411,48 @@ bool MetricsRegistry::hasHistogram(std::string_view name) const {
   return histograms_.contains(name);
 }
 
+void MetricsRegistry::flattenInto(
+    std::vector<std::pair<std::string, double>>& out,
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, std::pair<uint64_t, int64_t>>> hists;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges;
+  std::vector<std::pair<std::string, const MetricsRegistry*>> children;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) {
+      counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, h] : histograms_) {
+      hists.emplace_back(name, std::make_pair(h->count(), h->sum()));
+    }
+    for (const auto& [name, fn] : gauges_) gauges.emplace_back(name, fn);
+    for (const auto& [name, reg] : children_) {
+      children.emplace_back(name, reg.get());
+    }
+  }
+  for (const auto& [name, value] : counters) {
+    out.emplace_back(prefix + name, static_cast<double>(value));
+  }
+  // Sampled outside the registry lock: gauge callbacks take their owner's
+  // lock (e.g. the Network traffic mutex).
+  for (const auto& [name, fn] : gauges) out.emplace_back(prefix + name, fn());
+  for (const auto& [name, counts] : hists) {
+    out.emplace_back(prefix + name + ".count",
+                     static_cast<double>(counts.first));
+    out.emplace_back(prefix + name + ".sum_us",
+                     static_cast<double>(counts.second));
+  }
+  for (const auto& [name, reg] : children) {
+    reg->flattenInto(out, prefix + name + "/");
+  }
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::flattenValues()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  flattenInto(out, "");
+  return out;
+}
+
 }  // namespace mh

@@ -1,0 +1,127 @@
+#include "mh/common/metrics_snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mh {
+
+namespace {
+
+std::string formatValue(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsSnapshotter::MetricsSnapshotter(MetricsRegistry* root, Options options)
+    : root_(root),
+      options_{std::max<int64_t>(options.interval_ms, 1),
+               std::max<size_t>(options.capacity, 1)},
+      epoch_(std::chrono::steady_clock::now()) {}
+
+MetricsSnapshotter::~MetricsSnapshotter() { stop(); }
+
+void MetricsSnapshotter::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  thread_ = std::jthread([this](std::stop_token token) { runLoop(token); });
+}
+
+void MetricsSnapshotter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  thread_.request_stop();
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool MetricsSnapshotter::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void MetricsSnapshotter::runLoop(std::stop_token token) {
+  while (!token.stop_requested()) {
+    sampleOnce();
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, token,
+                 std::chrono::milliseconds(options_.interval_ms),
+                 [] { return false; });
+  }
+}
+
+void MetricsSnapshotter::sampleOnce() {
+  // Sample outside the ring lock: flattenValues() runs gauge callbacks
+  // that may take daemon locks.
+  Snapshot snap;
+  snap.ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now() - epoch_)
+                   .count();
+  snap.values = root_->flattenValues();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(std::move(snap));
+  } else {
+    ring_[next_] = std::move(snap);
+    ++dropped_;
+  }
+  next_ = (next_ + 1) % options_.capacity;
+}
+
+size_t MetricsSnapshotter::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+uint64_t MetricsSnapshotter::droppedSnapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<MetricsSnapshotter::Snapshot> MetricsSnapshotter::snapshots()
+    const {
+  std::vector<Snapshot> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(ring_.size());
+  if (ring_.size() < options_.capacity) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::string MetricsSnapshotter::exportJsonl() const {
+  const auto snaps = snapshots();
+  std::string out = "{\"type\":\"header\",\"interval_ms\":" +
+                    std::to_string(options_.interval_ms) +
+                    ",\"snapshot_count\":" + std::to_string(snaps.size()) +
+                    ",\"dropped_snapshots\":" +
+                    std::to_string(droppedSnapshots()) + "}\n";
+  for (const auto& snap : snaps) {
+    out += "{\"ts_ms\":" + std::to_string(snap.ts_ms) + ",\"values\":{";
+    for (size_t i = 0; i < snap.values.size(); ++i) {
+      if (i) out += ",";
+      out += "\"" + snap.values[i].first +
+             "\":" + formatValue(snap.values[i].second);
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+}  // namespace mh

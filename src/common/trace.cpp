@@ -13,6 +13,13 @@ uint64_t currentTid() {
   return std::hash<std::thread::id>{}(std::this_thread::get_id());
 }
 
+// Per-thread ambient causal context. Spans install themselves here for
+// their lifetime; `TraceContextScope` carries a context across explicit
+// thread hops. The track is the human-readable display lane ("m3 a0")
+// stamped onto events recorded by this thread.
+thread_local TraceContext t_ambient{};
+thread_local std::string t_track;
+
 std::string jsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -38,18 +45,52 @@ std::string jsonEscape(std::string_view s) {
 
 void appendArgsJson(std::string& out, const TraceEvent& e) {
   out += "\"args\":{";
-  for (size_t i = 0; i < e.args.size(); ++i) {
-    if (i) out += ",";
+  bool first = true;
+  const auto entry = [&](std::string_view key) -> std::string& {
+    if (!first) out += ",";
+    first = false;
     out += "\"";
-    out += jsonEscape(e.args[i].first);
-    out += "\":\"";
-    out += jsonEscape(e.args[i].second);
-    out += "\"";
+    out += key;
+    out += "\":";
+    return out;
+  };
+  for (const auto& [key, value] : e.args) {
+    entry(jsonEscape(key)) += "\"" + jsonEscape(value) + "\"";
+  }
+  if (e.trace_id != 0) {
+    entry("trace_id") += std::to_string(e.trace_id);
+    if (e.span_id != 0) entry("span_id") += std::to_string(e.span_id);
+    entry("parent_span_id") += std::to_string(e.parent_span_id);
   }
   out += "}";
 }
 
+// Display track for chrome://tracing: the explicit track when the event
+// set one, else a per-thread fallback so unnamed threads still separate.
+std::string displayTrack(const TraceEvent& e) {
+  if (!e.track.empty()) return e.track;
+  return "tid " + std::to_string(e.tid % 1000000);
+}
+
 }  // namespace
+
+TraceContext currentTraceContext() { return t_ambient; }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx,
+                                     std::string_view track)
+    : saved_(t_ambient) {
+  t_ambient = ctx;
+  if (!track.empty()) {
+    saved_track_ = std::move(t_track);
+    t_track.assign(track);
+    track_changed_ = true;
+  }
+}
+
+TraceContextScope::~TraceContextScope() {
+  t_ambient = saved_;
+  if (track_changed_) t_track = std::move(saved_track_);
+}
 
 TraceCollector::TraceCollector(size_t capacity)
     : capacity_(std::max<size_t>(capacity, 1)),
@@ -65,12 +106,22 @@ void TraceCollector::instant(
     std::string_view component, std::string_view name,
     std::vector<std::pair<std::string, std::string>> args) {
   if (!enabled()) return;
+  instant(t_ambient, component, name, std::move(args));
+}
+
+void TraceCollector::instant(
+    const TraceContext& ctx, std::string_view component, std::string_view name,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
   TraceEvent event;
   event.component = std::string(component);
   event.name = std::string(name);
   event.span = false;
   event.ts_us = nowMicros();
   event.tid = currentTid();
+  event.trace_id = ctx.trace_id;
+  event.parent_span_id = ctx.span_id;
+  event.track = t_track;
   event.args = std::move(args);
   record(std::move(event));
 }
@@ -129,13 +180,26 @@ uint64_t TraceCollector::droppedEvents() const {
 
 std::string TraceCollector::exportChromeJson() const {
   const auto events = snapshot();
+  const uint64_t dropped = droppedEvents();
 
   // One chrome://tracing "process" lane per component, in sorted order so
-  // lane assignment is deterministic.
+  // lane assignment is deterministic; within each lane, one named thread
+  // track per distinct TraceEvent::track, numbered by first appearance in
+  // chronological order (so "m0 a0" sits above "r1 a0", not at a hashed
+  // position).
   std::map<std::string, int> lanes;
   for (const auto& e : events) lanes.emplace(e.component, 0);
   int next_pid = 1;
   for (auto& [component, pid] : lanes) pid = next_pid++;
+
+  std::map<std::pair<int, std::string>, int> tracks;  // (pid, track) -> tid
+  std::vector<std::pair<std::pair<int, std::string>, int>> track_order;
+  for (const auto& e : events) {
+    const auto key = std::make_pair(lanes[e.component], displayTrack(e));
+    const auto [it, inserted] =
+        tracks.emplace(key, static_cast<int>(tracks.size()) + 1);
+    if (inserted) track_order.emplace_back(it->first, it->second);
+  }
 
   std::string out = "{\"traceEvents\":[";
   bool first = true;
@@ -150,12 +214,19 @@ std::string TraceCollector::exportChromeJson() const {
            std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
            jsonEscape(component) + "\"}}";
   }
+  for (const auto& [key, tid] : track_order) {
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           std::to_string(key.first) + ",\"tid\":" + std::to_string(tid) +
+           ",\"args\":{\"name\":\"" + jsonEscape(key.second) + "\"}}";
+  }
   for (const auto& e : events) {
     comma();
     const int pid = lanes[e.component];
+    const int tid = tracks[std::make_pair(pid, displayTrack(e))];
     out += "{\"ph\":\"" + std::string(e.span ? "X" : "i") + "\",\"name\":\"" +
            jsonEscape(e.name) + "\",\"pid\":" + std::to_string(pid) +
-           ",\"tid\":" + std::to_string(e.tid % 1000000) +
+           ",\"tid\":" + std::to_string(tid) +
            ",\"ts\":" + std::to_string(e.ts_us);
     if (e.span) {
       out += ",\"dur\":" + std::to_string(e.dur_us);
@@ -166,18 +237,26 @@ std::string TraceCollector::exportChromeJson() const {
     appendArgsJson(out, e);
     out += "}";
   }
-  out += "\n]}\n";
+  out += "\n],\"droppedEvents\":" + std::to_string(dropped) + "}\n";
   return out;
 }
 
 std::string TraceCollector::exportJsonl() const {
-  std::string out;
-  for (const auto& e : snapshot()) {
+  const auto events = snapshot();
+  std::string out = "{\"type\":\"header\",\"dropped_events\":" +
+                    std::to_string(droppedEvents()) +
+                    ",\"event_count\":" + std::to_string(events.size()) +
+                    "}\n";
+  for (const auto& e : events) {
     out += "{\"component\":\"" + jsonEscape(e.component) + "\",\"name\":\"" +
            jsonEscape(e.name) + "\",\"type\":\"" +
            (e.span ? "span" : "instant") +
            "\",\"ts_us\":" + std::to_string(e.ts_us) +
-           ",\"dur_us\":" + std::to_string(e.dur_us) + ",";
+           ",\"dur_us\":" + std::to_string(e.dur_us) +
+           ",\"trace_id\":" + std::to_string(e.trace_id) +
+           ",\"span_id\":" + std::to_string(e.span_id) +
+           ",\"parent_span_id\":" + std::to_string(e.parent_span_id) +
+           ",\"track\":\"" + jsonEscape(e.track) + "\",";
     appendArgsJson(out, e);
     out += "}\n";
   }
@@ -193,10 +272,18 @@ TraceSpan::TraceSpan(TraceCollector* collector, std::string_view component,
   event_.span = true;
   event_.ts_us = collector->nowMicros();
   event_.tid = currentTid();
+  event_.trace_id = t_ambient.trace_id;
+  event_.parent_span_id = t_ambient.span_id;
+  event_.span_id = collector->newId();
+  event_.track = t_track;
+  prev_ = t_ambient;
+  t_ambient =
+      TraceContext{event_.trace_id, event_.span_id, event_.parent_span_id};
 }
 
 TraceSpan::~TraceSpan() {
   if (collector_ == nullptr) return;
+  t_ambient = prev_;
   event_.dur_us = collector_->nowMicros() - event_.ts_us;
   collector_->record(std::move(event_));
 }
@@ -204,6 +291,11 @@ TraceSpan::~TraceSpan() {
 void TraceSpan::arg(std::string_view key, std::string_view value) {
   if (collector_ == nullptr) return;
   event_.args.emplace_back(std::string(key), std::string(value));
+}
+
+TraceContext TraceSpan::context() const {
+  if (collector_ == nullptr) return {};
+  return {event_.trace_id, event_.span_id, event_.parent_span_id};
 }
 
 }  // namespace mh

@@ -280,6 +280,11 @@ void DataNode::installRpc() {
         BufferView data = store_->readBlockRange(id, offset, len);
         blocks_read_->add();
         bytes_read_->add(static_cast<int64_t>(data.size()));
+        if (tracer_->enabled()) {
+          tracer_->instant("datanode." + host_,
+                           "READ_BLOCK blk_" + std::to_string(id),
+                           {{"bytes", std::to_string(data.size())}});
+        }
         return data;
       } catch (const ChecksumError&) {
         namenode_.reportBadBlock(id, host_);

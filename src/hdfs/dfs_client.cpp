@@ -8,6 +8,7 @@
 
 #include "mh/common/error.h"
 #include "mh/common/log.h"
+#include "mh/common/trace.h"
 #include "mh/hdfs/short_circuit.h"
 #include "mh/net/fault_plan.h"
 
@@ -30,6 +31,17 @@ DfsClient::DfsClient(Config conf, std::shared_ptr<net::Network> network,
 
 void DfsClient::writeFile(const std::string& path, std::string_view data,
                           uint16_t replication, uint64_t block_size) {
+  // One span per file write; the per-block writeBlock RPC spans (and any
+  // replication pipeline work on the DataNodes) nest under it.
+  TraceCollector& tracer = network_->tracer();
+  const bool traced = tracer.enabled();
+  TraceSpan write_span(&tracer,
+                       traced ? "dfsclient." + namenode_.localHost() : "",
+                       traced ? "DFS_WRITE " + path : "");
+  if (traced) {
+    write_span.arg("bytes", std::to_string(data.size()));
+    write_span.arg("replication", std::to_string(replication));
+  }
   namenode_.create(path, replication, block_size);
   const uint64_t bs = namenode_.getFileStatus(path).block_size;
 
@@ -128,6 +140,14 @@ std::optional<BufferView> DfsClient::tryShortCircuitRead(
 
 BufferView DfsClient::readBlockRange(const LocatedBlock& located,
                                      uint64_t offset, uint64_t len) {
+  // One span per block read; SHORT_CIRCUIT_READ instants and readBlock
+  // RPC spans (handled on the caller's thread) nest under it.
+  TraceCollector& tracer = network_->tracer();
+  const bool traced = tracer.enabled();
+  TraceSpan read_span(
+      &tracer, traced ? "dfsclient." + namenode_.localHost() : "",
+      traced ? "DFS_READ blk_" + std::to_string(located.block.id) : "");
+  if (traced) read_span.arg("len", std::to_string(len));
   if (std::optional<BufferView> local =
           tryShortCircuitRead(located, offset, len)) {
     return *std::move(local);
@@ -198,7 +218,11 @@ std::vector<BufferView> DfsClient::readFileViews(const std::string& path) {
     // lowest-index failure is reported, matching the serial path.
     std::vector<std::unique_ptr<std::string>> errors(n);
     std::atomic<size_t> next{0};
+    // Reader threads inherit the caller's causal context so their
+    // DFS_READ spans stay children of the enclosing task/job span.
+    const TraceContext read_ctx = currentTraceContext();
     const auto read_loop = [&] {
+      const TraceContextScope trace_scope(read_ctx);
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
         try {
           parts[i] = readBlockRange(blocks[i], 0, blocks[i].block.size);

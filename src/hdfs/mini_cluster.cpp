@@ -21,6 +21,9 @@ MiniDfsCluster::MiniDfsCluster(MiniDfsOptions options)
 }
 
 MiniDfsCluster::~MiniDfsCluster() {
+  // Snapshotter first: its sampler walks every daemon's gauges, so it must
+  // quiesce before any daemon is destroyed.
+  network_->stopSnapshotter();
   for (auto& [host, dn] : datanodes_) dn->stop();
   namenode_->stop();
 }

@@ -58,7 +58,15 @@ NameNode::NameNode(Config conf, std::shared_ptr<net::Network> network,
   }
 }
 
-NameNode::~NameNode() { stop(); }
+NameNode::~NameNode() {
+  stop();
+  // The registry (and any MetricsSnapshotter sampling it) outlives this
+  // daemon; replace `this`-capturing gauges with their final values.
+  for (const char* name : {"blocks.total", "datanodes.live", "safemode",
+                           "heartbeat.max_staleness_ms"}) {
+    metrics_->setGauge(name, [v = metrics_->gaugeValue(name)] { return v; });
+  }
+}
 
 int64_t NameNode::steadyMillis() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -585,6 +593,14 @@ void NameNode::installRpc() {
     const std::string& m = req.method;
     // Counted before dispatch, while no daemon lock is held.
     metrics_->counter("ops." + m).add();
+    // Namespace operations land in the caller's trace (handlers run on the
+    // caller's thread, so the ambient context is already installed). The
+    // periodic DataNode control-plane chatter is deliberately excluded —
+    // it belongs to no job and would drown the ring.
+    if (tracer_->enabled() && m != "heartbeat" && m != "blockReport" &&
+        m != "blockReceived" && m != "registerDataNode") {
+      tracer_->instant("namenode", "NN_OP " + m);
+    }
     if (m == "mkdirs") {
       const auto [path] = unpack<std::string>(req.body);
       mkdirs(path);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mh/common/config.h"
+#include "mh/common/trace.h"
 #include "mh/mr/api.h"
 #include "mh/mr/counters.h"
 #include "mh/mr/input_format.h"
@@ -82,6 +83,11 @@ struct JobResult {
   int64_t reduce_millis = 0;  ///< summed across reduce tasks
   int64_t elapsed_millis = 0; ///< wall clock submit -> finish
   std::string error;
+  /// The job's causal trace id (0 when tracing was off at submit). Pass
+  /// the cluster tracer's `snapshot()` to `computeCriticalPath()` /
+  /// `criticalPathReport()` with this id for the "where the time went"
+  /// view.
+  uint64_t trace_id = 0;
   /// Attempt-level event record (empty under the LocalJobRunner, which has
   /// no attempts — only the distributed JobTracker schedules them).
   JobHistory history;
@@ -91,6 +97,11 @@ struct JobResult {
   /// Human-readable phase timeline next to the counter report: state,
   /// elapsed time, and the per-attempt Gantt from `history`.
   std::string historyReport() const;
+
+  /// Critical-path "where the time went" report reconstructed from the
+  /// cluster trace journal (see trace_analysis.h) — the causal sibling of
+  /// historyReport(). Returns a one-line notice when tracing was off.
+  std::string criticalPathReport(const TraceCollector& tracer) const;
 };
 
 /// Progress snapshot while a job runs (the JobTracker "web UI" data).

@@ -117,6 +117,14 @@ class JobTracker {
     int64_t reduce_millis = 0;
     int64_t submit_ms = 0;
     int64_t finish_ms = 0;
+    /// Causal trace identity, minted at submit when tracing is enabled
+    /// (zero otherwise). Every assignment carries `trace_id` +
+    /// `root_span_id` so MAP/REDUCE spans on remote trackers parent to the
+    /// job's root span; the root JOB span itself is recorded at finish,
+    /// backdated to `trace_start_us`.
+    uint64_t trace_id = 0;
+    uint64_t root_span_id = 0;
+    int64_t trace_start_us = 0;
     /// JobHistory: every attempt ever scheduled, opened at assignment and
     /// closed by its status report (or tracker expiry).
     std::vector<TaskAttemptRecord> attempts;

@@ -53,6 +53,11 @@ struct TaskAssignment {
   uint32_t attempt = 0;
   InputSplit split;                             ///< maps only
   std::vector<MapOutputLocation> map_outputs;   ///< reduces only
+  /// The job's causal trace identity (0 when tracing is off at the
+  /// JobTracker). Task threads install this as their ambient context, so
+  /// MAP/REDUCE spans on the tracker parent to the job's root span.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 struct TrackerHeartbeatReply {
@@ -132,6 +137,8 @@ struct Serde<mr::TaskAssignment> {
     w.writeVarU64(v.attempt);
     Serde<mr::InputSplit>::encode(w, v.split);
     Serde<std::vector<mr::MapOutputLocation>>::encode(w, v.map_outputs);
+    w.writeVarU64(v.trace_id);
+    w.writeVarU64(v.parent_span_id);
   }
   static mr::TaskAssignment decode(ByteReader& r) {
     mr::TaskAssignment v;
@@ -141,6 +148,8 @@ struct Serde<mr::TaskAssignment> {
     v.attempt = static_cast<uint32_t>(r.readVarU64());
     v.split = Serde<mr::InputSplit>::decode(r);
     v.map_outputs = Serde<std::vector<mr::MapOutputLocation>>::decode(r);
+    v.trace_id = r.readVarU64();
+    v.parent_span_id = r.readVarU64();
     return v;
   }
 };

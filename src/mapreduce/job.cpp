@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "mh/common/error.h"
+#include "mh/common/trace_analysis.h"
 
 namespace mh::mr {
 
@@ -94,6 +95,13 @@ std::string JobResult::historyReport() const {
   if (!error.empty()) out << "error: " << error << "\n";
   out << history.renderTimeline();
   return out.str();
+}
+
+std::string JobResult::criticalPathReport(const TraceCollector& tracer) const {
+  if (trace_id == 0) {
+    return "critical path: unavailable (tracing was off at submit)\n";
+  }
+  return computeCriticalPath(tracer.snapshot(), trace_id).renderAscii();
 }
 
 }  // namespace mh::mr

@@ -52,7 +52,14 @@ JobTracker::JobTracker(Config conf, std::shared_ptr<net::Network> network,
   });
 }
 
-JobTracker::~JobTracker() { stop(); }
+JobTracker::~JobTracker() {
+  stop();
+  // The registry (and any MetricsSnapshotter sampling it) outlives this
+  // daemon; replace `this`-capturing gauges with their final values.
+  for (const char* name : {"trackers.live", "jobs.running"}) {
+    metrics_->setGauge(name, [v = metrics_->gaugeValue(name)] { return v; });
+  }
+}
 
 int64_t JobTracker::steadyMillis() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -101,6 +108,20 @@ void JobTracker::stop() {
 JobId JobTracker::submit(JobSpec spec) {
   spec.validateAndDefault();
 
+  // Mint the job's trace identity up front and make it ambient for the
+  // whole submit path, so the split-computation RPCs against the NameNode
+  // land inside the job's trace tree. The root JOB span itself is recorded
+  // at finish, backdated to trace_start_us.
+  uint64_t trace_id = 0, root_span_id = 0;
+  int64_t trace_start_us = 0;
+  if (tracer_->enabled()) {
+    trace_id = tracer_->newId();
+    root_span_id = tracer_->newId();
+    trace_start_us = tracer_->nowMicros();
+  }
+  const TraceContextScope trace_scope(
+      TraceContext{trace_id, root_span_id, 0});
+
   // Compute splits against HDFS: these carry the block replica hosts the
   // scheduler will match trackers against.
   hdfs::DfsClient dfs(conf_, network_, host_, namenode_host_);
@@ -121,6 +142,9 @@ JobId JobTracker::submit(JobSpec spec) {
   job.id = id;
   job.spec = shared_spec;
   job.submit_ms = steadyMillis();
+  job.trace_id = trace_id;
+  job.root_span_id = root_span_id;
+  job.trace_start_us = trace_start_us;
   job.maps.resize(splits.size());
   for (size_t i = 0; i < splits.size(); ++i) {
     job.maps[i].split = splits[i];
@@ -154,6 +178,7 @@ JobResult JobTracker::wait(JobId id) {
   result.elapsed_millis =
       (job.finish_ms != 0 ? job.finish_ms : steadyMillis()) - job.submit_ms;
   result.error = job.error;
+  result.trace_id = job.trace_id;
   result.history.finish_ms = result.elapsed_millis;
   result.history.attempts = job.attempts;
   return result;
@@ -275,11 +300,29 @@ void JobTracker::finishJobLocked(JobInProgress& job, JobState state) {
   logInfo(kLog) << "job " << job.id << " " << jobStateName(state)
                 << (job.error.empty() ? "" : (": " + job.error));
   (state == JobState::kSucceeded ? jobs_succeeded_ : jobs_failed_)->add();
-  tracer_->instant("jobtracker",
+  const TraceContext job_ctx{job.trace_id, job.root_span_id, 0};
+  tracer_->instant(job_ctx, "jobtracker",
                    "JOB_FINISH job " + std::to_string(job.id),
                    {{"state", jobStateName(state)},
                     {"elapsed_ms",
                      std::to_string(job.finish_ms - job.submit_ms)}});
+  if (job.trace_id != 0) {
+    // The root JOB span, backdated to submit: every other span in the
+    // job's trace is a descendant of this one. record() is unconditional
+    // so the root lands even if tracing was disabled mid-job.
+    TraceEvent root;
+    root.component = "jobtracker";
+    root.name = "JOB job " + std::to_string(job.id);
+    root.span = true;
+    root.ts_us = job.trace_start_us;
+    root.dur_us = tracer_->nowMicros() - job.trace_start_us;
+    root.trace_id = job.trace_id;
+    root.span_id = job.root_span_id;
+    root.parent_span_id = 0;
+    root.track = "jobs";
+    root.args = {{"state", jobStateName(state)}};
+    tracer_->record(std::move(root));
+  }
   job_done_.notify_all();
 }
 
@@ -385,7 +428,7 @@ void JobTracker::processReportLocked(const std::string& tracker_host,
                 << " failed on " << tracker_host << ": " << report.error;
   attempts_failed_->add();
   tracer_->instant(
-      "jobtracker",
+      TraceContext{job.trace_id, job.root_span_id, 0}, "jobtracker",
       std::string("ATTEMPT_FAIL ") + (report.is_map ? "m" : "r") +
           std::to_string(report.task_index) + " a" +
           std::to_string(report.attempt),
@@ -501,6 +544,8 @@ void JobTracker::assignTasksLocked(const std::string& tracker_host,
         assignment.task_index = static_cast<uint32_t>(i);
         assignment.attempt = task.running_attempt;
         assignment.split = task.split;
+        assignment.trace_id = job.trace_id;
+        assignment.parent_span_id = job.root_span_id;
         out.push_back(std::move(assignment));
         job.counters.increment(counters::kJobGroup, counters::kLaunchedMaps);
         --free_map_slots;
@@ -533,6 +578,8 @@ void JobTracker::assignTasksLocked(const std::string& tracker_host,
       assignment.job = id;
       assignment.task_index = static_cast<uint32_t>(i);
       assignment.attempt = task.running_attempt;
+      assignment.trace_id = job.trace_id;
+      assignment.parent_span_id = job.root_span_id;
       assignment.map_outputs.reserve(job.maps.size());
       for (size_t m = 0; m < job.maps.size(); ++m) {
         assignment.map_outputs.push_back(
@@ -581,6 +628,8 @@ void JobTracker::assignSpeculativeLocked(const std::string& tracker_host,
       assignment.task_index = static_cast<uint32_t>(i);
       assignment.attempt = task.speculative_attempt;
       assignment.split = task.split;
+      assignment.trace_id = job.trace_id;
+      assignment.parent_span_id = job.root_span_id;
       out.push_back(std::move(assignment));
       job.counters.increment(counters::kJobGroup,
                              counters::kSpeculativeMaps);
@@ -709,7 +758,7 @@ void JobTracker::timeoutTasksLocked() {
         }
         attempts_failed_->add();
         tracer_->instant(
-            "jobtracker",
+            TraceContext{job.trace_id, job.root_span_id, 0}, "jobtracker",
             std::string("ATTEMPT_TIMEOUT ") + (is_map ? "m" : "r") +
                 std::to_string(i) + " a" + std::to_string(task.running_attempt),
             {{"job", std::to_string(id)}, {"tracker", task.tracker}});

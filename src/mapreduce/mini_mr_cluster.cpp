@@ -27,6 +27,9 @@ MiniMrCluster::MiniMrCluster(MiniMrOptions options)
 }
 
 MiniMrCluster::~MiniMrCluster() {
+  // Snapshotter first: its sampler walks every daemon's gauges, so it must
+  // quiesce before any daemon is destroyed.
+  network()->stopSnapshotter();
   for (auto& [host, tracker] : trackers_) tracker->stop();
   job_tracker_->stop();
 }

@@ -1,5 +1,7 @@
 #include "mh/mr/task_runner.h"
 
+#include <memory>
+
 #include "mh/common/stopwatch.h"
 #include "mh/mr/map_output_buffer.h"
 #include "mh/mr/merge.h"
@@ -75,12 +77,27 @@ ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
                                   "none")) != CodecKind::kNone ||
       codecFromName(spec.conf.get("mapred.shuffle.compression", "none")) !=
           CodecKind::kNone;
-  DecodedRunSet run_set(input_runs, seams_on, metrics, trace,
-                        trace_component);
-  if (run_set.encodedBytes() > 0) {
+  // Merge setup — run decode plus loser-tree construction — gets its own
+  // span so the critical-path report can attribute it separately from
+  // reduce compute (DECOMPRESS spans from the seams nest inside it).
+  std::unique_ptr<DecodedRunSet> run_set;
+  std::unique_ptr<KvRunMerger> merger;
+  {
+    TraceSpan merge_span(trace, trace_component,
+                         "MERGE r" + std::to_string(partition));
+    run_set = std::make_unique<DecodedRunSet>(input_runs, seams_on, metrics,
+                                              trace, trace_component);
+    // Merge phase: each input run is already key-sorted, so stream them
+    // through a k-way merge — no run is ever decoded whole beyond that
+    // unwrap, and keys/values reach the reducer as views into the fetched
+    // (or freshly decoded) buffers.
+    merger = std::make_unique<KvRunMerger>(run_set->views());
+    merge_span.arg("segments", std::to_string(merger->segmentCount()));
+  }
+  if (run_set->encodedBytes() > 0) {
     c.increment(kShuffleGroup, kShuffleCompressedBytes,
-                run_set.encodedBytes());
-    c.increment(kShuffleGroup, kShuffleRawBytes, run_set.rawBytes());
+                run_set->encodedBytes());
+    c.increment(kShuffleGroup, kShuffleRawBytes, run_set->rawBytes());
   }
   // The decoded buffers join the reduce working set for the whole merge;
   // charge them alongside the fetched (encoded) runs the caller charged.
@@ -91,22 +108,13 @@ ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
       if (amount != 0 && *heap) (*heap)(-amount);
     }
   } decode_guard{&heap};
-  if (heap && run_set.decodedHeapBytes() > 0) {
-    decode_guard.amount = run_set.decodedHeapBytes();
+  if (heap && run_set->decodedHeapBytes() > 0) {
+    decode_guard.amount = run_set->decodedHeapBytes();
     heap(decode_guard.amount);
   }
 
-  // Merge phase: each input run is already key-sorted, so stream them
-  // through a k-way merge — no run is ever decoded whole beyond that
-  // unwrap, and keys/values reach the reducer as views into the fetched
-  // (or freshly decoded) buffers.
-  KvRunMerger merger(run_set.views());
   c.increment(kTaskGroup, kMergeSegments,
-              static_cast<int64_t>(merger.segmentCount()));
-  if (trace != nullptr) {
-    trace->instant(trace_component, "MERGE r" + std::to_string(partition),
-                   {{"segments", std::to_string(merger.segmentCount())}});
-  }
+              static_cast<int64_t>(merger->segmentCount()));
 
   const auto output_format = spec.output_format();
   const auto writer =
@@ -122,13 +130,13 @@ ReduceTaskResult runReduceTask(const JobSpec& spec, FileSystemView& fs,
   const auto reducer = spec.reducer();
   int64_t groups = 0;
   reducer->setup(reduce_ctx);
-  while (merger.nextGroup()) {
-    reducer->reduce(merger.key(), merger.values(), reduce_ctx);
+  while (merger->nextGroup()) {
+    reducer->reduce(merger->key(), merger->values(), reduce_ctx);
     ++groups;
   }
   reducer->cleanup(reduce_ctx);
   c.increment(kTaskGroup, kReduceInputGroups, groups);
-  c.increment(kTaskGroup, kReduceInputRecords, merger.recordsRead());
+  c.increment(kTaskGroup, kReduceInputRecords, merger->recordsRead());
   writer->close();
 
   result.millis = watch.elapsedMillis();

@@ -45,7 +45,12 @@ std::vector<BufferView> fetchShuffleRuns(net::Network& network,
   // are written by distinct fetches, so no lock is needed.
   std::vector<std::unique_ptr<std::string>> errors(n);
   std::atomic<size_t> next{0};
+  // The SHUFFLE_FETCH span is ambient on this thread; carry its context
+  // into the parallel fetcher threads so getMapOutput calls (and any
+  // faults injected into them) stay inside the reduce's trace subtree.
+  const TraceContext fetch_ctx = currentTraceContext();
   const auto fetch_loop = [&] {
+    const TraceContextScope trace_scope(fetch_ctx);
     for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       const MapOutputLocation& location = assignment.map_outputs[i];
       for (size_t attempt = 0; attempt < attempts; ++attempt) {
@@ -157,7 +162,15 @@ TaskTracker::TaskTracker(Config conf, std::shared_ptr<net::Network> network,
   });
 }
 
-TaskTracker::~TaskTracker() { stop(); }
+TaskTracker::~TaskTracker() {
+  stop();
+  // The registry (and any MetricsSnapshotter sampling it) outlives this
+  // daemon; replace `this`-capturing gauges with their final values.
+  for (const char* name :
+       {"heap.used_bytes", "heap.peak_bytes", "mapoutput.store.bytes"}) {
+    metrics_->setGauge(name, [v = metrics_->gaugeValue(name)] { return v; });
+  }
+}
 
 void TaskTracker::start() {
   if (running_.load()) return;
@@ -338,6 +351,13 @@ void TaskTracker::runMapAssignment(const TaskAssignment& assignment) {
   report.task_index = assignment.task_index;
   report.is_map = true;
   report.attempt = assignment.attempt;
+  // Adopt the job's trace identity on this pool thread (the assignment
+  // carried it over the heartbeat RPC), and give the attempt a stable,
+  // readable chrome://tracing track.
+  const TraceContextScope trace_scope(
+      TraceContext{assignment.trace_id, assignment.parent_span_id, 0},
+      "m" + std::to_string(assignment.task_index) + " a" +
+          std::to_string(assignment.attempt));
   TraceSpan span(tracer_, "tasktracker." + host_,
                  "MAP m" + std::to_string(assignment.task_index) + " a" +
                      std::to_string(assignment.attempt));
@@ -379,6 +399,10 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
   report.task_index = assignment.task_index;
   report.is_map = false;
   report.attempt = assignment.attempt;
+  const TraceContextScope trace_scope(
+      TraceContext{assignment.trace_id, assignment.parent_span_id, 0},
+      "r" + std::to_string(assignment.task_index) + " a" +
+          std::to_string(assignment.attempt));
   TraceSpan span(tracer_, "tasktracker." + host_,
                  "REDUCE r" + std::to_string(assignment.task_index) + " a" +
                      std::to_string(assignment.attempt));

@@ -14,6 +14,7 @@
 #include "mh/common/buffer.h"
 #include "mh/common/bytes.h"
 #include "mh/common/metrics.h"
+#include "mh/common/metrics_snapshot.h"
 #include "mh/common/trace.h"
 #include "mh/net/fault_plan.h"
 
@@ -49,6 +50,11 @@ struct RpcRequest {
   std::string method;     ///< e.g. "heartbeat", "getBlockLocations"
   Bytes body;             ///< serialized arguments
   std::string from_host;  ///< caller's host name
+  /// The caller's causal trace context at call time (zero when tracing is
+  /// off). Handlers run on the caller's thread, so the ambient context is
+  /// already installed for them — this field is the explicit copy for
+  /// handlers that hand work to another thread.
+  TraceContext trace;
 };
 
 /// Endpoint handler: receives a request, returns a serialized response.
@@ -63,6 +69,7 @@ struct BufRpcRequest {
   std::string method;
   BufferView body;
   std::string from_host;
+  TraceContext trace;  ///< Same contract as RpcRequest::trace.
 };
 
 /// Buffer endpoint handler: the zero-copy sibling of RpcHandler. The
@@ -80,7 +87,11 @@ struct TrafficStats {
 
 class Network {
  public:
-  Network() = default;
+  /// Honors `MH_TRACE` (truthy value enables the tracer) and
+  /// `MH_METRICS_SNAPSHOT_MS` (> 0 starts the metrics snapshotter at that
+  /// interval), mirroring `MH_LOG_LEVEL` — quickstarts and examples can
+  /// turn observability on without code edits.
+  Network();
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -176,6 +187,17 @@ class Network {
   TraceCollector& tracer() { return tracer_; }
   const TraceCollector& tracer() const { return tracer_; }
 
+  /// Starts (creating on first use) the background metrics snapshotter
+  /// sampling `metrics()` — a time series over every counter/gauge/
+  /// histogram on the cluster. Options are honored on first call only.
+  MetricsSnapshotter& startSnapshotter(MetricsSnapshotter::Options options = {});
+  /// Stops the snapshotter's thread, keeping captured snapshots readable.
+  /// Callers owning daemons MUST stop the snapshotter before destroying
+  /// them: gauge callbacks capture daemon state.
+  void stopSnapshotter();
+  /// Null until startSnapshotter() has been called.
+  MetricsSnapshotter* snapshotter();
+
   /// Installs (or, with nullptr, removes) a fault plan. Every subsequent
   /// call/transfer consults it; injected faults surface as NetworkError to
   /// the caller, `network.faults.*` counters, and FAULT_INJECT trace
@@ -255,6 +277,11 @@ class Network {
   MetricsRegistry metrics_;
   TraceCollector tracer_;
   MetricsRegistry* net_metrics_ = &metrics_.child("network");
+
+  // Declared last so the sampling thread is stopped before the registries
+  // (and everything gauges reference) are torn down.
+  mutable std::mutex snapshot_mutex_;
+  std::unique_ptr<MetricsSnapshotter> snapshotter_;
 };
 
 }  // namespace mh::net

@@ -1,11 +1,41 @@
 #include "mh/net/network.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "mh/common/error.h"
 
 namespace mh::net {
+
+namespace {
+
+bool envTruthy(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  const std::string_view s(v);
+  return !(s.empty() || s == "0" || s == "false" || s == "off" || s == "no");
+}
+
+int64_t envInt(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  return std::strtoll(v, nullptr, 10);
+}
+
+}  // namespace
+
+Network::Network() {
+  // Truncated traces are self-describing: the export headers carry the
+  // drop count, and so does the metrics tree.
+  net_metrics_->setGauge("trace.dropped.events", [this] {
+    return static_cast<double>(tracer_.droppedEvents());
+  });
+  if (envTruthy("MH_TRACE")) tracer_.setEnabled(true);
+  if (const int64_t ms = envInt("MH_METRICS_SNAPSHOT_MS"); ms > 0) {
+    startSnapshotter({.interval_ms = ms});
+  }
+}
 
 void Network::addHost(const std::string& host) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -144,8 +174,14 @@ Bytes Network::call(const std::string& from, const std::string& to, int port,
   const auto started = std::chrono::steady_clock::now();
   std::string method_name;
   Bytes response;
+  // Carried on every call when tracing is on: spans recorded inside the
+  // handler (which runs on this thread) become children of the caller's
+  // active span via the ambient context; the request field is the explicit
+  // copy for handlers that defer work to another thread.
+  const TraceContext trace_ctx =
+      tracer_.enabled() ? currentTraceContext() : TraceContext{};
   if (endpoint->legacy) {
-    RpcRequest request{std::move(method), std::move(body), from};
+    RpcRequest request{std::move(method), std::move(body), from, trace_ctx};
     response = endpoint->legacy(request);
     method_name = std::move(request.method);
   } else {
@@ -153,7 +189,7 @@ Bytes Network::call(const std::string& from, const std::string& to, int port,
     // reply view is materialized once for the Bytes-shaped return.
     BufRpcRequest request{std::move(method),
                           BufferView(Buffer::fromString(std::move(body))),
-                          from};
+                          from, trace_ctx};
     response = endpoint->buf(request).str();
     method_name = std::move(request.method);
   }
@@ -187,14 +223,16 @@ BufferView Network::callBuf(const std::string& from, const std::string& to,
   const auto started = std::chrono::steady_clock::now();
   std::string method_name;
   BufferView reply;
+  const TraceContext trace_ctx =
+      tracer_.enabled() ? currentTraceContext() : TraceContext{};
   if (endpoint->buf) {
-    BufRpcRequest request{std::move(method), std::move(body), from};
+    BufRpcRequest request{std::move(method), std::move(body), from, trace_ctx};
     reply = endpoint->buf(request);
     method_name = std::move(request.method);
   } else {
     // Buffer caller, legacy endpoint: the handler needs owned Bytes, so the
     // body is copied in; the reply is adopted without a copy.
-    RpcRequest request{std::move(method), body.str(), from};
+    RpcRequest request{std::move(method), body.str(), from, trace_ctx};
     reply = BufferView(Buffer::fromString(endpoint->legacy(request)));
     method_name = std::move(request.method);
   }
@@ -239,6 +277,26 @@ void Network::setFaultPlan(std::shared_ptr<FaultPlan> plan) {
 std::shared_ptr<FaultPlan> Network::faultPlan() const {
   std::lock_guard<std::mutex> lock(fault_mutex_);
   return fault_plan_;
+}
+
+MetricsSnapshotter& Network::startSnapshotter(
+    MetricsSnapshotter::Options options) {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  if (snapshotter_ == nullptr) {
+    snapshotter_ = std::make_unique<MetricsSnapshotter>(&metrics_, options);
+  }
+  snapshotter_->start();
+  return *snapshotter_;
+}
+
+void Network::stopSnapshotter() {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  if (snapshotter_ != nullptr) snapshotter_->stop();
+}
+
+MetricsSnapshotter* Network::snapshotter() {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshotter_.get();
 }
 
 bool Network::applyFault(const std::string& from, const std::string& to,

@@ -1,0 +1,111 @@
+#include "mh/common/metrics_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace mh {
+namespace {
+
+MetricsSnapshotter::Options fastOptions(size_t capacity = 8) {
+  MetricsSnapshotter::Options options;
+  options.interval_ms = 1;
+  options.capacity = capacity;
+  return options;
+}
+
+TEST(MetricsRegistryTest, FlattenValuesWalksTheTree) {
+  MetricsRegistry root;
+  root.counter("rpcs").add(3);
+  root.setGauge("load", [] { return 1.5; });
+  root.histogram("latency").record(100);
+  root.histogram("latency").record(300);
+  root.child("datanode.node01").counter("blocks.read").add(7);
+
+  const auto values = root.flattenValues();
+  const auto find = [&](const std::string& name) -> double {
+    for (const auto& [n, v] : values) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing flattened metric: " << name;
+    return -1;
+  };
+  EXPECT_EQ(find("rpcs"), 3.0);
+  EXPECT_EQ(find("load"), 1.5);
+  EXPECT_EQ(find("latency.count"), 2.0);
+  EXPECT_EQ(find("latency.sum_us"), 400.0);
+  // Child names keep their literal dots; path segments join with '/'.
+  EXPECT_EQ(find("datanode.node01/blocks.read"), 7.0);
+}
+
+TEST(MetricsSnapshotterTest, SampleOnceCapturesTimestampedValues) {
+  MetricsRegistry root;
+  Counter& work = root.counter("work");
+  MetricsSnapshotter snapshotter(&root, fastOptions());
+  work.add(5);
+  snapshotter.sampleOnce();
+  work.add(5);
+  snapshotter.sampleOnce();
+
+  ASSERT_EQ(snapshotter.size(), 2u);
+  const auto snaps = snapshotter.snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_LE(snaps[0].ts_ms, snaps[1].ts_ms);
+  ASSERT_EQ(snaps[0].values.size(), 1u);
+  EXPECT_EQ(snaps[0].values[0].first, "work");
+  EXPECT_EQ(snaps[0].values[0].second, 5.0);
+  EXPECT_EQ(snaps[1].values[0].second, 10.0);
+}
+
+TEST(MetricsSnapshotterTest, RingStaysBoundedAndCountsDrops) {
+  MetricsRegistry root;
+  root.counter("c");
+  MetricsSnapshotter snapshotter(&root, fastOptions(/*capacity=*/2));
+  for (int i = 0; i < 5; ++i) snapshotter.sampleOnce();
+  EXPECT_EQ(snapshotter.size(), 2u);
+  EXPECT_EQ(snapshotter.droppedSnapshots(), 3u);
+}
+
+TEST(MetricsSnapshotterTest, BackgroundThreadSamplesUntilStopped) {
+  MetricsRegistry root;
+  root.counter("c").add(1);
+  MetricsSnapshotter snapshotter(&root, fastOptions(/*capacity=*/1024));
+  EXPECT_FALSE(snapshotter.running());
+  snapshotter.start();
+  EXPECT_TRUE(snapshotter.running());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (snapshotter.size() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  snapshotter.stop();
+  EXPECT_FALSE(snapshotter.running());
+  EXPECT_GE(snapshotter.size(), 3u);
+  const size_t after_stop = snapshotter.size();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(snapshotter.size(), after_stop);  // sampler really quiesced
+  snapshotter.stop();                         // idempotent
+}
+
+TEST(MetricsSnapshotterTest, ExportJsonlIsSelfDescribing) {
+  MetricsRegistry root;
+  root.counter("ops").add(2);
+  root.setGauge("temp", [] { return 0.25; });
+  MetricsSnapshotter snapshotter(&root, fastOptions());
+  snapshotter.sampleOnce();
+  const std::string jsonl = snapshotter.exportJsonl();
+  size_t lines = 0;
+  for (const char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, 2u);  // header + one snapshot
+  EXPECT_EQ(jsonl.find("{\"type\":\"header\""), 0u);
+  EXPECT_NE(jsonl.find("\"interval_ms\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"snapshot_count\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"dropped_snapshots\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ops\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"temp\":0.250"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mh

@@ -128,7 +128,7 @@ TEST(TraceCollectorTest, ChromeJsonHasLanesSpansAndInstants) {
   EXPECT_NE(json.find("\"name\":\"wc\""), std::string::npos);
 }
 
-TEST(TraceCollectorTest, JsonlEmitsOneLinePerEvent) {
+TEST(TraceCollectorTest, JsonlEmitsHeaderPlusOneLinePerEvent) {
   TraceCollector tc;
   tc.setEnabled(true);
   tc.instant("a", "one");
@@ -136,9 +136,130 @@ TEST(TraceCollectorTest, JsonlEmitsOneLinePerEvent) {
   const std::string jsonl = tc.exportJsonl();
   size_t lines = 0;
   for (const char c : jsonl) lines += (c == '\n');
-  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(lines, 3u);  // self-describing header + one line per event
+  EXPECT_EQ(jsonl.find("{\"type\":\"header\""), 0u);
+  EXPECT_NE(jsonl.find("\"dropped_events\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event_count\":2"), std::string::npos);
   EXPECT_NE(jsonl.find("\"type\":\"instant\""), std::string::npos);
   EXPECT_NE(jsonl.find("\"component\":\"a\""), std::string::npos);
+}
+
+TEST(TraceContextTest, AmbientIsZeroOutsideAnySpan) {
+  const TraceContext ctx = currentTraceContext();
+  EXPECT_FALSE(ctx.valid());
+  EXPECT_EQ(ctx.trace_id, 0u);
+  EXPECT_EQ(ctx.span_id, 0u);
+}
+
+TEST(TraceContextTest, ScopeInstallsAndRestores) {
+  const TraceContext before = currentTraceContext();
+  {
+    TraceContextScope scope(TraceContext{7, 8, 0});
+    EXPECT_EQ(currentTraceContext().trace_id, 7u);
+    EXPECT_EQ(currentTraceContext().span_id, 8u);
+    {
+      TraceContextScope inner(TraceContext{7, 9, 8});
+      EXPECT_EQ(currentTraceContext().span_id, 9u);
+    }
+    EXPECT_EQ(currentTraceContext().span_id, 8u);
+  }
+  EXPECT_EQ(currentTraceContext().trace_id, before.trace_id);
+  EXPECT_EQ(currentTraceContext().span_id, before.span_id);
+}
+
+TEST(TraceContextTest, SpansFormCausalTreeViaAmbientContext) {
+  TraceCollector tc;
+  tc.setEnabled(true);
+  const uint64_t trace_id = tc.newId();
+  const TraceContextScope root(TraceContext{trace_id, 0, 0});
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    TraceSpan outer(&tc, "jobtracker", "JOB job 1");
+    outer_id = outer.context().span_id;
+    ASSERT_NE(outer_id, 0u);
+    {
+      TraceSpan inner(&tc, "tasktracker.node01", "MAP m0 a0");
+      inner_id = inner.context().span_id;
+      tc.instant("dfsclient.node01", "SHORT_CIRCUIT_READ blk_1");
+    }
+  }
+  // Spans record at destruction, the instant immediately; snapshot()
+  // orders by start time, so look events up by name rather than index.
+  const auto events = tc.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  const auto byName = [&](const char* prefix) -> const TraceEvent& {
+    for (const auto& e : events) {
+      if (e.name.rfind(prefix, 0) == 0) return e;
+    }
+    ADD_FAILURE() << "no event named " << prefix;
+    return events.front();
+  };
+  const TraceEvent& instant = byName("SHORT_CIRCUIT_READ");
+  const TraceEvent& inner = byName("MAP");
+  const TraceEvent& outer = byName("JOB");
+  EXPECT_EQ(outer.trace_id, trace_id);
+  EXPECT_EQ(outer.parent_span_id, 0u);
+  EXPECT_EQ(inner.trace_id, trace_id);
+  EXPECT_EQ(inner.parent_span_id, outer_id);
+  EXPECT_EQ(inner.span_id, inner_id);
+  EXPECT_EQ(instant.trace_id, trace_id);
+  EXPECT_EQ(instant.parent_span_id, inner_id);
+  EXPECT_EQ(instant.span_id, 0u);  // instants are points, not spans
+}
+
+TEST(TraceContextTest, ExplicitContextInstantTargetsGivenTree) {
+  TraceCollector tc;
+  tc.setEnabled(true);
+  tc.instant(TraceContext{42, 43, 0}, "jobtracker", "ATTEMPT_TIMEOUT");
+  const auto events = tc.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 42u);
+  EXPECT_EQ(events[0].parent_span_id, 43u);
+}
+
+TEST(TraceContextTest, DisabledCollectorAllocatesNoIds) {
+  TraceCollector tc;
+  ASSERT_FALSE(tc.enabled());
+  for (int i = 0; i < 100; ++i) {
+    tc.instant("c", "e");
+    TraceSpan span(&tc, "c", "s");
+  }
+  EXPECT_EQ(tc.idsAllocated(), 0u);
+  tc.setEnabled(true);
+  { TraceSpan span(&tc, "c", "s"); }
+  EXPECT_EQ(tc.idsAllocated(), 1u);
+}
+
+TEST(TraceCollectorTest, ChromeJsonNamesTracksAndReportsDrops) {
+  TraceCollector tc(3);
+  tc.setEnabled(true);
+  tc.instant("jobtracker", "e1");  // will be overwritten below
+  {
+    TraceContextScope scope(TraceContext{1, 0, 0}, "m0 a0");
+    TraceSpan span(&tc, "tasktracker.node01", "MAP m0 a0");
+  }
+  tc.instant("jobtracker", "e2");
+  tc.instant("jobtracker", "e3");  // capacity 3: drops e1
+  const std::string json = tc.exportChromeJson();
+  // Named thread track for the task attempt; anonymous events fall back
+  // to a per-thread tid track.
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"m0 a0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"tid "), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":1"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, ChromeJsonCarriesCausalIdsInArgs) {
+  TraceCollector tc;
+  tc.setEnabled(true);
+  {
+    TraceContextScope scope(TraceContext{5, 0, 0});
+    TraceSpan span(&tc, "c", "s");
+  }
+  const std::string json = tc.exportChromeJson();
+  EXPECT_NE(json.find("\"trace_id\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":"), std::string::npos);
 }
 
 TEST(TraceCollectorTest, JsonEscapesSpecialCharacters) {

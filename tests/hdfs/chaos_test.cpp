@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "mh/common/rng.h"
+#include "mh/common/trace_analysis.h"
 #include "mh/hdfs/mini_cluster.h"
 #include "mh/net/fault_plan.h"
 #include "testutil/aggressive_timers.h"
@@ -128,6 +129,127 @@ TEST_P(HdfsChaosTest, RandomOpsMatchReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HdfsChaosTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Satellite: the same random-ops chaos contract with full observability on
+// — tracing plus the background metrics snapshotter. Observation must not
+// perturb the file system (model still agrees byte-for-byte), and the
+// session's trace must form one connected tree across client, NameNode,
+// and DataNodes despite crashes and restarts.
+class TracedHdfsChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TracedHdfsChaosTest, ObservedRandomOpsMatchReferenceModel) {
+  Config conf = testutil::aggressiveTimers();
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 2048);
+  MiniDfsCluster cluster({.num_datanodes = 4, .conf = conf});
+  cluster.tracer().setEnabled(true);
+  MetricsSnapshotter& snapshotter =
+      cluster.network()->startSnapshotter({.interval_ms = 5});
+  ASSERT_TRUE(snapshotter.running());
+  auto client = cluster.client();
+
+  Rng rng(GetParam());
+  std::map<std::string, Bytes> model;
+  int down_nodes = 0;
+
+  const auto randomPath = [&](bool existing) -> std::string {
+    if (existing && !model.empty()) {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.uniform(model.size())));
+      return it->first;
+    }
+    return "/chaos/f" + std::to_string(rng.uniform(30));
+  };
+  const auto randomBody = [&] {
+    Bytes body;
+    const auto n = rng.uniform(6000);
+    body.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      body.push_back(static_cast<char>('a' + rng.uniform(26)));
+    }
+    return body;
+  };
+
+  // All client ops run under one session root span, so the whole chaos
+  // session exports as a single causal tree (HDFS has no JobTracker to
+  // mint one; a client-side root plays that role).
+  uint64_t trace_id = 0;
+  {
+    const TraceContextScope session_ctx(
+        TraceContext{cluster.tracer().newId(), 0, 0});
+    TraceSpan session(&cluster.tracer(), "client", "JOB chaos session");
+    trace_id = session.context().trace_id;
+
+    for (int step = 0; step < 80; ++step) {
+      const auto action = rng.uniform(100);
+      try {
+        if (action < 40) {
+          const std::string path = randomPath(rng.chance(0.3));
+          const Bytes body = randomBody();
+          if (model.contains(path)) client.remove(path, false);
+          client.writeFile(path, body);
+          model[path] = body;
+        } else if (action < 55 && !model.empty()) {
+          const std::string path = randomPath(true);
+          EXPECT_TRUE(client.remove(path, false));
+          model.erase(path);
+        } else if (action < 75 && !model.empty()) {
+          const std::string path = randomPath(true);
+          EXPECT_EQ(client.readFile(path), model[path]) << path;
+        } else if (action < 88 && down_nodes == 0) {
+          const auto hosts = cluster.dataNodeHosts();
+          cluster.killDataNode(hosts[rng.uniform(hosts.size())]);
+          ++down_nodes;
+        } else {
+          for (const auto& host : cluster.dataNodeHosts()) {
+            if (!cluster.dataNode(host).running()) {
+              cluster.restartDataNode(host);
+            }
+          }
+          down_nodes = 0;
+        }
+      } catch (const IoError&) {
+        const auto files = client.listFilesRecursive("/");
+        for (const auto& f : files) {
+          if (!model.contains(f)) client.remove(f, false);
+        }
+      }
+    }
+  }
+
+  for (const auto& host : cluster.dataNodeHosts()) {
+    if (!cluster.dataNode(host).running()) cluster.restartDataNode(host);
+  }
+  ASSERT_TRUE(cluster.waitHealthy(30'000));
+  auto files = client.listFilesRecursive("/");
+  std::erase_if(files,
+                [&](const std::string& f) { return !model.contains(f); });
+  EXPECT_EQ(files.size(), model.size());
+  for (const auto& [path, body] : model) {
+    ASSERT_TRUE(client.exists(path)) << path;
+    EXPECT_EQ(client.readFile(path), body) << path;
+  }
+
+  // The observability contract: a connected tree under the session root,
+  // no ring overflow, a consistent drop gauge, and a live time-series.
+  ASSERT_NE(trace_id, 0u);
+  EXPECT_EQ(cluster.tracer().droppedEvents(), 0u);
+  EXPECT_DOUBLE_EQ(
+      cluster.metrics().child("network").gaugeValue("trace.dropped.events"),
+      0.0);
+  const TraceTreeStats stats =
+      analyzeTraceTree(cluster.tracer().snapshot(), trace_id);
+  EXPECT_GT(stats.span_count, 1u);
+  EXPECT_EQ(stats.missing_parents, 0u);
+  ASSERT_EQ(stats.root_span_ids.size(), 1u);
+  EXPECT_TRUE(stats.connected());
+  const auto& kinds = stats.daemon_kinds;
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "namenode"), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), "dfsclient"), kinds.end());
+  EXPECT_GT(snapshotter.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TracedHdfsChaosTest, ::testing::Values(3));
 
 // A network partition mid-re-replication. Kill one DataNode so the
 // NameNode starts re-replicating its blocks, then sever one of the

@@ -9,6 +9,7 @@
 
 #include "mh/apps/airline.h"
 #include "mh/common/rng.h"
+#include "mh/common/trace_analysis.h"
 #include "mh/data/airline.h"
 #include "mh/mr/mini_mr_cluster.h"
 #include "mh/net/fault_plan.h"
@@ -304,6 +305,108 @@ TEST_P(MrChaosTest, SameSeedReplaysSameFaultSequence) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MrChaosTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+class TracedMrChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TracedMrChaosTest, FullObservabilityIsStrictlyObservational) {
+  // Satellite: the same chaos contract with every observability signal on
+  // — tracing AND the background metrics snapshotter. Byte-identical
+  // output, exact record counters, and the trace must still be one
+  // connected tree despite node kills and injected faults.
+  const uint64_t seed = GetParam();
+
+  std::map<std::string, Bytes> expected_parts;
+  Counters expected_counters;
+  {
+    MiniMrCluster cluster({.num_nodes = 4, .conf = chaosConf(seed)});
+    stageInput(cluster, seed);
+    const auto result = cluster.runJob(jobForSeed(seed));
+    ASSERT_TRUE(result.succeeded()) << result.error;
+    expected_parts = readPartBytes(cluster, "/out");
+    expected_counters = result.counters;
+  }
+  ASSERT_FALSE(expected_parts.empty());
+
+  MiniMrCluster cluster({.num_nodes = 4, .conf = chaosConf(seed)});
+  stageInput(cluster, seed);
+  cluster.tracer().setEnabled(true);
+  MetricsSnapshotter& snapshotter =
+      cluster.network()->startSnapshotter({.interval_ms = 5});
+  ASSERT_TRUE(snapshotter.running());
+
+  auto plan = std::make_shared<net::FaultPlan>(seed);
+  plan->addRule({.match = {.method = "getMapOutput"},
+                 .action = net::FaultAction::kError,
+                 .probability = 1.0,
+                 .max_fires = 4});
+  plan->addRule({.match = {.method = "heartbeat"},
+                 .action = net::FaultAction::kDrop,
+                 .probability = 0.15,
+                 .max_fires = 25});
+  plan->addRule({.match = {.method = "readBlock"},
+                 .action = net::FaultAction::kError,
+                 .probability = 0.10,
+                 .max_fires = 10});
+  cluster.network()->setFaultPlan(plan);
+
+  const JobId id = cluster.jobTracker().submit(jobForSeed(seed));
+
+  // A shorter disruption driver: one kill/restart cycle mid-flight.
+  Rng driver(seed ^ 0x0B5E27EDull);
+  const auto hosts = cluster.trackerHosts();
+  std::string downed;
+  for (int step = 0; step < 30; ++step) {
+    if (cluster.jobTracker().status(id).state != JobState::kRunning) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    const auto act = driver.uniform(10);
+    if (act < 2 && downed.empty()) {
+      downed = hosts[driver.uniform(hosts.size())];
+      cluster.killNode(downed);
+    } else if (act < 5 && !downed.empty()) {
+      cluster.restartNode(downed);
+      downed.clear();
+    }
+  }
+  if (!downed.empty()) cluster.restartNode(downed);
+
+  const auto result = waitWithDeadline(cluster, id, 120'000);
+  ASSERT_TRUE(result.succeeded()) << result.error << "\n"
+                                  << result.historyReport();
+  EXPECT_GT(plan->injectedFaults(), 0u);
+
+  // Observation changed nothing: identical bytes, identical records.
+  EXPECT_EQ(readPartBytes(cluster, "/out"), expected_parts);
+  using namespace counters;
+  for (const char* name :
+       {kMapInputRecords, kMapOutputRecords, kReduceOutputRecords}) {
+    EXPECT_EQ(result.counters.value(kTaskGroup, name),
+              expected_counters.value(kTaskGroup, name))
+        << name;
+  }
+
+  // The chaos run's trace is still one connected tree: every span's
+  // parent exists and the only root is the JOB span.
+  ASSERT_NE(result.trace_id, 0u);
+  EXPECT_EQ(cluster.tracer().droppedEvents(), 0u);
+  const TraceTreeStats stats =
+      analyzeTraceTree(cluster.tracer().snapshot(), result.trace_id);
+  EXPECT_EQ(stats.missing_parents, 0u);
+  EXPECT_EQ(stats.root_span_ids.size(), 1u);
+  EXPECT_TRUE(stats.connected());
+
+  // The snapshotter sampled live daemons throughout (including across the
+  // kill/restart) and its time-series is exportable.
+  EXPECT_GT(snapshotter.size(), 1u);
+  const auto snaps = snapshotter.snapshots();
+  ASSERT_FALSE(snaps.empty());
+  EXPECT_FALSE(snaps.back().values.empty());
+  EXPECT_EQ(snapshotter.exportJsonl().find("{\"type\":\"header\""), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TracedMrChaosTest, ::testing::Values(2),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });

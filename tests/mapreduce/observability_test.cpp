@@ -1,9 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "mh/common/rng.h"
+#include "mh/common/trace_analysis.h"
 #include "mh/mr/mini_mr_cluster.h"
+#include "mh/net/fault_plan.h"
 #include "mr_test_jobs.h"
 #include "testutil/aggressive_timers.h"
 
@@ -168,6 +177,209 @@ TEST_F(ObservabilityTest, RegistryShuffleCountersMatchJobCounters) {
             result_->counters.value(kShuffleGroup, kShuffleBytes));
   EXPECT_GT(merge_segments, 0);
   EXPECT_GT(shuffle_bytes, 0);
+}
+
+TEST_F(ObservabilityTest, TraceTreeIsConnectedAcrossDaemonKinds) {
+  // Tentpole acceptance: the whole job — scheduling, tasks, shuffle, DFS
+  // I/O — is one causally connected tree under a single JOB root span.
+  ASSERT_NE(result_->trace_id, 0u);
+  const auto events = cluster_->tracer().snapshot();
+  const TraceTreeStats stats = analyzeTraceTree(events, result_->trace_id);
+  EXPECT_GT(stats.span_count, 0u);
+  EXPECT_GT(stats.instant_count, 0u);
+  EXPECT_EQ(stats.missing_parents, 0u);
+  ASSERT_EQ(stats.root_span_ids.size(), 1u);
+  EXPECT_TRUE(stats.connected());
+  // All four daemon kinds participate (plus the embedded DFS client).
+  const auto& kinds = stats.daemon_kinds;
+  const auto has = [&](const char* kind) {
+    return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
+  };
+  EXPECT_TRUE(has("jobtracker"));
+  EXPECT_TRUE(has("tasktracker"));
+  EXPECT_TRUE(has("namenode"));
+  EXPECT_TRUE(has("datanode"));
+  EXPECT_TRUE(has("dfsclient"));
+  // The root is the backdated JOB span on the "jobs" track.
+  for (const auto& e : events) {
+    if (e.span && e.span_id == stats.root_span_ids[0]) {
+      EXPECT_EQ(e.name.rfind("JOB job", 0), 0u) << e.name;
+      EXPECT_EQ(e.track, "jobs");
+    }
+  }
+}
+
+TEST_F(ObservabilityTest, CriticalPathAttributesTheWholeWallClock) {
+  const CriticalPathReport report =
+      computeCriticalPath(cluster_->tracer().snapshot(), result_->trace_id);
+  ASSERT_TRUE(report.found);
+  EXPECT_GT(report.total_us, 0);
+  EXPECT_FALSE(report.steps.empty());
+  EXPECT_FALSE(report.dominantPhase().empty());
+  int64_t attributed = 0;
+  for (const auto& p : report.phases) attributed += p.micros;
+  EXPECT_EQ(attributed, report.total_us);
+
+  const std::string ascii = result_->criticalPathReport(cluster_->tracer());
+  EXPECT_NE(ascii.find("critical path (trace"), std::string::npos);
+  EXPECT_NE(ascii.find("where the time went:"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, TaskSpansCarryReadableTrackNames) {
+  // Satellite 2: task attempts render as stable named tracks ("m0 a0"),
+  // not anonymous hashed-tid lanes.
+  bool saw_map_track = false;
+  bool saw_reduce_track = false;
+  for (const auto& e : cluster_->tracer().snapshot()) {
+    if (!e.span) continue;
+    if (e.name.rfind("MAP m", 0) == 0 && e.track.rfind("m", 0) == 0) {
+      saw_map_track = true;
+    }
+    if (e.name.rfind("REDUCE r", 0) == 0 && e.track.rfind("r", 0) == 0) {
+      saw_reduce_track = true;
+    }
+  }
+  EXPECT_TRUE(saw_map_track);
+  EXPECT_TRUE(saw_reduce_track);
+  const std::string json = cluster_->tracer().exportChromeJson();
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+}
+
+TEST(CriticalPathJobTest, SlowMapJobIsMapDominated) {
+  // Planted bottleneck 1: a mapper that sleeps makes map compute the
+  // dominant phase of the critical path.
+  class SlowMapper : public testjobs::WordCountMapper {
+   public:
+    void cleanup(TaskContext&) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+  };
+  Config conf = testutil::aggressiveTimers();
+  conf.setInt("dfs.replication", 2);
+  MiniMrCluster cluster({.num_nodes = 2, .conf = conf});
+  cluster.tracer().setEnabled(true);
+  cluster.client().writeFile("/in/corpus.txt", makeCorpus(50, 3));
+
+  JobSpec spec = wordCountSpec({"/in"}, "/out", false, 1);
+  spec.name = "slow-map";
+  spec.mapper = [] { return std::make_unique<SlowMapper>(); };
+  const JobResult result = cluster.runJob(spec);
+  ASSERT_TRUE(result.succeeded()) << result.error;
+
+  const CriticalPathReport report =
+      computeCriticalPath(cluster.tracer().snapshot(), result.trace_id);
+  ASSERT_TRUE(report.found);
+  EXPECT_EQ(report.dominantPhase(), "map") << report.renderAscii();
+  EXPECT_GE(report.phaseMicros("map"), 150'000);
+}
+
+TEST(CriticalPathJobTest, ShuffleDelayJobIsShuffleDominated) {
+  // Planted bottleneck 2: a FaultPlan that delays every shuffle fetch
+  // makes shuffle wait the dominant phase — and the injected faults land
+  // inside the job's trace tree.
+  Config conf = testutil::aggressiveTimers();
+  conf.setInt("dfs.replication", 2);
+  MiniMrCluster cluster({.num_nodes = 2, .conf = conf});
+  cluster.tracer().setEnabled(true);
+  cluster.client().writeFile("/in/corpus.txt", makeCorpus(200, 4));
+
+  // Big enough to dominate even when a loaded CI machine stretches map
+  // compute and scheduling gaps to tens of milliseconds.
+  auto plan = std::make_shared<net::FaultPlan>(11);
+  plan->addRule({.match = {.tag = "shuffle"},
+                 .action = net::FaultAction::kDelay,
+                 .delay_micros = 250'000});
+  cluster.network()->setFaultPlan(plan);
+
+  const JobResult result =
+      cluster.runJob(wordCountSpec({"/in"}, "/out", false, 2));
+  ASSERT_TRUE(result.succeeded()) << result.error;
+  ASSERT_GT(plan->injectedFaults(), 0u);
+
+  const auto events = cluster.tracer().snapshot();
+  const CriticalPathReport report =
+      computeCriticalPath(events, result.trace_id);
+  ASSERT_TRUE(report.found);
+  EXPECT_EQ(report.dominantPhase(), "shuffle") << report.renderAscii();
+
+  // FAULT_INJECT instants inherit the victim call's context: the delayed
+  // fetches' faults belong to this job's trace.
+  bool fault_in_tree = false;
+  for (const auto& e : events) {
+    if (e.name.rfind("FAULT_INJECT", 0) == 0 &&
+        e.trace_id == result.trace_id && e.parent_span_id != 0) {
+      fault_in_tree = true;
+    }
+  }
+  EXPECT_TRUE(fault_in_tree);
+}
+
+TEST_F(ObservabilityTest, SignalCatalogMatchesDocs) {
+  // Satellite 4: docs/OBSERVABILITY.md's signal catalog is kept honest by
+  // the code — every metric and trace-event name a real traced job emits
+  // must appear there (in its generic <host>/<method>/<tag> form).
+  std::ifstream in(std::string(MH_SOURCE_DIR) + "/docs/OBSERVABILITY.md");
+  ASSERT_TRUE(in.good()) << "docs/OBSERVABILITY.md not readable";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  // Normalizes one flattened metric name ("child/leaf", histograms
+  // expanded to .count/.sum_us) to the catalog's generic spelling.
+  const auto docKey = [](std::string name) {
+    for (const char* suffix : {".count", ".sum_us"}) {
+      if (name.ends_with(suffix)) {
+        name.resize(name.size() - std::strlen(suffix));
+      }
+    }
+    std::string leaf = name.substr(name.rfind('/') + 1);
+    if (leaf.rfind("rpc.", 0) == 0 && leaf.ends_with(".micros")) {
+      return std::string("rpc.<method>.micros");
+    }
+    if (leaf.rfind("ops.", 0) == 0) return std::string("ops.<method>");
+    if (leaf.rfind("traffic.", 0) == 0) {
+      return "traffic.<tag>" + leaf.substr(leaf.rfind('.'));
+    }
+    return leaf;
+  };
+  const auto registryKind = [](const std::string& segment) {
+    for (const char* host_kind : {"tasktracker", "datanode", "dfsclient"}) {
+      if (segment.rfind(std::string(host_kind) + ".", 0) == 0) {
+        return std::string(host_kind) + ".<host>";
+      }
+    }
+    if (segment.rfind("codec.", 0) == 0) return std::string("codec.<name>");
+    return segment;
+  };
+
+  std::set<std::string> missing;
+  for (const auto& [name, value] : cluster_->metrics().flattenValues()) {
+    if (doc.find(docKey(name)) == std::string::npos) {
+      missing.insert(docKey(name) + "  (from " + name + ")");
+    }
+    // Each registry path segment must be cataloged too.
+    std::string path = name.substr(0, name.rfind('/') + 1);
+    for (size_t from = 0; from < path.size();) {
+      const size_t slash = path.find('/', from);
+      const std::string kind = registryKind(path.substr(from, slash - from));
+      if (doc.find(kind) == std::string::npos) {
+        missing.insert(kind + "  (registry, from " + name + ")");
+      }
+      from = slash + 1;
+    }
+  }
+  // Trace names: the leading token (MAP, SHUFFLE_FETCH, NN_OP, ...).
+  for (const auto& e : cluster_->tracer().snapshot()) {
+    const std::string token = e.name.substr(0, e.name.find(' '));
+    if (doc.find(token) == std::string::npos) {
+      missing.insert(token + "  (trace event \"" + e.name + "\")");
+    }
+  }
+  std::string report;
+  for (const auto& m : missing) report += "\n  " + m;
+  EXPECT_TRUE(missing.empty())
+      << "signals missing from docs/OBSERVABILITY.md:" << report;
 }
 
 TEST_F(ObservabilityTest, ExportsAreWellFormed) {

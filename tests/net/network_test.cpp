@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 
@@ -381,6 +382,37 @@ TEST(NetworkTest, CallBufRefusedWhenHostDownOrUnbound) {
   net.setHostUp("dn", false);
   EXPECT_THROW(net.callBuf("client", "dn", 1, "read", BufferView()),
                NetworkError);
+}
+
+// Satellite: MH_TRACE / MH_METRICS_SNAPSHOT_MS switch the observability
+// layer on at Network construction — no code changes, works for any
+// example or bench binary.
+TEST(NetworkEnvTest, ObservabilityEnvVarsArmTheFabric) {
+  {
+    // Default: tracing off, no snapshotter thread.
+    Network net;
+    EXPECT_FALSE(net.tracer().enabled());
+    EXPECT_EQ(net.snapshotter(), nullptr);
+  }
+  ::setenv("MH_TRACE", "1", 1);
+  ::setenv("MH_METRICS_SNAPSHOT_MS", "5", 1);
+  {
+    Network net;
+    EXPECT_TRUE(net.tracer().enabled());
+    ASSERT_NE(net.snapshotter(), nullptr);
+    EXPECT_TRUE(net.snapshotter()->running());
+    EXPECT_EQ(net.snapshotter()->intervalMs(), 5);
+  }
+  // Falsy / non-positive values stay off.
+  ::setenv("MH_TRACE", "0", 1);
+  ::setenv("MH_METRICS_SNAPSHOT_MS", "0", 1);
+  {
+    Network net;
+    EXPECT_FALSE(net.tracer().enabled());
+    EXPECT_EQ(net.snapshotter(), nullptr);
+  }
+  ::unsetenv("MH_TRACE");
+  ::unsetenv("MH_METRICS_SNAPSHOT_MS");
 }
 
 }  // namespace
