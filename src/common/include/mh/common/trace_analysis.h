@@ -23,7 +23,8 @@ namespace mh {
 
 /// Phase attribution buckets, in display order.
 inline constexpr const char* kTracePhases[] = {
-    "map", "spill", "shuffle", "merge", "reduce", "dfs", "scheduling"};
+    "map", "spill", "innode", "shuffle", "merge", "reduce", "dfs",
+    "scheduling"};
 
 /// Classifies a span name into a phase bucket; returns "" for container
 /// or unclassified spans (JOB, COMPRESS, ...) whose time folds into the

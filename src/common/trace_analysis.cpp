@@ -92,6 +92,7 @@ std::string_view classifyTracePhase(std::string_view span_name) {
   if (startsWith(span_name, "REDUCE")) return "reduce";
   if (startsWith(span_name, "SHUFFLE_FETCH")) return "shuffle";
   if (startsWith(span_name, "SORT_SPILL")) return "spill";
+  if (startsWith(span_name, "INNODE_COMBINE")) return "innode";
   if (startsWith(span_name, "MERGE")) return "merge";
   if (startsWith(span_name, "DFS_READ") || startsWith(span_name, "DFS_WRITE") ||
       startsWith(span_name, "READ_BLOCK") ||

@@ -37,6 +37,8 @@
 
 namespace mh::mr {
 
+struct JobSpec;
+
 /// Fetches partition `assignment.task_index`'s run from every map host in
 /// `assignment.map_outputs`, with up to `mapred.reduce.parallel.copies`
 /// (default 5) fetches in flight at once. Runs arrive as refcounted views —
@@ -47,11 +49,20 @@ namespace mh::mr {
 /// fetches fail, the lowest map index is reported. On success, meters
 /// SHUFFLE_BYTES and the wall-clock SHUFFLE_FETCH_MILLIS of the whole fetch
 /// phase into `shuffle_counters`.
+///
+/// When `spec` is given and in-node combining is on for the job (a combiner
+/// plus `mapred.innode.combine=true`), the map list is grouped by host and
+/// each group fetched as ONE `getNodeOutput` call — the serving tracker
+/// merges all its maps' runs through the combiner and ships one consolidated
+/// run per node. A failed node fetch is attributed to the specific missing
+/// map when the server names one ("missing map=<i>"), else to the group's
+/// lowest map index, keeping the re-execute contract exact.
 std::vector<BufferView> fetchShuffleRuns(net::Network& network,
                                          const std::string& host,
                                          const TaskAssignment& assignment,
                                          const Config& conf,
-                                         Counters& shuffle_counters);
+                                         Counters& shuffle_counters,
+                                         const JobSpec* spec = nullptr);
 
 class TaskTracker {
  public:
@@ -95,6 +106,11 @@ class TaskTracker {
   void runMapAssignment(const TaskAssignment& assignment);
   void runReduceAssignment(const TaskAssignment& assignment);
   void chargeHeap(int64_t delta);
+  /// Non-throwing budget check for opportunistic caches (the store's
+  /// combined runs and encoded-serve cache): charges `delta` and returns
+  /// true, or refuses growth past the budget and returns false WITHOUT
+  /// invoking the OOM policy — a declined cache is not a task failure.
+  bool tryChargeHeap(int64_t delta);
   void queueReport(TaskStatusReport report);
 
   Config conf_;

@@ -1,0 +1,548 @@
+#include "mh/mr/map_output_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mh/common/stopwatch.h"
+#include "mh/mr/api.h"
+#include "mh/mr/job.h"
+#include "mh/mr/job_registry.h"
+#include "mh/mr/kv_stream.h"
+#include "mh/mr/merge.h"
+
+namespace mh::mr {
+
+namespace {
+
+using namespace counters;
+
+/// Stable key sort + kv_stream framing — the same contract as the map-side
+/// combine output (combiners may change keys, so emissions are re-sorted).
+int64_t writeSortedRecords(std::vector<KeyValue>& records, Bytes& out) {
+  std::stable_sort(
+      records.begin(), records.end(),
+      [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  KvWriter writer(out);
+  for (const KeyValue& kv : records) writer.write(kv);
+  return static_cast<int64_t>(records.size());
+}
+
+}  // namespace
+
+MapOutputStore::~MapOutputStore() { clear(); }
+
+void MapOutputStore::attach(JobRegistry* registry, MetricsRegistry* metrics,
+                            TraceCollector* trace, std::string trace_component,
+                            TryChargeFn try_charge) {
+  registry_ = registry;
+  metrics_ = metrics;
+  trace_ = trace;
+  component_ = std::move(trace_component);
+  try_charge_ = std::move(try_charge);
+  if (metrics_ != nullptr) {
+    replaced_runs_ = &metrics_->counter("mapoutput.replaced.runs");
+    combined_runs_ = &metrics_->counter("innode.combined.runs");
+    bytes_saved_ = &metrics_->counter("innode.bytes.saved");
+  }
+}
+
+uint64_t MapOutputStore::runsBytes(
+    const std::vector<std::shared_ptr<const Bytes>>& runs) {
+  uint64_t bytes = 0;
+  for (const auto& run : runs) {
+    if (run) bytes += run->size();
+  }
+  return bytes;
+}
+
+std::shared_ptr<const JobSpec> MapOutputStore::specFor(JobId job) const {
+  if (registry_ == nullptr) return nullptr;
+  try {
+    return registry_->get(job);
+  } catch (const std::exception&) {
+    return nullptr;  // job already purged from the registry
+  }
+}
+
+bool MapOutputStore::tryChargeLocked(int64_t delta) {
+  if (delta < 0) {
+    releaseLocked(-delta);
+    return true;
+  }
+  if (try_charge_ && !try_charge_(delta)) return false;
+  charged_ += delta;
+  return true;
+}
+
+void MapOutputStore::releaseLocked(int64_t bytes) {
+  if (bytes == 0) return;
+  charged_ -= bytes;
+  if (try_charge_) try_charge_(-bytes);
+}
+
+void MapOutputStore::dropNodeRunLocked(NodeRun& node) {
+  releaseLocked(static_cast<int64_t>(runsBytes(node.runs)) +
+                static_cast<int64_t>(runsBytes(node.wire)));
+  node.runs.clear();
+  node.wire.clear();
+  node.members.clear();
+}
+
+bool MapOutputStore::currentLocked(const JobSlots& slots,
+                                   const NodeRun& node) const {
+  for (const auto& [map_index, generation] : node.members) {
+    const auto it = slots.maps.find(map_index);
+    if (it == slots.maps.end() || it->second.generation != generation ||
+        it->second.runs.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MapOutputStore::put(JobId job, uint32_t map_index,
+                         std::vector<Bytes> partitions, Counters* counters) {
+  std::vector<std::shared_ptr<const Bytes>> runs;
+  runs.reserve(partitions.size());
+  for (Bytes& partition : partitions) {
+    runs.push_back(std::make_shared<const Bytes>(std::move(partition)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    JobSlots& slots = jobs_[job];
+    MapSlot& slot = slots.maps[map_index];
+    if (!slot.runs.empty()) {
+      // A speculative duplicate or re-execution replaces its prior
+      // contribution: drop the old runs and their wire cache, and
+      // invalidate every node aggregate the old attempt fed — the new
+      // attempt contributes exactly once to the next build (the aggregate
+      // analogue of PR-4's counter-replacement semantics).
+      total_bytes_ -= runsBytes(slot.runs);
+      releaseLocked(static_cast<int64_t>(runsBytes(slot.wire)));
+      if (replaced_runs_ != nullptr) {
+        replaced_runs_->add(static_cast<int64_t>(slot.runs.size()));
+      }
+      for (auto it = slots.combined.begin(); it != slots.combined.end();) {
+        if (it->second.members.count(map_index) != 0) {
+          dropNodeRunLocked(it->second);
+          it = slots.combined.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    slot.runs = std::move(runs);
+    slot.wire.assign(slot.runs.size(), nullptr);
+    slot.generation = slots.next_generation++;
+    total_bytes_ += runsBytes(slot.runs);
+  }
+
+  const std::shared_ptr<const JobSpec> spec = specFor(job);
+  if (spec && spec->combiner &&
+      spec->conf.getBool("mapred.innode.combine", false)) {
+    maybeCombineOnPut(job, *spec, counters);
+  }
+}
+
+void MapOutputStore::maybeCombineOnPut(JobId job, const JobSpec& spec,
+                                       Counters* counters) {
+  const int64_t min_runs =
+      spec.conf.getInt("mapred.innode.combine.min.runs", 2);
+  const int64_t min_bytes =
+      spec.conf.getInt("mapred.innode.combine.min.bytes", 0);
+  std::vector<uint32_t> members;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto job_it = jobs_.find(job);
+    if (job_it == jobs_.end()) return;
+    int64_t stored = 0;
+    for (const auto& [map_index, slot] : job_it->second.maps) {
+      if (slot.runs.empty()) continue;
+      members.push_back(map_index);
+      stored += static_cast<int64_t>(runsBytes(slot.runs));
+    }
+    if (static_cast<int64_t>(members.size()) < std::max<int64_t>(2, min_runs) ||
+        stored < min_bytes) {
+      return;
+    }
+  }
+  try {
+    nodeRuns(job, &spec, members, counters);
+  } catch (const std::exception&) {
+    // A concurrent replace/purge raced the merge; the next put or the serve
+    // path will rebuild.
+  }
+}
+
+std::vector<std::shared_ptr<const Bytes>> MapOutputStore::nodeRuns(
+    JobId job, const JobSpec* spec, const std::vector<uint32_t>& members,
+    Counters* counters) {
+  std::vector<uint32_t> key(members);
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  if (key.empty()) {
+    throw InvalidArgumentError("node output request with no maps");
+  }
+
+  struct Source {
+    uint32_t map_index;
+    uint64_t generation;
+    std::vector<std::shared_ptr<const Bytes>> runs;
+  };
+  std::vector<Source> sources;
+  sources.reserve(key.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto job_it = jobs_.find(job);
+    for (const uint32_t map_index : key) {
+      const MapSlot* slot = nullptr;
+      if (job_it != jobs_.end()) {
+        const auto it = job_it->second.maps.find(map_index);
+        if (it != job_it->second.maps.end() && !it->second.runs.empty()) {
+          slot = &it->second;
+        }
+      }
+      if (slot == nullptr) {
+        // "missing map=<i>" leads the fetcher's fetch-failure message so the
+        // JobTracker re-executes exactly this map.
+        throw NotFoundError("node output " + std::to_string(job) +
+                            " missing map=" + std::to_string(map_index));
+      }
+      sources.push_back({map_index, slot->generation, slot->runs});
+    }
+    const auto cached = job_it->second.combined.find(key);
+    if (cached != job_it->second.combined.end() &&
+        currentLocked(job_it->second, cached->second)) {
+      return cached->second.runs;
+    }
+  }
+
+  // One map on this node: its per-task-combined runs ARE the node output.
+  if (sources.size() == 1) return std::move(sources[0].runs);
+
+  const size_t num_partitions = sources[0].runs.size();
+  const CodecKind codec =
+      spec ? codecFromName(
+                 spec->conf.get("mapred.map.output.compression.codec", "none"))
+           : CodecKind::kNone;
+  const bool combine = spec != nullptr && spec->combiner != nullptr;
+
+  TraceSpan span(trace_, component_,
+                 "INNODE_COMBINE job " + std::to_string(job));
+  span.arg("maps", std::to_string(sources.size()));
+  Stopwatch watch;
+  int64_t records_in = 0;
+  int64_t records_out = 0;
+  int64_t stored_in = 0;
+  int64_t stored_out = 0;
+  Counters scratch;  // combiner side-counters stay out of the job report
+  std::vector<std::shared_ptr<const Bytes>> result(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    // Encoded per-map runs decode transiently for this partition's merge;
+    // the decoded buffers die with the iteration.
+    std::vector<Buffer> decoded;
+    std::vector<std::string_view> views;
+    decoded.reserve(sources.size());
+    views.reserve(sources.size());
+    for (const Source& source : sources) {
+      const Bytes& run = *source.runs[p];
+      stored_in += static_cast<int64_t>(run.size());
+      if (codec != CodecKind::kNone && isEncodedStream(run)) {
+        decoded.push_back(codecDecode(run, metrics_, trace_, component_));
+        views.push_back(decoded.back().view());
+      } else {
+        views.push_back(run);
+      }
+    }
+    KvRunMerger merger(views);
+    Bytes out;
+    if (combine) {
+      std::vector<KeyValue> combined;
+      TaskContext ctx(spec->conf, scratch, [&](Bytes k, Bytes v) {
+        combined.push_back({std::move(k), std::move(v)});
+      });
+      const auto combiner = spec->combiner();
+      combiner->setup(ctx);
+      while (merger.nextGroup()) {
+        combiner->reduce(merger.key(), merger.values(), ctx);
+      }
+      combiner->cleanup(ctx);
+      records_out += writeSortedRecords(combined, out);
+    } else {
+      KvWriter writer(out);
+      while (merger.nextGroup()) {
+        const std::string_view group_key = merger.key();
+        while (const auto value = merger.values().next()) {
+          writer.write(group_key, *value);
+          ++records_out;
+        }
+      }
+    }
+    records_in += merger.recordsRead();
+    if (codec != CodecKind::kNone && !out.empty()) {
+      out = codecEncode(codec, out, metrics_, trace_, component_);
+    }
+    stored_out += static_cast<int64_t>(out.size());
+    result[p] = std::make_shared<const Bytes>(std::move(out));
+  }
+
+  const int64_t millis = watch.elapsedMillis();
+  if (counters != nullptr) {
+    counters->increment(kTaskGroup, kInnodeCombineRecordsIn, records_in);
+    counters->increment(kTaskGroup, kInnodeCombineRecordsOut, records_out);
+    counters->increment(kTaskGroup, kInnodeCombineMillis, millis);
+  }
+  if (combined_runs_ != nullptr) {
+    combined_runs_->add(static_cast<int64_t>(num_partitions));
+  }
+  if (bytes_saved_ != nullptr) {
+    bytes_saved_->add(std::max<int64_t>(0, stored_in - stored_out));
+  }
+  if (span.active()) {
+    span.arg("records_in", std::to_string(records_in));
+    span.arg("records_out", std::to_string(records_out));
+    span.arg("bytes_in", std::to_string(stored_in));
+    span.arg("bytes_out", std::to_string(stored_out));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto job_it = jobs_.find(job);
+    if (job_it != jobs_.end()) {
+      JobSlots& slots = job_it->second;
+      bool current = true;
+      for (const Source& source : sources) {
+        const auto it = slots.maps.find(source.map_index);
+        if (it == slots.maps.end() ||
+            it->second.generation != source.generation) {
+          current = false;
+          break;
+        }
+      }
+      // Install only while every input is still the latest attempt and the
+      // heap budget accepts the bytes; a stale or over-budget build is still
+      // a correct answer for the requested member set — it just serves
+      // uncached (maps are deterministic).
+      if (current &&
+          tryChargeLocked(static_cast<int64_t>(runsBytes(result)))) {
+        NodeRun node;
+        for (const Source& source : sources) {
+          node.members[source.map_index] = source.generation;
+        }
+        node.runs = result;
+        node.wire.assign(num_partitions, nullptr);
+        // Aggregates over a strict subset of this member set are obsolete
+        // coverage-wise; drop them so cached aggregates stay bounded by the
+        // distinct member sets reducers actually request.
+        for (auto it = slots.combined.begin(); it != slots.combined.end();) {
+          const bool subset =
+              it->first != key &&
+              std::includes(key.begin(), key.end(), it->first.begin(),
+                            it->first.end());
+          if (subset) {
+            dropNodeRunLocked(it->second);
+            it = slots.combined.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        auto [slot_it, inserted] = slots.combined.try_emplace(key);
+        if (!inserted) dropNodeRunLocked(slot_it->second);
+        slot_it->second = std::move(node);
+      }
+    }
+  }
+  return result;
+}
+
+std::shared_ptr<const Bytes> MapOutputStore::get(JobId job, uint32_t map_index,
+                                                 uint32_t partition) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto job_it = jobs_.find(job); job_it != jobs_.end()) {
+    const auto it = job_it->second.maps.find(map_index);
+    if (it != job_it->second.maps.end() && !it->second.runs.empty()) {
+      if (partition >= it->second.runs.size()) {
+        throw InvalidArgumentError("partition out of range");
+      }
+      return it->second.runs[partition];
+    }
+  }
+  throw NotFoundError("map output " + std::to_string(job) + "/" +
+                      std::to_string(map_index) + " partition " +
+                      std::to_string(partition));
+}
+
+bool MapOutputStore::has(JobId job, uint32_t map_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto job_it = jobs_.find(job);
+  if (job_it == jobs_.end()) return false;
+  const auto it = job_it->second.maps.find(map_index);
+  return it != job_it->second.maps.end() && !it->second.runs.empty();
+}
+
+BufferView MapOutputStore::serveRun(
+    const std::shared_ptr<const Bytes>& run, CodecKind shuffle,
+    ServeStats* stats,
+    const std::function<std::vector<std::shared_ptr<const Bytes>>*()>&
+        find_cache,
+    uint32_t partition, size_t num_partitions) {
+  (void)num_partitions;
+  const bool encoded = isEncodedStream(*run);
+  if (shuffle != CodecKind::kNone) {
+    if (encoded) {
+      // Stored frames ship as-is; the reducer decodes at merge input.
+      if (stats != nullptr) {
+        stats->raw_bytes +=
+            static_cast<int64_t>(encodedStreamInfo(*run).raw_size);
+        stats->compressed_bytes += static_cast<int64_t>(run->size());
+      }
+      return BufferView(Buffer::wrap(run));
+    }
+    if (run->empty()) return BufferView(Buffer::wrap(run));
+    // Stored raw (map-output codec off): encode for the wire — once. The
+    // first serve caches the encoded form (heap-budget permitting) so fetch
+    // retries and re-fetches never pay the codec again.
+    std::shared_ptr<const Bytes> wire;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (auto* cache = find_cache();
+          cache != nullptr && partition < cache->size()) {
+        wire = (*cache)[partition];
+      }
+    }
+    if (wire == nullptr) {
+      Bytes bytes = codecEncode(shuffle, *run, metrics_, trace_, component_);
+      wire = std::make_shared<const Bytes>(std::move(bytes));
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto* cache = find_cache();
+      if (cache != nullptr && partition < cache->size() &&
+          (*cache)[partition] == nullptr &&
+          tryChargeLocked(static_cast<int64_t>(wire->size()))) {
+        (*cache)[partition] = wire;
+      }
+    }
+    if (stats != nullptr) {
+      stats->raw_bytes += static_cast<int64_t>(run->size());
+      stats->compressed_bytes += static_cast<int64_t>(wire->size());
+    }
+    return BufferView(Buffer::wrap(wire));
+  }
+  if (encoded) {
+    // Stored compressed but shuffle compression off: decode at serve so the
+    // wire carries plain kv bytes (seam independence).
+    return BufferView(codecDecode(*run, metrics_, trace_, component_));
+  }
+  return BufferView(Buffer::wrap(run));
+}
+
+BufferView MapOutputStore::serveMapOutput(JobId job, uint32_t map_index,
+                                          uint32_t partition, CodecKind shuffle,
+                                          ServeStats* stats) {
+  const std::shared_ptr<const Bytes> run = get(job, map_index, partition);
+  const auto find_cache =
+      [this, job, map_index,
+       &run]() -> std::vector<std::shared_ptr<const Bytes>>* {
+    const auto job_it = jobs_.find(job);
+    if (job_it == jobs_.end()) return nullptr;
+    const auto it = job_it->second.maps.find(map_index);
+    if (it == job_it->second.maps.end()) return nullptr;
+    MapSlot& slot = it->second;
+    // Pointer identity ties the cache slot to THIS attempt's run; a
+    // replacement in between means the cache belongs to someone else now.
+    if (slot.runs.size() != slot.wire.size()) return nullptr;
+    for (size_t p = 0; p < slot.runs.size(); ++p) {
+      if (slot.runs[p] == run) return &slot.wire;
+    }
+    return nullptr;
+  };
+  return serveRun(run, shuffle, stats, find_cache, partition, 0);
+}
+
+BufferView MapOutputStore::serveNodeOutput(JobId job, uint32_t partition,
+                                           const std::vector<uint32_t>& maps,
+                                           CodecKind shuffle,
+                                           ServeStats* stats) {
+  const std::shared_ptr<const JobSpec> spec = specFor(job);
+  const std::vector<std::shared_ptr<const Bytes>> runs =
+      nodeRuns(job, spec.get(), maps, nullptr);
+  if (partition >= runs.size()) {
+    throw InvalidArgumentError("partition out of range");
+  }
+  std::vector<uint32_t> key(maps);
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  const std::shared_ptr<const Bytes> run = runs[partition];
+  const auto find_cache =
+      [this, job, &key,
+       &run]() -> std::vector<std::shared_ptr<const Bytes>>* {
+    const auto job_it = jobs_.find(job);
+    if (job_it == jobs_.end()) return nullptr;
+    if (key.size() == 1) {
+      const auto it = job_it->second.maps.find(key[0]);
+      if (it == job_it->second.maps.end()) return nullptr;
+      MapSlot& slot = it->second;
+      if (slot.runs.size() != slot.wire.size()) return nullptr;
+      for (size_t p = 0; p < slot.runs.size(); ++p) {
+        if (slot.runs[p] == run) return &slot.wire;
+      }
+      return nullptr;
+    }
+    const auto it = job_it->second.combined.find(key);
+    if (it == job_it->second.combined.end()) return nullptr;
+    NodeRun& node = it->second;
+    if (node.runs.size() != node.wire.size()) return nullptr;
+    for (size_t p = 0; p < node.runs.size(); ++p) {
+      if (node.runs[p] == run) return &node.wire;
+    }
+    return nullptr;
+  };
+  return serveRun(run, shuffle, stats, find_cache, partition, runs.size());
+}
+
+void MapOutputStore::purgeJob(JobId job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto job_it = jobs_.find(job);
+  if (job_it == jobs_.end()) return;
+  for (auto& [map_index, slot] : job_it->second.maps) {
+    total_bytes_ -= runsBytes(slot.runs);
+    releaseLocked(static_cast<int64_t>(runsBytes(slot.wire)));
+  }
+  for (auto& [members, node] : job_it->second.combined) {
+    dropNodeRunLocked(node);
+  }
+  jobs_.erase(job_it);
+}
+
+void MapOutputStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [job, slots] : jobs_) {
+    for (auto& [map_index, slot] : slots.maps) {
+      releaseLocked(static_cast<int64_t>(runsBytes(slot.wire)));
+    }
+    for (auto& [members, node] : slots.combined) {
+      dropNodeRunLocked(node);
+    }
+  }
+  jobs_.clear();
+  total_bytes_ = 0;
+}
+
+uint64_t MapOutputStore::totalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+uint64_t MapOutputStore::generation(JobId job, uint32_t map_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto job_it = jobs_.find(job);
+  if (job_it == jobs_.end()) return 0;
+  const auto it = job_it->second.maps.find(map_index);
+  return it == job_it->second.maps.end() ? 0 : it->second.generation;
+}
+
+int64_t MapOutputStore::cachedBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return charged_;
+}
+
+}  // namespace mh::mr

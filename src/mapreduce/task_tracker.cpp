@@ -1,5 +1,6 @@
 #include "mh/mr/task_tracker.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -17,12 +18,68 @@ namespace {
 constexpr const char* kLog = "tasktracker";
 }  // namespace
 
+namespace {
+
+/// One shuffle transfer: a single map's run (classic) or one host's
+/// node-combined run covering every map that ran there (in-node combining).
+struct FetchUnit {
+  std::string host;
+  std::vector<uint32_t> maps;
+  uint32_t lowest = 0;  ///< fallback attribution for a failed node fetch
+};
+
+/// The map index a failed unit's fetch-failure should re-execute: the
+/// specific map the server named ("missing map=<i>", and it must be one of
+/// ours — a grouped fetch can fail because ONE member is absent while the
+/// rest are fine), else the group's lowest index.
+uint32_t attributedMap(const FetchUnit& unit, const std::string& error) {
+  const std::string_view tag = "missing map=";
+  const size_t pos = error.find(tag);
+  if (pos != std::string::npos) {
+    uint64_t value = 0;
+    bool any = false;
+    for (size_t i = pos + tag.size();
+         i < error.size() && error[i] >= '0' && error[i] <= '9'; ++i) {
+      value = value * 10 + static_cast<uint64_t>(error[i] - '0');
+      any = true;
+    }
+    const auto index = static_cast<uint32_t>(value);
+    if (any &&
+        std::find(unit.maps.begin(), unit.maps.end(), index) !=
+            unit.maps.end()) {
+      return index;
+    }
+  }
+  return unit.lowest;
+}
+
+}  // namespace
+
 std::vector<BufferView> fetchShuffleRuns(net::Network& network,
                                          const std::string& host,
                                          const TaskAssignment& assignment,
                                          const Config& conf,
-                                         Counters& shuffle_counters) {
-  const size_t n = assignment.map_outputs.size();
+                                         Counters& shuffle_counters,
+                                         const JobSpec* spec) {
+  const bool innode = spec != nullptr && spec->combiner != nullptr &&
+                      spec->conf.getBool("mapred.innode.combine", false);
+  std::vector<FetchUnit> units;
+  for (const MapOutputLocation& location : assignment.map_outputs) {
+    if (innode && !units.empty()) {
+      // Group by host in first-appearance order; the serving tracker merges
+      // the whole group through the combiner into one run.
+      const auto it = std::find_if(
+          units.begin(), units.end(),
+          [&](const FetchUnit& unit) { return unit.host == location.host; });
+      if (it != units.end()) {
+        it->maps.push_back(location.map_index);
+        it->lowest = std::min(it->lowest, location.map_index);
+        continue;
+      }
+    }
+    units.push_back({location.host, {location.map_index}, location.map_index});
+  }
+  const size_t n = units.size();
   std::vector<BufferView> runs(n);
   if (n == 0) return runs;
 
@@ -30,7 +87,8 @@ std::vector<BufferView> fetchShuffleRuns(net::Network& network,
                  "SHUFFLE_FETCH r" + std::to_string(assignment.task_index) +
                      " a" + std::to_string(assignment.attempt));
   span.arg("job", std::to_string(assignment.job));
-  span.arg("maps", std::to_string(n));
+  span.arg("maps", std::to_string(assignment.map_outputs.size()));
+  if (innode) span.arg("units", std::to_string(n));
   Stopwatch watch;
   // Transient faults (a rebooting tracker, a dropped reply) deserve a few
   // bounded-backoff retries before the expensive path — declaring a
@@ -52,14 +110,25 @@ std::vector<BufferView> fetchShuffleRuns(net::Network& network,
   const auto fetch_loop = [&] {
     const TraceContextScope trace_scope(fetch_ctx);
     for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      const MapOutputLocation& location = assignment.map_outputs[i];
+      const FetchUnit& unit = units[i];
       for (size_t attempt = 0; attempt < attempts; ++attempt) {
         try {
-          runs[i] = network.callBuf(
-              host, location.host, kTaskTrackerPort, "getMapOutput",
-              BufferView(Buffer::fromString(pack(
-                  assignment.job, location.map_index, assignment.task_index))),
-              "shuffle");
+          // In-node mode always speaks getNodeOutput — even for a
+          // single-map host — so the protocol (and any fault rule matched
+          // on it) is uniform across units.
+          runs[i] =
+              innode
+                  ? network.callBuf(
+                        host, unit.host, kTaskTrackerPort, "getNodeOutput",
+                        BufferView(Buffer::fromString(pack(
+                            assignment.job, assignment.task_index, unit.maps))),
+                        "shuffle")
+                  : network.callBuf(
+                        host, unit.host, kTaskTrackerPort, "getMapOutput",
+                        BufferView(Buffer::fromString(
+                            pack(assignment.job, unit.maps[0],
+                                 assignment.task_index))),
+                        "shuffle");
           errors[i].reset();
           break;
         } catch (const std::exception& e) {
@@ -86,12 +155,24 @@ std::vector<BufferView> fetchShuffleRuns(net::Network& network,
     for (size_t t = 0; t < workers; ++t) fetchers.emplace_back(fetch_loop);
   }
 
+  const FetchUnit* failed_unit = nullptr;
+  const std::string* failed_error = nullptr;
+  uint32_t failed_map = 0;
   for (size_t i = 0; i < n; ++i) {
     if (errors[i] == nullptr) continue;
-    // Formatted so the JobTracker re-executes the source map.
-    throw IoError("fetch-failure host=" + assignment.map_outputs[i].host +
-                  " map=" + std::to_string(assignment.map_outputs[i].map_index) +
-                  ": " + *errors[i]);
+    const uint32_t map_index = attributedMap(units[i], *errors[i]);
+    if (failed_unit == nullptr || map_index < failed_map) {
+      failed_unit = &units[i];
+      failed_error = errors[i].get();
+      failed_map = map_index;
+    }
+  }
+  if (failed_unit != nullptr) {
+    // Formatted so the JobTracker re-executes the source map; the
+    // attributed index leads the message because the JobTracker parses the
+    // FIRST "map=" it finds (the cause text may contain its own).
+    throw IoError("fetch-failure host=" + failed_unit->host +
+                  " map=" + std::to_string(failed_map) + ": " + *failed_error);
   }
 
   int64_t total_bytes = 0;
@@ -160,6 +241,11 @@ TaskTracker::TaskTracker(Config conf, std::shared_ptr<net::Network> network,
   metrics_->setGauge("mapoutput.store.bytes", [this] {
     return static_cast<double>(outputs_.totalBytes());
   });
+  // The store's combined runs and encoded-serve caches are bounded by the
+  // tracker heap budget, but through the non-throwing probe: a declined
+  // cache degrades to serving uncached, never to a task failure.
+  outputs_.attach(registry_.get(), metrics_, tracer_, "tasktracker." + host_,
+                  [this](int64_t delta) { return tryChargeHeap(delta); });
 }
 
 TaskTracker::~TaskTracker() {
@@ -329,6 +415,25 @@ void TaskTracker::chargeHeap(int64_t delta) {
                          std::to_string(budget));
 }
 
+bool TaskTracker::tryChargeHeap(int64_t delta) {
+  if (delta <= 0) {
+    heap_used_.fetch_add(delta);
+    return true;
+  }
+  const int64_t budget =
+      conf_.getInt("mapred.tasktracker.memory.bytes",
+                   std::numeric_limits<int64_t>::max());
+  const int64_t used = heap_used_.fetch_add(delta) + delta;
+  if (used > budget) {
+    heap_used_.fetch_sub(delta);
+    return false;
+  }
+  int64_t peak = heap_peak_.load();
+  while (used > peak && !heap_peak_.compare_exchange_weak(peak, used)) {
+  }
+  return true;
+}
+
 void TaskTracker::runAssignment(const TaskAssignment& assignment) {
   if (assignment.kind == AssignmentKind::kMap) {
     ++busy_maps_;
@@ -370,8 +475,12 @@ void TaskTracker::runMapAssignment(const TaskAssignment& assignment) {
     auto result = runMapTask(*spec, fs, assignment.split,
                              [this](int64_t d) { chargeHeap(d); }, tracer_,
                              "tasktracker." + host_, metrics_);
+    // The put may trigger an in-node combine of everything this node holds
+    // for the job; its INNODE_COMBINE_* counters land in this attempt's
+    // counters (snapshot below), so attempt replacement keeps them
+    // exactly-once.
     outputs_.put(assignment.job, assignment.task_index,
-                 std::move(result.partitions));
+                 std::move(result.partitions), &result.counters);
     report.succeeded = true;
     report.counters = result.counters.snapshot();
     report.millis = result.millis;
@@ -415,7 +524,7 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
     // Shuffle: pull this partition's run from every map's tracker, several
     // fetches in flight at once.
     const std::vector<BufferView> runs = fetchShuffleRuns(
-        *network_, host_, assignment, conf_, shuffle_counters);
+        *network_, host_, assignment, conf_, shuffle_counters, spec.get());
 
     // The fetched runs are the reduce task's working set; charge them
     // against the tracker memory budget while the streaming merge runs.
@@ -464,52 +573,47 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
 }
 
 void TaskTracker::installRpc() {
+  // Shuffle seam (`mapred.shuffle.compression`, a job-level key). The
+  // common fast path — map-output codec on, shuffle codec on — ships the
+  // STORED frames with no re-encode at all; the reducer decodes at merge
+  // input. The off-diagonal cases encode (once, cached) or decode at serve
+  // time so each seam stays independently switchable. Serving itself lives
+  // in the MapOutputStore; the handler resolves the seam and mirrors the
+  // byte accounting into the registry.
+  const auto shuffle_for = [this](JobId job) {
+    try {
+      return codecFromName(registry_->get(job)->conf.get(
+          "mapred.shuffle.compression", "none"));
+    } catch (const std::exception&) {
+      // Unknown job spec (purged mid-serve): serve the bytes as stored.
+      return CodecKind::kNone;
+    }
+  };
   network_->bindBuf(host_, kTaskTrackerPort,
-                    [this](const net::BufRpcRequest& req) -> BufferView {
+                    [this, shuffle_for](const net::BufRpcRequest& req)
+                        -> BufferView {
     if (req.method == "getMapOutput") {
       const auto [job, map_index, partition] =
           unpack<uint32_t, uint32_t, uint32_t>(req.body.view());
-      const std::shared_ptr<const Bytes> run =
-          outputs_.get(job, map_index, partition);
-
-      // Shuffle seam (`mapred.shuffle.compression`, a job-level key). The
-      // common fast path — map-output codec on, shuffle codec on — ships
-      // the STORED frames as a wrapped view with no re-encode at all; the
-      // reducer decodes at merge input. The off-diagonal cases encode or
-      // decode at serve time so each seam stays independently switchable.
-      CodecKind shuffle = CodecKind::kNone;
-      try {
-        shuffle = codecFromName(registry_->get(job)->conf.get(
-            "mapred.shuffle.compression", "none"));
-      } catch (const std::exception&) {
-        // Unknown job spec (purged mid-serve): serve the bytes as stored.
-      }
-      const bool encoded = isEncodedStream(*run);
-      if (shuffle != CodecKind::kNone) {
-        if (!run->empty() && !encoded) {
-          // Stored raw (map-output codec off): encode for the wire.
-          Bytes wire = codecEncode(shuffle, *run, metrics_, tracer_,
-                                   "tasktracker." + host_);
-          shuffle_raw_bytes_->add(static_cast<int64_t>(run->size()));
-          shuffle_compressed_bytes_->add(static_cast<int64_t>(wire.size()));
-          return BufferView(Buffer::fromString(std::move(wire)));
-        }
-        if (encoded) {
-          shuffle_raw_bytes_->add(
-              static_cast<int64_t>(encodedStreamInfo(*run).raw_size));
-          shuffle_compressed_bytes_->add(static_cast<int64_t>(run->size()));
-        }
-        return BufferView(Buffer::wrap(run));
-      }
-      if (encoded) {
-        // Stored compressed but shuffle compression off: decode at serve so
-        // the wire carries plain kv bytes (seam independence).
-        return BufferView(codecDecode(*run, metrics_, tracer_,
-                                      "tasktracker." + host_));
-      }
-      // The store hands back a refcounted run; wrapping it is the whole
-      // serve — a zero-copy fetcher merges straight out of this buffer.
-      return BufferView(Buffer::wrap(run));
+      MapOutputStore::ServeStats stats;
+      BufferView run = outputs_.serveMapOutput(job, map_index, partition,
+                                               shuffle_for(job), &stats);
+      shuffle_raw_bytes_->add(stats.raw_bytes);
+      shuffle_compressed_bytes_->add(stats.compressed_bytes);
+      return run;
+    }
+    if (req.method == "getNodeOutput") {
+      // In-node combining: one reply covers every named map on this node,
+      // merged through the job's combiner.
+      const auto [job, partition, maps] =
+          unpack<uint32_t, uint32_t, std::vector<uint32_t>>(req.body.view());
+      MapOutputStore::ServeStats stats;
+      BufferView run =
+          outputs_.serveNodeOutput(job, partition, maps, shuffle_for(job),
+                                   &stats);
+      shuffle_raw_bytes_->add(stats.raw_bytes);
+      shuffle_compressed_bytes_->add(stats.compressed_bytes);
+      return run;
     }
     throw InvalidArgumentError("tasktracker: unknown RPC method " +
                                req.method);

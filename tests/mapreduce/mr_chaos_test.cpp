@@ -55,7 +55,8 @@ Config chaosConf(uint64_t seed) {
   // Rescue assignments lost to dropped heartbeat replies quickly.
   conf.setInt("mapred.task.timeout.ms", 2500);
   // Two serial fetch attempts per map output: together with the scripted
-  // getMapOutput fault budget below this guarantees at least one
+  // shuffle-fetch fault budgets below (getMapOutput and, with in-node
+  // combining on, getNodeOutput) this guarantees at least one
   // fetch-failure -> map re-execution path per chaos run.
   conf.setInt("mapred.shuffle.fetch.retries", 2);
   conf.setInt("mapred.shuffle.fetch.backoff.ms", 5);
@@ -94,6 +95,10 @@ JobSpec jobForSeed(uint64_t seed) {
     spec = apps::makeAirlineDelayJob(apps::AirlineVariant::kCombiner, {"/in"},
                                      "/out", /*num_reducers=*/2);
   }
+  // Every chaos seed runs with in-node combining on: tracker-level
+  // aggregation must survive kills, re-executed maps, and (seeds 4/7) all
+  // compression seams with byte-identical output and exact counters.
+  spec.conf.setBool("mapred.innode.combine", true);
   applySeamsForSeed(spec, seed);
   return spec;
 }
@@ -172,6 +177,12 @@ TEST_P(MrChaosTest, FaultedRunMatchesFaultFreeRunByteForByte) {
   // per fetch this forces at least one fetch-failure, so the JobTracker's
   // map re-execution path runs on every seed.
   plan->addRule({.match = {.method = "getMapOutput"},
+                 .action = net::FaultAction::kError,
+                 .probability = 1.0,
+                 .max_fires = 4});
+  // In-node combining makes the shuffle speak getNodeOutput; the same
+  // budget against that method keeps the guarantee.
+  plan->addRule({.match = {.method = "getNodeOutput"},
                  .action = net::FaultAction::kError,
                  .probability = 1.0,
                  .max_fires = 4});
@@ -339,6 +350,10 @@ TEST_P(TracedMrChaosTest, FullObservabilityIsStrictlyObservational) {
 
   auto plan = std::make_shared<net::FaultPlan>(seed);
   plan->addRule({.match = {.method = "getMapOutput"},
+                 .action = net::FaultAction::kError,
+                 .probability = 1.0,
+                 .max_fires = 4});
+  plan->addRule({.match = {.method = "getNodeOutput"},
                  .action = net::FaultAction::kError,
                  .probability = 1.0,
                  .max_fires = 4});

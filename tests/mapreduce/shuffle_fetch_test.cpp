@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 
 #include "mh/common/error.h"
 #include "mh/common/serde.h"
 #include "mh/common/stopwatch.h"
+#include "mh/mr/job.h"
 #include "mh/mr/map_output_store.h"
 #include "mh/mr/task_tracker.h"
 
@@ -274,6 +277,96 @@ TEST(ShuffleFetchTest, CleanFetchReportsZeroRetries) {
   EXPECT_EQ(shuffle_counters.value(counters::kShuffleGroup,
                                    counters::kShuffleFetchRetries),
             0);
+}
+
+/// Spec that turns the fetch into in-node mode: a combiner plus
+/// `mapred.innode.combine=true`.
+JobSpec innodeSpec() {
+  JobSpec spec;
+  spec.combiner = [] { return nullptr; };  // presence is what matters here
+  spec.conf.setBool("mapred.innode.combine", true);
+  return spec;
+}
+
+TEST(ShuffleFetchTest, InnodeModeGroupsFetchesByHost) {
+  // Maps 0,2 live on ttA and 1,3 on ttB: in-node mode must issue ONE
+  // getNodeOutput per host naming that host's maps, not one call per map.
+  net::Network network;
+  network.addHost("reducer");
+  std::vector<std::string> requests;
+  std::mutex requests_mutex;
+  for (const std::string host : {"ttA", "ttB"}) {
+    network.addHost(host);
+    network.bind(host, kTaskTrackerPort,
+                 [&requests, &requests_mutex, host](
+                     const net::RpcRequest& req) -> Bytes {
+                   EXPECT_EQ(req.method, "getNodeOutput");
+                   const auto [job, partition, maps] =
+                       unpack<uint32_t, uint32_t, std::vector<uint32_t>>(
+                           req.body);
+                   std::string label = host;
+                   for (const uint32_t m : maps) {
+                     label += "," + std::to_string(m);
+                   }
+                   std::lock_guard<std::mutex> lock(requests_mutex);
+                   requests.push_back(label);
+                   return Bytes("run-" + host);
+                 });
+  }
+
+  TaskAssignment assignment;
+  assignment.kind = AssignmentKind::kReduce;
+  assignment.job = 7;
+  assignment.task_index = 0;
+  assignment.map_outputs = {{0, "ttA"}, {1, "ttB"}, {2, "ttA"}, {3, "ttB"}};
+
+  Config conf;
+  Counters shuffle_counters;
+  const JobSpec spec = innodeSpec();
+  const auto runs = fetchShuffleRuns(network, "reducer", assignment, conf,
+                                     shuffle_counters, &spec);
+  ASSERT_EQ(runs.size(), 2u);  // one combined run per host, not per map
+  EXPECT_EQ(runs[0], "run-ttA");
+  EXPECT_EQ(runs[1], "run-ttB");
+  std::sort(requests.begin(), requests.end());
+  EXPECT_EQ(requests,
+            (std::vector<std::string>{"ttA,0,2", "ttB,1,3"}));
+  EXPECT_EQ(shuffle_counters.value(counters::kShuffleGroup,
+                                   counters::kShuffleBytes),
+            static_cast<int64_t>(runs[0].size() + runs[1].size()));
+}
+
+TEST(ShuffleFetchTest, InnodeFailureAttributesTheServerNamedMissingMap) {
+  // A grouped fetch can fail because ONE member map is absent while the
+  // rest are fine. The server names it ("missing map=3"); the fetch-failure
+  // must lead with that index — not the group's lowest — so the JobTracker
+  // re-executes the right map.
+  net::Network network;
+  network.addHost("reducer");
+  network.addHost("ttA");
+  network.bind("ttA", kTaskTrackerPort, [](const net::RpcRequest&) -> Bytes {
+    throw NotFoundError("node output 7 missing map=3");
+  });
+
+  TaskAssignment assignment;
+  assignment.kind = AssignmentKind::kReduce;
+  assignment.job = 7;
+  assignment.task_index = 0;
+  assignment.map_outputs = {{1, "ttA"}, {3, "ttA"}};
+
+  Config conf;
+  conf.setInt("mapred.shuffle.fetch.retries", 1);
+  Counters shuffle_counters;
+  const JobSpec spec = innodeSpec();
+  try {
+    fetchShuffleRuns(network, "reducer", assignment, conf, shuffle_counters,
+                     &spec);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("fetch-failure host=ttA map=3: "),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ShuffleFetchTest, SingleParallelCopyDegradesToSequential) {
