@@ -64,3 +64,11 @@ target_link_libraries(bench_microbench PRIVATE mh_hdfs mh_mapreduce
                       benchmark::benchmark)
 set_target_properties(bench_microbench PROPERTIES
                       RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Tentpole durability benchmark: edit-log journal rate, full-journal replay,
+# checkpoint latency, and kill-9 restart recovery at the 1M-file scale.
+add_executable(bench_namenode_restart
+               ${CMAKE_SOURCE_DIR}/bench/bench_namenode_restart.cpp)
+target_link_libraries(bench_namenode_restart PRIVATE mh_hdfs)
+set_target_properties(bench_namenode_restart PROPERTIES
+                      RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -104,6 +104,10 @@ void BlockManager::registerBlock(Block block, uint16_t replication) {
   next_id_ = std::max(next_id_, block.id + 1);
 }
 
+void BlockManager::reserveBlockIds(BlockId max_seen) {
+  next_id_ = std::max(next_id_, max_seen + 1);
+}
+
 void BlockManager::commitBlock(BlockId id, uint64_t size) {
   const auto it = blocks_.find(id);
   if (it == blocks_.end()) {
@@ -145,6 +149,7 @@ std::vector<BlockId> BlockManager::removeAllReplicasOn(
     if (info.live.erase(host) > 0) affected.push_back(id);
     info.corrupt.erase(host);
   }
+  std::sort(affected.begin(), affected.end());
   return affected;
 }
 
@@ -192,6 +197,7 @@ std::vector<BlockId> BlockManager::underReplicated() const {
       out.push_back(id);
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -200,6 +206,7 @@ std::vector<BlockId> BlockManager::overReplicated() const {
   for (const auto& [id, info] : blocks_) {
     if (info.live.size() > info.replication) out.push_back(id);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -208,6 +215,7 @@ std::vector<BlockId> BlockManager::missing() const {
   for (const auto& [id, info] : blocks_) {
     if (info.live.empty()) out.push_back(id);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -216,6 +224,7 @@ std::vector<BlockId> BlockManager::withCorruptReplicas() const {
   for (const auto& [id, info] : blocks_) {
     if (!info.corrupt.empty()) out.push_back(id);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

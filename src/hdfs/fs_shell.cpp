@@ -146,6 +146,18 @@ FsShell::Result FsShell::run(const std::vector<std::string>& args) {
       }
       throw InvalidArgumentError("-safemode <get|enter|leave>");
     }
+    if (cmd == "-saveNamespace") {
+      need(0);
+      const uint64_t txn = client_.namenode().saveNamespace();
+      return {0, "Save namespace successful: checkpoint covers txn " +
+                     std::to_string(txn) + "\n"};
+    }
+    if (cmd == "-rollEdits") {
+      need(0);
+      const uint64_t txn = client_.namenode().rollEdits();
+      return {0, "Successfully rolled edit logs; new segment starts at txn " +
+                     std::to_string(txn) + "\n"};
+    }
     return {1, "unknown command: " + cmd + "\n"};
   } catch (const Error& e) {
     return {1, std::string(e.what()) + "\n"};

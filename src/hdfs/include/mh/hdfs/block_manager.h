@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mh/common/rng.h"
@@ -48,6 +48,12 @@ class BlockManager {
 
   /// Registers a block already known from an fsimage (NameNode restart).
   void registerBlock(Block block, uint16_t replication);
+
+  /// Guarantees allocateBlock never re-issues an id <= max_seen. Needed on
+  /// restart for block ids that were journaled but whose files were later
+  /// deleted: a DataNode may still hold the old replica, and re-issuing the
+  /// id would alias it onto the new block.
+  void reserveBlockIds(BlockId max_seen);
 
   /// Records the finalized size of a block.
   void commitBlock(BlockId id, uint64_t size);
@@ -103,7 +109,11 @@ class BlockManager {
 
   const BlockInfo& info(BlockId id) const;
 
-  std::map<BlockId, BlockInfo> blocks_;
+  // Hash map: the block map is the NameNode's hottest structure (every
+  // report, read, and replication pass hits it), and at a million blocks
+  // O(log n) tree walks dominate replay. Queries that drive scheduling
+  // return sorted ids so monitor behavior stays deterministic.
+  std::unordered_map<BlockId, BlockInfo> blocks_;
   BlockId next_id_ = 1;
 };
 

@@ -19,6 +19,7 @@
 ///   -setrep <n> <path>    -stat <path>       -tail <path>
 ///   -count <path>         -report            -fsck [path]
 ///   -safemode <get|enter|leave>
+///   -saveNamespace        -rollEdits
 
 namespace mh::hdfs {
 

@@ -69,8 +69,21 @@ class MiniDfsCluster {
   /// The rack a datanode host was assigned to.
   std::string rackOf(const std::string& host) const;
 
-  /// Saves the fsimage, stops the NameNode, and starts a fresh one from the
-  /// image. It will be in safe mode until DataNodes re-report.
+  /// Kills the NameNode (kill -9: unsynced edits lost, in-flight replies
+  /// dropped) without any saveImage. Until restartNameNode() the cluster
+  /// has no master; nameNode() must not be called in that window. Requires
+  /// `dfs.namenode.name.dir` journaling for a later restart to recover.
+  void crashNameNode();
+
+  /// Whether a NameNode object currently exists (false between
+  /// crashNameNode() and restartNameNode()).
+  bool nameNodeRunning() const { return namenode_ != nullptr; }
+
+  /// Restarts the NameNode. With `dfs.namenode.name.dir` set, the new
+  /// NameNode recovers from the on-disk image + edit log (works after
+  /// crashNameNode(), nothing saved manually); otherwise the legacy path
+  /// saves the fsimage from the running NameNode and restarts from it.
+  /// Either way it sits in safe mode until DataNodes re-report.
   void restartNameNode();
 
   /// Polls fsck until the filesystem is healthy with no under-replicated

@@ -12,6 +12,7 @@
 #include "mh/common/config.h"
 #include "mh/common/rng.h"
 #include "mh/hdfs/block_manager.h"
+#include "mh/hdfs/edit_log.h"
 #include "mh/hdfs/namespace.h"
 #include "mh/hdfs/types.h"
 #include "mh/net/network.h"
@@ -34,12 +35,24 @@
 ///   dfs.safemode.threshold                    0.999
 ///   dfs.namenode.replication.max.streams      64
 ///   dfs.namenode.pending.replication.timeout.ms  2000
+///
+/// Durability (see edit_log.h for the journal/checkpoint keys): when
+/// `dfs.namenode.name.dir` is set, every namespace mutation is journaled to
+/// an on-disk edit log before the RPC returns, the monitor writes periodic
+/// fsimage checkpoints, and the plain constructor recovers image + edits
+/// from that directory (or formats it when empty) — a crash loses no acked
+/// mutation.
 
 namespace mh::hdfs {
 
 class NameNode {
  public:
-  /// Fresh, empty namespace (format + start).
+  /// Fresh, empty namespace — unless `dfs.namenode.name.dir` names a
+  /// directory with existing edit-log state, in which case the namespace is
+  /// recovered from the latest fsimage plus every newer edit segment
+  /// (tolerating a torn final record) and the NameNode starts in safe mode
+  /// until block reports cover the recovered block map. A missing or empty
+  /// directory is formatted and the NameNode starts clean.
   NameNode(Config conf, std::shared_ptr<net::Network> network,
            std::string host = "namenode");
 
@@ -59,8 +72,16 @@ class NameNode {
   /// Binds the RPC endpoint and starts the monitor thread.
   void start();
 
-  /// Stops the monitor and unbinds the endpoint. Idempotent.
+  /// Stops the monitor and unbinds the endpoint. Idempotent. Synced edits
+  /// are flushed, so a clean stop + reconstruct recovers everything.
   void stop();
+
+  /// Simulated kill -9: the host drops off the fabric (in-flight replies
+  /// are lost), the monitor dies, and any edit-log records buffered but not
+  /// yet synced are discarded — exactly what a machine crash does to the
+  /// page cache. The endpoint is released so a new NameNode can recover
+  /// from `dfs.namenode.name.dir` and bind. Idempotent.
+  void crash();
 
   const std::string& host() const { return host_; }
 
@@ -129,6 +150,19 @@ class NameNode {
   /// Serialized namespace for restart.
   Bytes saveImage() const;
 
+  /// Forces a checkpoint now (dfsadmin -saveNamespace): writes
+  /// fsimage_<lastTxn> and retires covered edit segments. Returns the txn
+  /// the image covers. Throws IllegalStateError when journaling is off.
+  uint64_t saveNamespace();
+
+  /// Closes the current edit segment and opens a new one (dfsadmin
+  /// -rollEdits). Returns the new segment's first txn. Throws
+  /// IllegalStateError when journaling is off.
+  uint64_t rollEdits();
+
+  /// True when journaling to dfs.namenode.name.dir is active.
+  bool journaling() const { return edits_ != nullptr; }
+
   uint64_t totalBlocks() const;
   uint64_t liveDataNodes() const;
 
@@ -153,6 +187,10 @@ class NameNode {
 
   static int64_t steadyMillis();
   void installRpc();
+  void recoverOrFormatStorage();
+  void journalLocked(EditRecord rec);
+  uint64_t checkpointLocked();
+  void maybeCheckpointLocked();
   void checkNotInSafeModeLocked(const char* op) const;
   void maybeLeaveSafeModeLocked();
   void queueInvalidateLocked(const std::vector<Block>& blocks);
@@ -175,6 +213,8 @@ class NameNode {
   mutable std::mutex lock_;  // the FSNamesystem lock
   Namespace namespace_;
   BlockManager blocks_;
+  std::unique_ptr<EditLog> edits_;  // null when journaling is off
+  int64_t last_checkpoint_steady_ms_ = 0;
   std::map<std::string, DataNodeDescriptor> datanodes_;
   std::map<BlockId, int64_t> pending_replications_;  // block -> scheduled at
   bool safe_mode_ = false;

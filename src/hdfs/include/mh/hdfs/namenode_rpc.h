@@ -130,6 +130,18 @@ class NameNodeRpc {
     return std::get<0>(unpack<Bytes>(call("saveImage", {})));
   }
 
+  /// Forces an fsimage checkpoint (dfsadmin -saveNamespace); returns the
+  /// txn the image covers.
+  uint64_t saveNamespace() {
+    return std::get<0>(unpack<uint64_t>(call("saveNamespace", {})));
+  }
+
+  /// Rolls the edit segment (dfsadmin -rollEdits); returns the new
+  /// segment's first txn.
+  uint64_t rollEdits() {
+    return std::get<0>(unpack<uint64_t>(call("rollEdits", {})));
+  }
+
  private:
   Bytes call(std::string method, Bytes body) {
     return network_->call(local_host_, namenode_host_, kNameNodePort,

@@ -92,8 +92,12 @@ class Namespace {
     std::string name;
     bool is_dir = false;
     int64_t mtime_ms = 0;
-    // Directory state:
-    std::map<std::string, std::unique_ptr<INode>> children;
+    // Directory state. Keys are views into each child's own `name` — the
+    // string is stored once per inode (interning that matters at the
+    // million-entry scale). Safe because inodes are heap-allocated behind
+    // unique_ptr and a name only changes on rename, which erases and
+    // re-inserts the entry.
+    std::map<std::string_view, std::unique_ptr<INode>> children;
     // File state:
     std::vector<Block> blocks;
     uint16_t replication = 0;

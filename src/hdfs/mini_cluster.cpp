@@ -25,7 +25,7 @@ MiniDfsCluster::~MiniDfsCluster() {
   // quiesce before any daemon is destroyed.
   network_->stopSnapshotter();
   for (auto& [host, dn] : datanodes_) dn->stop();
-  namenode_->stop();
+  if (namenode_ != nullptr) namenode_->stop();
 }
 
 std::string MiniDfsCluster::hostName(int index) const {
@@ -50,7 +50,9 @@ DataNode& MiniDfsCluster::dataNode(const std::string& host) {
 }
 
 DfsClient MiniDfsCluster::client(const std::string& host) {
-  return DfsClient(conf_, network_, host, namenode_->host());
+  // The NameNode host name is fixed, so clients can be minted even while
+  // the NameNode is down (they get NetworkError until it returns).
+  return DfsClient(conf_, network_, host, "namenode");
 }
 
 void MiniDfsCluster::killDataNode(const std::string& host) {
@@ -91,7 +93,25 @@ std::string MiniDfsCluster::addDataNode() {
   return host;
 }
 
+void MiniDfsCluster::crashNameNode() {
+  if (namenode_ == nullptr) return;
+  namenode_->crash();
+  namenode_.reset();
+}
+
 void MiniDfsCluster::restartNameNode() {
+  if (!conf_.get("dfs.namenode.name.dir").empty()) {
+    // Journaling cluster: recover from disk (image + edit segments). Works
+    // whether the old NameNode stopped cleanly, crashed, or is already gone.
+    if (namenode_ != nullptr) {
+      namenode_->stop();
+      namenode_.reset();
+    }
+    network_->setHostUp("namenode", true);
+    namenode_ = std::make_unique<NameNode>(conf_, network_, "namenode");
+    namenode_->start();
+    return;
+  }
   const Bytes image = namenode_->saveImage();
   namenode_->stop();
   namenode_ = std::make_unique<NameNode>(conf_, network_, "namenode", image);
@@ -102,8 +122,10 @@ bool MiniDfsCluster::waitHealthy(int timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   while (std::chrono::steady_clock::now() < deadline) {
-    const FsckReport report = namenode_->fsck();
-    if (report.healthy && report.under_replicated == 0) return true;
+    if (namenode_ != nullptr) {
+      const FsckReport report = namenode_->fsck();
+      if (report.healthy && report.under_replicated == 0) return true;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   return false;
@@ -113,7 +135,7 @@ bool MiniDfsCluster::waitOutOfSafeMode(int timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   while (std::chrono::steady_clock::now() < deadline) {
-    if (!namenode_->inSafeMode()) return true;
+    if (namenode_ != nullptr && !namenode_->inSafeMode()) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   return false;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <optional>
 
 #include "mh/common/error.h"
 #include "mh/common/log.h"
 #include "mh/common/stopwatch.h"
+#include "mh/common/trace.h"
 #include "mh/hdfs/wire.h"
 
 namespace mh::hdfs {
@@ -35,11 +38,20 @@ NameNode::NameNode(Config conf, std::shared_ptr<net::Network> network,
   metrics_->setGauge("heartbeat.max_staleness_ms", [this] {
     return static_cast<double>(maxHeartbeatStalenessMillis());
   });
+  if (!conf_.get("dfs.namenode.name.dir").empty()) {
+    recoverOrFormatStorage();
+  }
+  last_checkpoint_steady_ms_ = steadyMillis();
 }
 
 NameNode::NameNode(Config conf, std::shared_ptr<net::Network> network,
                    std::string host, std::string_view fsimage)
     : NameNode(std::move(conf), std::move(network), std::move(host)) {
+  if (edits_ != nullptr) {
+    throw IllegalStateError(
+        "restart from an in-memory fsimage conflicts with "
+        "dfs.namenode.name.dir journaling; restart from the name dir");
+  }
   namespace_ = Namespace::loadImage(fsimage);
   // Re-register every block the image knows about; locations are unknown
   // until block reports arrive, so enter safe mode.
@@ -66,6 +78,46 @@ NameNode::~NameNode() {
                            "heartbeat.max_staleness_ms"}) {
     metrics_->setGauge(name, [v = metrics_->gaugeValue(name)] { return v; });
   }
+}
+
+void NameNode::recoverOrFormatStorage() {
+  const std::filesystem::path dir(conf_.get("dfs.namenode.name.dir"));
+  EditLog::Options opts;
+  opts.dir = dir;
+  opts.sync = conf_.get("dfs.namenode.edits.sync", "always");
+  opts.batch_txns = static_cast<uint64_t>(
+      conf_.getInt("dfs.namenode.edits.sync.batch.txns", 64));
+  opts.metrics = metrics_;
+  opts.tracer = tracer_;
+  if (!EditLog::hasState(dir)) {
+    edits_ = std::make_unique<EditLog>(std::move(opts));
+    logInfo(kLog) << "formatted edit log storage in " << dir.string();
+    return;
+  }
+  const LoadedStorage loaded = EditLog::load(dir);
+  if (!loaded.image.empty()) {
+    namespace_ = Namespace::loadImage(loaded.image);
+  }
+  const ReplayResult replayed =
+      replayEdits(namespace_, loaded.edits, loaded.image_txn);
+  edits_ = std::make_unique<EditLog>(std::move(opts), loaded.last_txn,
+                                     loaded.image_txn);
+  // Rebuild the block map from the recovered tree. Replica locations are
+  // unknown until block reports arrive, so enter safe mode (same contract
+  // as an fsimage restart).
+  for (const auto& path : namespace_.listFilesRecursive("/")) {
+    const auto status = namespace_.getFileStatus(path);
+    for (const Block& block : namespace_.fileBlocks(path)) {
+      blocks_.registerBlock(block, status.replication);
+    }
+  }
+  blocks_.reserveBlockIds(replayed.max_block_id);
+  if (blocks_.blockCount() > 0) safe_mode_ = true;
+  logInfo(kLog) << "recovered namespace from " << dir.string() << ": image txn "
+                << loaded.image_txn << " + " << replayed.applied
+                << " replayed edits, last txn " << loaded.last_txn << ", "
+                << blocks_.blockCount() << " blocks"
+                << (safe_mode_ ? "; entering safe mode" : "");
 }
 
 int64_t NameNode::steadyMillis() {
@@ -109,7 +161,42 @@ void NameNode::stop() {
     monitor_.join();
   }
   network_->unbind(host_, kNameNodePort);
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    if (edits_ != nullptr) {
+      try {
+        edits_->sync();
+      } catch (const Error& e) {
+        // stop() runs on destructor paths; surface the failure, don't throw.
+        logWarn(kLog) << "edit log sync on stop failed: " << e.what();
+      }
+    }
+  }
   logInfo(kLog) << "stopped";
+}
+
+void NameNode::crash() {
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    if (!started_) return;
+    started_ = false;
+  }
+  // Down first: replies to in-flight callers are lost from here on, so a
+  // mutation can be applied-but-unacked (the standard crash ambiguity) but
+  // never acked-and-lost.
+  network_->setHostUp(host_, false);
+  if (monitor_.joinable()) {
+    monitor_.request_stop();
+    monitor_.join();
+  }
+  // Unbind is a drain barrier: after it returns no handler is mid-mutation,
+  // so dropping the unsynced tail below races with nothing.
+  network_->unbind(host_, kNameNodePort);
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    if (edits_ != nullptr) edits_->discardPending();
+  }
+  logWarn(kLog) << "crashed (simulated kill -9)";
 }
 
 // ----------------------------------------------------------------- client
@@ -121,10 +208,21 @@ void NameNode::checkNotInSafeModeLocked(const char* op) const {
   }
 }
 
+// Write-ahead contract: the mutation is applied in memory, journaled, and
+// synced (per policy) before the RPC returns — so anything a client was
+// told succeeded is on disk before the ack leaves the building.
+void NameNode::journalLocked(EditRecord rec) {
+  if (edits_ != nullptr) edits_->logEdit(std::move(rec));
+}
+
 void NameNode::mkdirs(const std::string& path) {
   std::lock_guard<std::mutex> guard(lock_);
   checkNotInSafeModeLocked("mkdirs");
   namespace_.mkdirs(path);
+  EditRecord rec;
+  rec.op = EditOp::kMkdirs;
+  rec.path = path;
+  journalLocked(std::move(rec));
 }
 
 bool NameNode::exists(const std::string& path) const {
@@ -175,6 +273,11 @@ bool NameNode::remove(const std::string& path, bool recursive) {
   if (!namespace_.exists(path)) return false;
   const auto freed = namespace_.remove(path, recursive);
   queueInvalidateLocked(freed);
+  EditRecord rec;
+  rec.op = EditOp::kDelete;
+  rec.path = path;
+  rec.recursive = recursive;
+  journalLocked(std::move(rec));
   return true;
 }
 
@@ -182,6 +285,11 @@ void NameNode::rename(const std::string& from, const std::string& to) {
   std::lock_guard<std::mutex> guard(lock_);
   checkNotInSafeModeLocked("rename");
   namespace_.rename(from, to);
+  EditRecord rec;
+  rec.op = EditOp::kRename;
+  rec.path = from;
+  rec.path2 = to;
+  journalLocked(std::move(rec));
 }
 
 void NameNode::create(const std::string& path, uint16_t replication,
@@ -197,6 +305,12 @@ void NameNode::create(const std::string& path, uint16_t replication,
           ? block_size
           : static_cast<uint64_t>(conf_.getInt("dfs.blocksize", 65536));
   namespace_.createFile(path, repl, bs);
+  EditRecord rec;
+  rec.op = EditOp::kCreate;
+  rec.path = path;
+  rec.replication = repl;  // journal the *resolved* defaults
+  rec.block_size = bs;
+  journalLocked(std::move(rec));
 }
 
 std::vector<PlacementCandidate> NameNode::aliveCandidatesLocked() const {
@@ -225,6 +339,11 @@ LocatedBlock NameNode::addBlock(const std::string& path,
   }
   const Block block = blocks_.allocateBlock(status.replication);
   namespace_.addBlock(path, block);
+  EditRecord rec;
+  rec.op = EditOp::kAddBlock;
+  rec.path = path;
+  rec.block = block;
+  journalLocked(std::move(rec));
 
   LocatedBlock located;
   located.block = block;
@@ -245,6 +364,11 @@ void NameNode::completeFile(const std::string& path) {
   for (Block& block : finalized) block.size = blocks_.blockSize(block.id);
   namespace_.setFileBlocks(path, finalized);
   namespace_.completeFile(path);
+  EditRecord rec;
+  rec.op = EditOp::kComplete;
+  rec.path = path;
+  rec.blocks = std::move(finalized);  // finalized sizes survive restart
+  journalLocked(std::move(rec));
 }
 
 std::vector<LocatedBlock> NameNode::getBlockLocations(
@@ -272,6 +396,11 @@ void NameNode::setReplication(const std::string& path,
   for (const Block& block : namespace_.fileBlocks(path)) {
     blocks_.setExpectedReplication(block.id, replication);
   }
+  EditRecord rec;
+  rec.op = EditOp::kSetReplication;
+  rec.path = path;
+  rec.replication = replication;
+  journalLocked(std::move(rec));
 }
 
 void NameNode::reportBadBlock(BlockId block, const std::string& host) {
@@ -453,6 +582,52 @@ Bytes NameNode::saveImage() const {
   return namespace_.saveImage();
 }
 
+uint64_t NameNode::saveNamespace() {
+  std::lock_guard<std::mutex> guard(lock_);
+  return checkpointLocked();
+}
+
+uint64_t NameNode::rollEdits() {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (edits_ == nullptr) {
+    throw IllegalStateError(
+        "edit log journaling is not enabled (dfs.namenode.name.dir unset)");
+  }
+  return edits_->roll();
+}
+
+uint64_t NameNode::checkpointLocked() {
+  if (edits_ == nullptr) {
+    throw IllegalStateError(
+        "edit log journaling is not enabled (dfs.namenode.name.dir unset)");
+  }
+  Stopwatch sw;
+  std::optional<TraceSpan> span;
+  if (tracer_->enabled()) {
+    span.emplace(tracer_, "namenode", "CHECKPOINT");
+  }
+  edits_->checkpoint(namespace_.saveImage());
+  const int64_t millis = sw.elapsedMillis();
+  metrics_->histogram("checkpoint.millis").record(millis);
+  if (span) span->arg("txn", std::to_string(edits_->lastCheckpointTxn()));
+  last_checkpoint_steady_ms_ = steadyMillis();
+  logInfo(kLog) << "checkpointed namespace at txn "
+                << edits_->lastCheckpointTxn() << " in " << millis << " ms";
+  return edits_->lastCheckpointTxn();
+}
+
+void NameNode::maybeCheckpointLocked() {
+  if (edits_ == nullptr || edits_->txnsSinceCheckpoint() == 0) return;
+  const int64_t txns = conf_.getInt("dfs.namenode.checkpoint.txns", 100000);
+  const int64_t period = conf_.getInt("dfs.namenode.checkpoint.period.ms", 0);
+  const bool txns_due =
+      txns > 0 &&
+      edits_->txnsSinceCheckpoint() >= static_cast<uint64_t>(txns);
+  const bool period_due =
+      period > 0 && steadyMillis() - last_checkpoint_steady_ms_ >= period;
+  if (txns_due || period_due) checkpointLocked();
+}
+
 uint64_t NameNode::totalBlocks() const {
   std::lock_guard<std::mutex> guard(lock_);
   return blocks_.blockCount();
@@ -490,6 +665,7 @@ void NameNode::monitorPassLocked() {
   handleCorruptReplicasLocked();
   handleOverReplicationLocked();
   scheduleReplicationLocked();
+  maybeCheckpointLocked();
 }
 
 void NameNode::expireHeartbeatsLocked() {
@@ -697,6 +873,12 @@ void NameNode::installRpc() {
     }
     if (m == "saveImage") {
       return pack(saveImage());
+    }
+    if (m == "saveNamespace") {
+      return pack(saveNamespace());
+    }
+    if (m == "rollEdits") {
+      return pack(rollEdits());
     }
     throw InvalidArgumentError("namenode: unknown RPC method " + m);
   });

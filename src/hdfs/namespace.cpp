@@ -93,7 +93,8 @@ Namespace::INode* Namespace::ensureDirs(const std::vector<std::string>& parts,
       child->name = parts[i];
       child->is_dir = true;
       child->mtime_ms = nowMillis();
-      it = node->children.emplace(parts[i], std::move(child)).first;
+      const std::string_view key = child->name;  // interned: view into inode
+      it = node->children.emplace(key, std::move(child)).first;
       ++dir_count_;
     } else if (!it->second->is_dir) {
       throw AlreadyExistsError("not a directory: " + parts[i]);
@@ -124,7 +125,8 @@ void Namespace::createFile(std::string_view path, uint16_t replication,
   file->replication = replication;
   file->block_size = block_size;
   file->mtime_ms = nowMillis();
-  parent->children.emplace(parts.back(), std::move(file));
+  const std::string_view key = file->name;
+  parent->children.emplace(key, std::move(file));
   ++file_count_;
 }
 
@@ -195,7 +197,8 @@ std::vector<FileStatus> Namespace::listStatus(std::string_view path) const {
     return out;
   }
   for (const auto& [name, child] : node->children) {
-    out.push_back(statusOf(*child, base == "/" ? "/" + name : base + "/" + name));
+    out.push_back(statusOf(
+        *child, base == "/" ? "/" + child->name : base + "/" + child->name));
   }
   return out;
 }
@@ -288,7 +291,8 @@ void Namespace::rename(std::string_view from, std::string_view to) {
   from_parent->children.erase(from_it);
   node->name = to_parts.back();
   node->mtime_ms = nowMillis();
-  to_parent->children.emplace(to_parts.back(), std::move(node));
+  const std::string_view key = node->name;
+  to_parent->children.emplace(key, std::move(node));
 }
 
 void Namespace::collectFiles(const INode& node, const std::string& prefix,
@@ -298,7 +302,9 @@ void Namespace::collectFiles(const INode& node, const std::string& prefix,
     return;
   }
   for (const auto& [name, child] : node.children) {
-    collectFiles(*child, prefix == "/" ? "/" + name : prefix + "/" + name, out);
+    collectFiles(
+        *child, prefix == "/" ? "/" + child->name : prefix + "/" + child->name,
+        out);
   }
 }
 
@@ -345,8 +351,8 @@ std::unique_ptr<Namespace::INode> Namespace::loadNode(ByteReader& r,
     const uint64_t n = r.readVarU64();
     for (uint64_t i = 0; i < n; ++i) {
       auto child = loadNode(r, files, dirs);
-      std::string name = child->name;
-      node->children.emplace(std::move(name), std::move(child));
+      const std::string_view key = child->name;
+      node->children.emplace(key, std::move(child));
     }
   } else {
     ++files;
@@ -378,7 +384,11 @@ Namespace Namespace::loadImage(std::string_view image) {
   uint64_t files = 0;
   uint64_t dirs = 0;
   ns.root_ = loadNode(r, files, dirs);
-  if (!r.atEnd()) throw InvalidArgumentError("trailing bytes in fsimage");
+  if (!r.atEnd()) {
+    throw InvalidArgumentError(
+        "trailing bytes in fsimage: tree ended at byte " +
+        std::to_string(r.position()) + " of " + std::to_string(image.size()));
+  }
   ns.file_count_ = files;
   ns.dir_count_ = dirs;
   return ns;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <thread>
@@ -250,6 +251,148 @@ TEST_P(TracedHdfsChaosTest, ObservedRandomOpsMatchReferenceModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TracedHdfsChaosTest, ::testing::Values(3));
+
+// Restart-under-chaos: the NameNode is repeatedly kill -9'd mid-workload
+// and must come back from its on-disk image + edit log with the namespace
+// oracle-equal to the reference model and every acked byte readable. The
+// name dir uses a small checkpoint threshold so crashes land before,
+// between, and after checkpoints across seeds. Ops are driver-serialized,
+// so every model entry was acked before any crash — with edits synced per
+// txn, recovery owes us all of them, and deletions must stay deleted
+// (nothing resurrected from stale segments or images).
+class NameNodeCrashHdfsChaosTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  NameNodeCrashHdfsChaosTest() {
+    name_dir_ = std::filesystem::temp_directory_path() /
+                ("mh_nn_chaos_" + std::to_string(::getpid()) + "_s" +
+                 std::to_string(GetParam()));
+    std::filesystem::remove_all(name_dir_);
+  }
+  ~NameNodeCrashHdfsChaosTest() override {
+    std::filesystem::remove_all(name_dir_);
+  }
+  std::filesystem::path name_dir_;
+};
+
+TEST_P(NameNodeCrashHdfsChaosTest, CrashRestartRecoversAckedState) {
+  Config conf = testutil::aggressiveTimers();
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 2048);
+  conf.set("dfs.namenode.name.dir", name_dir_.string());
+  conf.setInt("dfs.namenode.checkpoint.txns", 40);
+  MiniDfsCluster cluster({.num_datanodes = 3, .conf = conf});
+  auto client = cluster.client();
+
+  Rng rng(GetParam());
+  std::map<std::string, Bytes> model;  // path -> acked contents
+  int crashes = 0;
+
+  // A freshly recovered NameNode knows no DataNodes until heartbeats
+  // re-register them; writes before that fail placement. Real clients see
+  // the same window — the driver waits it out like an operator would.
+  const auto waitRecovered = [&] {
+    ASSERT_TRUE(cluster.waitOutOfSafeMode(20'000));
+    for (int i = 0; i < 1000 && cluster.nameNode().liveDataNodes() < 3; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(cluster.nameNode().liveDataNodes(), 3u);
+  };
+
+  const auto randomPath = [&](bool existing) -> std::string {
+    if (existing && !model.empty()) {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.uniform(model.size())));
+      return it->first;
+    }
+    return "/chaos/f" + std::to_string(rng.uniform(30));
+  };
+  const auto randomBody = [&] {
+    Bytes body;
+    const auto n = rng.uniform(6000);
+    body.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      body.push_back(static_cast<char>('a' + rng.uniform(26)));
+    }
+    return body;
+  };
+
+  for (int step = 0; step < 110; ++step) {
+    const auto action = rng.uniform(100);
+    try {
+      if (!cluster.nameNodeRunning() && rng.chance(0.6)) {
+        cluster.restartNameNode();
+        waitRecovered();
+      }
+      if (action < 40) {  // write (create or overwrite-by-replace)
+        const std::string path = randomPath(rng.chance(0.3));
+        const Bytes body = randomBody();
+        if (model.contains(path)) client.remove(path, false);
+        client.writeFile(path, body);
+        model[path] = body;
+      } else if (action < 52 && !model.empty()) {  // delete
+        const std::string path = randomPath(true);
+        EXPECT_TRUE(client.remove(path, false));
+        model.erase(path);
+      } else if (action < 62 && !model.empty()) {  // rename
+        const std::string from = randomPath(true);
+        const std::string to =
+            "/chaos/renamed" + std::to_string(rng.uniform(1000));
+        if (!model.contains(to)) {
+          client.rename(from, to);
+          model[to] = model[from];
+          model.erase(from);
+        }
+      } else if (action < 80 && !model.empty()) {  // read-verify
+        const std::string path = randomPath(true);
+        EXPECT_EQ(client.readFile(path), model[path]) << path;
+      } else if (action < 92) {  // kill -9 the NameNode
+        if (cluster.nameNodeRunning()) {
+          cluster.crashNameNode();
+          ++crashes;
+        }
+      } else {  // clean restart: stop() syncs, recovery from disk
+        if (cluster.nameNodeRunning()) {
+          cluster.restartNameNode();
+          waitRecovered();
+        }
+      }
+    } catch (const NetworkError&) {
+      // NameNode down: the op was never acked and the model was not
+      // updated, so consistency holds.
+    } catch (const IllegalStateError&) {
+      // Safe-mode window right after a restart: same contract.
+    } catch (const IoError&) {
+      // A write failed mid-pipeline (e.g. placement raced a restart): the
+      // file may exist with partial blocks and was never acked. Clean it
+      // from the file system so the final audit compares acked state only.
+      if (cluster.nameNodeRunning()) {
+        const auto files = client.listFilesRecursive("/");
+        for (const auto& f : files) {
+          if (!model.contains(f)) client.remove(f, false);
+        }
+      }
+    }
+  }
+  EXPECT_GT(crashes, 0) << "seed never crashed the NameNode; widen the "
+                           "driver probabilities";
+
+  if (!cluster.nameNodeRunning()) cluster.restartNameNode();
+  waitRecovered();
+  ASSERT_TRUE(cluster.waitHealthy(30'000));
+
+  // Oracle equality: exactly the acked files, byte-for-byte. Partial
+  // files were cleaned as they happened, so the listing must match the
+  // model exactly.
+  const auto files = client.listFilesRecursive("/");
+  EXPECT_EQ(files.size(), model.size());
+  for (const auto& [path, body] : model) {
+    ASSERT_TRUE(client.exists(path)) << path;
+    EXPECT_EQ(client.readFile(path), body) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NameNodeCrashHdfsChaosTest,
+                         ::testing::Values(21, 22, 23));
 
 // A network partition mid-re-replication. Kill one DataNode so the
 // NameNode starts re-replicating its blocks, then sever one of the

@@ -154,5 +154,47 @@ TEST_F(FsShellTest, ErrorsAreResultsNotExceptions) {
   EXPECT_EQ(shell_->run({}).code, 1);
 }
 
+TEST_F(FsShellTest, SaveNamespaceWithoutJournalingIsAnError) {
+  // This fixture's cluster has no dfs.namenode.name.dir: the dfsadmin
+  // verbs must come back as a shell error naming the missing key, not an
+  // exception.
+  const auto save = shell_->run({"-saveNamespace"});
+  EXPECT_EQ(save.code, 1);
+  EXPECT_NE(save.output.find("dfs.namenode.name.dir"), std::string::npos);
+  EXPECT_EQ(shell_->run({"-rollEdits"}).code, 1);
+}
+
+TEST(FsShellJournalingTest, SaveNamespaceAndRollEditsReportTxns) {
+  const fs::path name_dir =
+      fs::temp_directory_path() /
+      ("mh_shell_journal_" + std::to_string(::getpid()));
+  fs::remove_all(name_dir);
+  Config conf = testutil::aggressiveTimers();
+  conf.setInt("dfs.replication", 2);
+  conf.setInt("dfs.blocksize", 512);
+  conf.set("dfs.namenode.name.dir", name_dir.string());
+  {
+    MiniDfsCluster cluster(
+        MiniDfsOptions{.num_datanodes = 2, .conf = conf});
+    auto client = cluster.client();
+    FsShell shell(client);
+    client.writeFile("/admin/f", "body");
+
+    const auto save = shell.run({"-saveNamespace"});
+    EXPECT_EQ(save.code, 0) << save.output;
+    EXPECT_NE(save.output.find("checkpoint covers txn"), std::string::npos)
+        << save.output;
+
+    const auto roll = shell.run({"-rollEdits"});
+    EXPECT_EQ(roll.code, 0) << roll.output;
+    EXPECT_NE(roll.output.find("new segment starts at txn"),
+              std::string::npos)
+        << roll.output;
+
+    EXPECT_EQ(shell.run({"-saveNamespace", "now"}).code, 1);  // arity
+  }
+  fs::remove_all(name_dir);
+}
+
 }  // namespace
 }  // namespace mh::hdfs

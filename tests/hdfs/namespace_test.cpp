@@ -220,5 +220,27 @@ TEST(NamespaceTest, CorruptImageThrows) {
   EXPECT_THROW(Namespace::loadImage(image), InvalidArgumentError);
 }
 
+TEST(NamespaceTest, TrailingBytesErrorNamesOffsetAndSize) {
+  // The error must say WHERE the tree ended and how big the image is —
+  // "trailing bytes" alone is useless when diagnosing a mangled fsimage.
+  Namespace ns;
+  ns.createFile("/f", 1, 64);
+  const Bytes image = ns.saveImage();
+  Bytes padded = image;
+  padded += "junk";
+  try {
+    Namespace::loadImage(padded);
+    FAIL() << "loadImage accepted trailing bytes";
+  } catch (const InvalidArgumentError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("tree ended at byte " + std::to_string(image.size())),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("of " + std::to_string(padded.size())),
+              std::string::npos)
+        << msg;
+  }
+}
+
 }  // namespace
 }  // namespace mh::hdfs

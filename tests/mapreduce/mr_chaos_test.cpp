@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -422,6 +423,95 @@ TEST_P(TracedMrChaosTest, FullObservabilityIsStrictlyObservational) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TracedMrChaosTest, ::testing::Values(2),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// The NameNode is kill -9'd mid-job and restarted from its edit log.
+// Every HDFS call a task makes while the master is down fails that
+// attempt; the JobTracker must retry through the outage and the finished
+// job must be byte-identical to a fault-free run — the MapReduce face of
+// the restart-durability contract.
+class NameNodeRestartMrChaosTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  NameNodeRestartMrChaosTest() {
+    name_dir_ = std::filesystem::temp_directory_path() /
+                ("mh_mr_nn_chaos_" + std::to_string(::getpid()) + "_s" +
+                 std::to_string(GetParam()));
+    std::filesystem::remove_all(name_dir_);
+  }
+  ~NameNodeRestartMrChaosTest() override {
+    std::filesystem::remove_all(name_dir_);
+  }
+  std::filesystem::path name_dir_;
+};
+
+TEST_P(NameNodeRestartMrChaosTest, JobFinishesByteIdenticalAcrossNnCrash) {
+  const uint64_t seed = GetParam();
+  // A corpus several times the usual chaos size, so the job reliably
+  // outlives the scheduled NameNode outages.
+  const std::string corpus = makeCorpus(3000, seed);
+
+  // ---- Reference: same job, healthy cluster, no journaling. ----------------
+  std::map<std::string, Bytes> expected_parts;
+  Counters expected_counters;
+  {
+    MiniMrCluster cluster({.num_nodes = 4, .conf = chaosConf(seed)});
+    cluster.client().writeFile("/in/corpus.txt", corpus);
+    const auto result = cluster.runJob(jobForSeed(seed));
+    ASSERT_TRUE(result.succeeded()) << result.error;
+    expected_parts = readPartBytes(cluster, "/out");
+    expected_counters = result.counters;
+  }
+  ASSERT_FALSE(expected_parts.empty());
+
+  // ---- Chaos run: journaling NameNode, crash-restarted mid-job. ------------
+  Config conf = chaosConf(seed);
+  conf.set("dfs.namenode.name.dir", name_dir_.string());
+  conf.setInt("dfs.namenode.checkpoint.txns", 50);
+  // Attempts burned against the dead/safe-mode NameNode are expected; the
+  // point is survival, not fail-fast.
+  conf.setInt("mapred.max.attempts", 20);
+  MiniMrCluster cluster({.num_nodes = 4, .conf = conf});
+  cluster.client().writeFile("/in/corpus.txt", corpus);
+  const JobId id = cluster.jobTracker().submit(jobForSeed(seed));
+
+  // Let the job get some maps in flight, then kill the master twice with
+  // a short outage each time.
+  Rng driver(seed ^ 0x9A3E10D5ull);
+  int outages = 0;
+  for (int outage = 0; outage < 2; ++outage) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(40 + driver.uniform(80)));
+    if (cluster.jobTracker().status(id).state != JobState::kRunning) break;
+    cluster.dfs().crashNameNode();
+    ++outages;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(60 + driver.uniform(120)));
+    cluster.dfs().restartNameNode();
+    ASSERT_TRUE(cluster.dfs().waitOutOfSafeMode(20'000));
+  }
+  EXPECT_GE(outages, 1) << "job finished before the first outage; the "
+                           "corpus is too small to test anything";
+
+  const auto result = waitWithDeadline(cluster, id, 120'000);
+  ASSERT_TRUE(result.succeeded()) << result.error << "\n"
+                                  << result.historyReport();
+
+  // Byte-identical committed output and exact record counters: the NN
+  // outages cost attempts, never records.
+  EXPECT_EQ(readPartBytes(cluster, "/out"), expected_parts);
+  using namespace counters;
+  for (const char* name :
+       {kMapInputRecords, kMapOutputRecords, kReduceOutputRecords}) {
+    EXPECT_EQ(result.counters.value(kTaskGroup, name),
+              expected_counters.value(kTaskGroup, name))
+        << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NameNodeRestartMrChaosTest,
+                         ::testing::Values(2),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });
