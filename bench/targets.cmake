@@ -72,3 +72,12 @@ add_executable(bench_namenode_restart
 target_link_libraries(bench_namenode_restart PRIVATE mh_hdfs)
 set_target_properties(bench_namenode_restart PROPERTIES
                       RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Tentpole perf benchmark: slowstart off vs on for a slow-map zipfian
+# WordCount — wall-clock speedup, byte-identical outputs, and the shuffle's
+# shrinking critical-path share.
+add_executable(bench_pipelined_shuffle
+               ${CMAKE_SOURCE_DIR}/bench/bench_pipelined_shuffle.cpp)
+target_link_libraries(bench_pipelined_shuffle PRIVATE mh_mapreduce mh_apps)
+set_target_properties(bench_pipelined_shuffle PROPERTIES
+                      RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -15,9 +15,13 @@
 /// Gantt) and as JSON.
 ///
 /// The DAG is span parent/child edges plus the engine's happens-before
-/// rules: with slowstart = 1.0 every reduce waits for every map, so the
-/// path runs root -> last-finishing reduce -> (gate) last-finishing map,
-/// and un-spanned stretches of the root are scheduling gaps.
+/// rules: every reduce needs every map's output before its merge can run,
+/// so the path runs root -> last-finishing reduce -> (gate) last-finishing
+/// map, and un-spanned stretches of the root are scheduling gaps. Under
+/// slowstart (mapred.reduce.slowstart.completed.maps < 1.0) the reduce span
+/// overlaps the map phase; attribution clips it to the stretch after the
+/// map gate, so the overlapped shuffle is never double-counted and the
+/// phase totals still sum exactly to the job's wall clock.
 
 namespace mh {
 

@@ -89,6 +89,9 @@ int64_t unionLength(std::vector<std::pair<int64_t, int64_t>> intervals) {
 
 std::string_view classifyTracePhase(std::string_view span_name) {
   if (startsWith(span_name, "MAP")) return "map";
+  // Must precede the "REDUCE" prefix check: the pipelined reduce's idle
+  // stretches waiting on map-completion events are shuffle time.
+  if (startsWith(span_name, "REDUCE_SHUFFLE_WAIT")) return "shuffle";
   if (startsWith(span_name, "REDUCE")) return "reduce";
   if (startsWith(span_name, "SHUFFLE_FETCH")) return "shuffle";
   if (startsWith(span_name, "SORT_SPILL")) return "spill";
@@ -240,22 +243,36 @@ CriticalPathReport computeCriticalPath(const std::vector<TraceEvent>& events,
       last_reduce = &node;
   }
 
-  // Attributes a critical-path span's subtree: classified descendants get
-  // their own phases; the span keeps its duration minus the union of its
-  // classified descendants' intervals (so overlapping parallel children
-  // are not subtracted twice, and unclassified spans fold upward).
-  const std::function<void(const SpanNode&, const std::string&)> attribute =
-      [&](const SpanNode& node, const std::string& phase) {
+  // Attributes a critical-path span's subtree, restricted to the clipped
+  // window [win_start, win_end): classified descendants get their own
+  // phases (recursively, each clipped to its visible stretch); the span
+  // keeps the window length minus the union of its classified descendants'
+  // clipped intervals (so overlapping parallel children are not subtracted
+  // twice, and unclassified spans fold upward). The window matters under
+  // slowstart: a pipelined reduce overlaps the map phase, and its
+  // overlapped stretch is already on the path as map time — clipping keeps
+  // the phase totals summing exactly to the job's wall clock.
+  const std::function<void(const SpanNode&, const std::string&, int64_t,
+                           int64_t)>
+      attribute = [&](const SpanNode& node, const std::string& phase,
+                      int64_t win_start, int64_t win_end) {
+        const int64_t start = std::max(node.event->ts_us, win_start);
+        const int64_t end = std::min(node.end(), win_end);
+        if (end <= start) return;
         std::vector<uint64_t> classified;
         index.collectClassified(node.event->span_id, classified);
         std::vector<std::pair<int64_t, int64_t>> intervals;
         for (const uint64_t id : classified) {
           const SpanNode& child = index.spans.at(id);
-          intervals.emplace_back(child.event->ts_us, child.end());
-          attribute(child, std::string(classifyTracePhase(child.event->name)));
+          const int64_t child_start = std::max(child.event->ts_us, start);
+          const int64_t child_end = std::min(child.end(), end);
+          if (child_end <= child_start) continue;
+          intervals.emplace_back(child_start, child_end);
+          attribute(child, std::string(classifyTracePhase(child.event->name)),
+                    child_start, child_end);
         }
         const int64_t covered = unionLength(std::move(intervals));
-        phase_micros[phase] += std::max<int64_t>(node.event->dur_us - covered, 0);
+        phase_micros[phase] += std::max<int64_t>(end - start - covered, 0);
       };
 
   const auto addStep = [&](const SpanNode& node) {
@@ -275,13 +292,17 @@ CriticalPathReport computeCriticalPath(const std::vector<TraceEvent>& events,
   if (last_map != nullptr) {
     addGap(cursor, last_map->event->ts_us);
     addStep(*last_map);
-    attribute(*last_map, "map");
+    attribute(*last_map, "map", last_map->event->ts_us, last_map->end());
     cursor = std::max(cursor, last_map->end());
   }
   if (last_reduce != nullptr) {
     addGap(cursor, last_reduce->event->ts_us);
     addStep(*last_reduce);
-    attribute(*last_reduce, "reduce");
+    // With slowstart the reduce launches mid-map-phase; only its stretch
+    // past the map gate (== `cursor`) is its own wall-clock contribution.
+    attribute(*last_reduce, "reduce",
+              std::max(cursor, last_reduce->event->ts_us),
+              last_reduce->end());
     cursor = std::max(cursor, last_reduce->end());
   }
   addGap(cursor, root->end());

@@ -34,6 +34,12 @@
 ///                                     straggler maps; first success wins)
 ///   mapred.speculative.min.ms         500    (minimum runtime before a
 ///                                     task can be considered a straggler)
+///   mapred.reduce.slowstart.completed.maps  0.05  (fraction of the job's
+///                                     maps that must succeed before reduces
+///                                     launch; 1.0 restores the blocking
+///                                     all-maps-first schedule. Clamped to
+///                                     [0, 1]; the job conf overrides the
+///                                     cluster conf.)
 
 namespace mh::mr {
 
@@ -76,10 +82,15 @@ class JobTracker {
   TrackerHeartbeatReply trackerHeartbeat(
       const std::string& host, uint32_t free_map_slots,
       uint32_t free_reduce_slots,
-      const std::vector<TaskStatusReport>& reports);
+      const std::vector<TaskStatusReport>& reports,
+      const std::vector<ShuffleEventCursor>& cursors = {});
 
   /// Test hook: one synchronous expiry pass.
   void runMonitorOnce();
+
+  /// Test hook: the tracker host where `map_index` of `job` currently has a
+  /// succeeded output, empty when pending/running/unknown.
+  std::string mapLocation(JobId job, uint32_t map_index) const;
 
  private:
   enum class TaskState : uint8_t { kPending, kRunning, kSucceeded };
@@ -103,6 +114,11 @@ class JobTracker {
     bool has_speculative = false;
     uint32_t speculative_attempt = 0;
     std::string speculative_tracker;
+    /// Bumped on every success of this (map) task — the scheduler-side
+    /// analog of the MapOutputStore slot generation. Completion events
+    /// carry it so pipelined reducers can tell a fresh output from a stale
+    /// re-announcement.
+    uint64_t output_generation = 0;
   };
 
   struct JobInProgress {
@@ -128,6 +144,11 @@ class JobTracker {
     /// JobHistory: every attempt ever scheduled, opened at assignment and
     /// closed by its status report (or tracker expiry).
     std::vector<TaskAttemptRecord> attempts;
+    /// Map-completion event feed for pipelined shuffles: success and
+    /// invalidation events with monotonic ids, kept for the job's lifetime
+    /// and replayed to trackers from whatever cursor they present.
+    std::vector<MapCompletionEvent> map_events;
+    uint64_t next_event_id = 1;
   };
 
   struct TrackerInfo {
@@ -154,6 +175,15 @@ class JobTracker {
   void failJobLocked(JobInProgress& job, const std::string& error);
   void finishJobLocked(JobInProgress& job, JobState state);
   bool allMapsDoneLocked(const JobInProgress& job) const;
+  /// True once the job's succeeded-map count reaches the slowstart
+  /// threshold (ceil(slowstart * maps), at least 1 for a non-empty map
+  /// phase), so reduces may launch with a partial location list.
+  bool reduceLaunchableLocked(const JobInProgress& job) const;
+  /// Appends a success/invalidation event for `map_index` to the job's
+  /// event feed (monotonic ids; success events carry the tracker host and
+  /// the new output generation).
+  void emitMapEventLocked(JobInProgress& job, uint32_t map_index,
+                          bool invalidated);
   void assignTasksLocked(const std::string& tracker_host,
                          uint32_t free_map_slots, uint32_t free_reduce_slots,
                          std::vector<TaskAssignment>& out);

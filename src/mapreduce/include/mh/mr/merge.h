@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -84,6 +86,97 @@ class KvRunMerger {
   bool in_group_ = false;
   int64_t records_read_ = 0;
   GroupValues values_{*this};
+};
+
+/// The pipelined shuffle's reduce-side accumulator: runs fetched while the
+/// map phase is still going are registered here and folded into a bounded
+/// number of pre-merged segments, so the final merge (once membership is
+/// complete) runs over a handful of segments instead of one run per map.
+///
+/// **Identity contract.** Every run is keyed by the sorted set of map
+/// indices it covers (a single map in classic shuffle, a node-combined
+/// membership in in-node mode); covers are disjoint, and the canonical
+/// merge order is ascending lowest-covered-map. In `adjacent_only` mode a
+/// fold only consumes a block of covers forming a gap-free integer range,
+/// and `assemble()` emits segments and unfolded runs in canonical order —
+/// with KvRunMerger's stable tie-break (equal keys drain in run order) the
+/// final merged stream is byte-identical to a one-shot merge over all runs,
+/// no matter which blocks folded or when. In-node covers are not contiguous
+/// ranges, so in-node callers run with `adjacent_only=false` (fold any
+/// block): membership grouping there is already timing-dependent, which is
+/// sound because in-node combining requires a combiner, and combiner jobs
+/// are grouping-insensitive by contract.
+///
+/// **Re-execution.** `invalidate(map)` discards whatever covers a map whose
+/// output went stale — a pending run, or a folded segment (which dissolves;
+/// its other members must be re-fetched). The merger never talks to the
+/// network: the caller re-fetches and `addRun`s again.
+///
+/// Not thread-safe; the owning reduce task drives it from one thread.
+class IncrementalMerger {
+ public:
+  struct Options {
+    /// Fold when an eligible block reaches this many pending runs. The
+    /// final merge therefore sees at most ~fanin unfolded runs per segment
+    /// gap plus the segments themselves.
+    size_t fold_fanin = 8;
+    /// True (classic shuffle): only gap-free map-index ranges may fold,
+    /// preserving byte-identity with the one-shot merge. False (in-node):
+    /// any block of pending runs may fold.
+    bool adjacent_only = true;
+    /// Decode codec-framed runs when folding (the shuffle-compression
+    /// seam); folded segments are stored raw.
+    bool allow_decode = false;
+    /// Optional DECOMPRESS metering for folds, passed to DecodedRunSet.
+    MetricsRegistry* metrics = nullptr;
+    TraceCollector* trace = nullptr;
+    std::string component = "incremental-merge";
+  };
+
+  explicit IncrementalMerger(Options opts) : opts_(std::move(opts)) {}
+
+  /// Registers a fetched run covering `maps` (sorted ascending, non-empty).
+  /// A cover intersecting a pending run replaces it (a stale generation the
+  /// caller chose to overwrite); a cover intersecting a folded segment is
+  /// an error — invalidate() first. Zero-length runs are legal (an empty
+  /// partition) and still cover their maps.
+  void addRun(std::vector<uint32_t> maps, BufferView run);
+
+  /// True when `map` is covered by a pending run or folded segment.
+  bool covers(uint32_t map) const;
+
+  /// Discards everything covering `map`. Returns the OTHER maps whose data
+  /// was collateral damage (members of a dissolved segment or of a shared
+  /// cover) and must be re-fetched; the invalidated map itself is excluded.
+  std::vector<uint32_t> invalidate(uint32_t map);
+
+  /// One fold pass: merges every eligible block of pending runs into a
+  /// segment. Returns true when anything folded.
+  bool foldOnce();
+
+  /// Segments and unfolded runs in canonical (lowest-covered-map) order —
+  /// the input_runs for runReduceTask.
+  std::vector<BufferView> assemble() const;
+
+  size_t pendingRuns() const;
+  size_t segmentCount() const;
+  /// Bytes currently resident (pending runs + folded segments) — what the
+  /// owner should have charged to its heap budget.
+  int64_t heldBytes() const { return held_bytes_; }
+
+ private:
+  struct Item {
+    std::vector<uint32_t> cover;  ///< sorted, disjoint from every other item
+    BufferView data;
+    bool segment = false;
+  };
+
+  /// Merges `block` (in canonical order) into one raw segment.
+  Bytes foldBlock(const std::vector<const Item*>& block) const;
+
+  Options opts_;
+  std::map<uint32_t, Item> items_;  ///< keyed by cover.front()
+  int64_t held_bytes_ = 0;
 };
 
 }  // namespace mh::mr

@@ -58,12 +58,45 @@ struct TaskAssignment {
   /// MAP/REDUCE spans on the tracker parent to the job's root span.
   uint64_t trace_id = 0;
   uint64_t parent_span_id = 0;
+  /// Reduces only: total maps in the job and the event-feed cursor this
+  /// assignment's `map_outputs` snapshot is current through. With slowstart
+  /// a reduce launches before every map finished — the missing locations
+  /// arrive as MapCompletionEvents with ids > `event_cursor` on later
+  /// heartbeats.
+  uint32_t total_maps = 0;
+  uint64_t event_cursor = 0;
+};
+
+/// One entry in a job's map-completion event feed. Event ids are monotonic
+/// per job; a tracker subscribed at cursor `c` receives every event with
+/// `event_id > c` exactly once (the feed is replayed from the JobTracker's
+/// in-memory log, so heartbeat loss only delays delivery).
+struct MapCompletionEvent {
+  JobId job = 0;
+  uint64_t event_id = 0;
+  uint32_t map_index = 0;
+  /// false: the map succeeded on `host` with output generation
+  /// `map_generation`. true: a previously announced output became stale
+  /// (speculative win elsewhere, tracker lost, fetch-failure re-execution)
+  /// — fetched runs for this map at an older generation must be discarded.
+  bool invalidated = false;
+  std::string host;
+  uint64_t map_generation = 0;
+};
+
+/// A tracker's per-job subscription position, sent with each heartbeat for
+/// every job it is running a pipelined reduce of.
+struct ShuffleEventCursor {
+  JobId job = 0;
+  uint64_t after = 0;  ///< deliver events with event_id > after
 };
 
 struct TrackerHeartbeatReply {
   bool reregister = false;
   std::vector<TaskAssignment> assignments;
   std::vector<JobId> purge_jobs;  ///< finished jobs whose map outputs can go
+  /// Map-completion events answering the tracker's ShuffleEventCursors.
+  std::vector<MapCompletionEvent> map_events;
 };
 
 }  // namespace mh::mr
@@ -139,6 +172,8 @@ struct Serde<mr::TaskAssignment> {
     Serde<std::vector<mr::MapOutputLocation>>::encode(w, v.map_outputs);
     w.writeVarU64(v.trace_id);
     w.writeVarU64(v.parent_span_id);
+    w.writeVarU64(v.total_maps);
+    w.writeVarU64(v.event_cursor);
   }
   static mr::TaskAssignment decode(ByteReader& r) {
     mr::TaskAssignment v;
@@ -150,6 +185,44 @@ struct Serde<mr::TaskAssignment> {
     v.map_outputs = Serde<std::vector<mr::MapOutputLocation>>::decode(r);
     v.trace_id = r.readVarU64();
     v.parent_span_id = r.readVarU64();
+    v.total_maps = static_cast<uint32_t>(r.readVarU64());
+    v.event_cursor = r.readVarU64();
+    return v;
+  }
+};
+
+template <>
+struct Serde<mr::MapCompletionEvent> {
+  static void encode(ByteWriter& w, const mr::MapCompletionEvent& v) {
+    w.writeVarU64(v.job);
+    w.writeVarU64(v.event_id);
+    w.writeVarU64(v.map_index);
+    w.writeBool(v.invalidated);
+    w.writeBytes(v.host);
+    w.writeVarU64(v.map_generation);
+  }
+  static mr::MapCompletionEvent decode(ByteReader& r) {
+    mr::MapCompletionEvent v;
+    v.job = static_cast<mr::JobId>(r.readVarU64());
+    v.event_id = r.readVarU64();
+    v.map_index = static_cast<uint32_t>(r.readVarU64());
+    v.invalidated = r.readBool();
+    v.host = r.readString();
+    v.map_generation = r.readVarU64();
+    return v;
+  }
+};
+
+template <>
+struct Serde<mr::ShuffleEventCursor> {
+  static void encode(ByteWriter& w, const mr::ShuffleEventCursor& v) {
+    w.writeVarU64(v.job);
+    w.writeVarU64(v.after);
+  }
+  static mr::ShuffleEventCursor decode(ByteReader& r) {
+    mr::ShuffleEventCursor v;
+    v.job = static_cast<mr::JobId>(r.readVarU64());
+    v.after = r.readVarU64();
     return v;
   }
 };
@@ -160,12 +233,14 @@ struct Serde<mr::TrackerHeartbeatReply> {
     w.writeBool(v.reregister);
     Serde<std::vector<mr::TaskAssignment>>::encode(w, v.assignments);
     Serde<std::vector<mr::JobId>>::encode(w, v.purge_jobs);
+    Serde<std::vector<mr::MapCompletionEvent>>::encode(w, v.map_events);
   }
   static mr::TrackerHeartbeatReply decode(ByteReader& r) {
     mr::TrackerHeartbeatReply v;
     v.reregister = r.readBool();
     v.assignments = Serde<std::vector<mr::TaskAssignment>>::decode(r);
     v.purge_jobs = Serde<std::vector<mr::JobId>>::decode(r);
+    v.map_events = Serde<std::vector<mr::MapCompletionEvent>>::decode(r);
     return v;
   }
 };

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +36,15 @@
 ///   mapred.tasktracker.memory.bytes          (unlimited)
 ///   mapred.tasktracker.oom.policy            fail-task | crash-tracker
 ///   mapred.reduce.parallel.copies            5
+///   mapred.shuffle.fetch.retries             3
+///   mapred.shuffle.fetch.backoff.ms          5    (exponential base; actual
+///                                            sleep is seeded full jitter in
+///                                            [0, capped backoff])
+///   mapred.shuffle.fetch.backoff.max.ms      200
+///   mapred.reduce.merge.fold.fanin           8    (pipelined shuffle: fold
+///                                            an eligible block into one
+///                                            segment once it reaches this
+///                                            many fetched runs)
 
 namespace mh::mr {
 
@@ -41,9 +52,15 @@ struct JobSpec;
 
 /// Fetches partition `assignment.task_index`'s run from every map host in
 /// `assignment.map_outputs`, with up to `mapred.reduce.parallel.copies`
-/// (default 5) fetches in flight at once. Runs arrive as refcounted views —
-/// a run served by a tracker on this fabric is the map output store's own
-/// buffer, uncopied. On any failure throws
+/// (default 5) fetches in flight at once. Hosts are visited in an order
+/// permuted by a job-seeded RNG (deterministic per seed, so chaos replays
+/// are stable) to spread concurrent reducers across serving trackers, but
+/// results land in canonical map order regardless of visit order. Runs
+/// arrive as refcounted views — a run served by a tracker on this fabric is
+/// the map output store's own buffer, uncopied. Retries back off
+/// exponentially with seeded full jitter (sleep uniform in [0, capped
+/// backoff], seed derived from job/task/attempt/retry so it is independent
+/// of thread interleaving). On any failure throws
 /// IoError("fetch-failure host=<h> map=<i>: ...") — the shape the
 /// JobTracker parses to re-execute the source map; when several concurrent
 /// fetches fail, the lowest map index is reported. On success, meters
@@ -99,12 +116,38 @@ class TaskTracker {
   int64_t heapPeak() const { return heap_peak_.load(); }
 
  private:
+  /// Shared between the heartbeat thread (producer: routes map-completion
+  /// events piggybacked on heartbeat replies) and one pipelined reduce task
+  /// (consumer). Registered for the lifetime of the task's shuffle phase.
+  struct PipelinedShuffleState {
+    JobId job = 0;
+    uint32_t task_index = 0;
+    std::mutex mutex;
+    std::condition_variable cv;
+    uint64_t cursor = 0;  ///< highest event id routed into the inbox
+    std::deque<MapCompletionEvent> inbox;
+    bool aborted = false;  ///< tracker stopping / job purged: give up
+  };
+
   void installRpc();
   void heartbeatLoop(std::stop_token token);
   void heartbeatOnce();
   void runAssignment(const TaskAssignment& assignment);
   void runMapAssignment(const TaskAssignment& assignment);
   void runReduceAssignment(const TaskAssignment& assignment);
+  /// The pipelined (slowstart) shuffle: fetches map outputs incrementally as
+  /// completion events arrive, folding fetched runs into bounded segments,
+  /// and returns the assembled input runs once membership is complete.
+  /// Charges fetched bytes to the task heap as they arrive; the running
+  /// total is reported through `charged_bytes` for the caller's heap guard
+  /// (already released again if this throws).
+  std::vector<BufferView> runPipelinedShuffle(const TaskAssignment& assignment,
+                                              const JobSpec& spec,
+                                              Counters& shuffle_counters,
+                                              int64_t& charged_bytes);
+  /// Marks registered pipelined shuffles aborted and wakes their waiters
+  /// (`job == 0` → all of them; used by stop/abandon/crash and purgeJob).
+  void abortPipelinedShuffles(JobId job);
   void chargeHeap(int64_t delta);
   /// Non-throwing budget check for opportunistic caches (the store's
   /// combined runs and encoded-serve cache): charges `delta` and returns
@@ -137,6 +180,12 @@ class TaskTracker {
   /// runs served while `mapred.shuffle.compression` is on for the job.
   Counter* shuffle_raw_bytes_ = nullptr;
   Counter* shuffle_compressed_bytes_ = nullptr;
+  /// Pipelined shuffle: runs/bytes fetched while maps were still running,
+  /// and runs discarded + re-fetched after an invalidation event. Bumped
+  /// live (not success-gated) — they describe tracker work, not job truth.
+  Counter* pipelined_runs_ = nullptr;
+  Counter* pipelined_bytes_ = nullptr;
+  Counter* pipelined_refetches_ = nullptr;
   LatencyHistogram* map_micros_ = nullptr;
   LatencyHistogram* reduce_micros_ = nullptr;
   LatencyHistogram* map_sort_micros_ = nullptr;
@@ -154,6 +203,10 @@ class TaskTracker {
   bool port_bound_ = false;
 
   MapOutputStore outputs_;
+
+  /// Active pipelined shuffles on this tracker, for heartbeat event routing.
+  std::mutex shuffles_mutex_;
+  std::vector<std::shared_ptr<PipelinedShuffleState>> shuffles_;
 
   std::mutex reports_mutex_;
   std::vector<TaskStatusReport> pending_reports_;

@@ -97,6 +97,15 @@ inline constexpr const char* kShuffleFetchRetries = "SHUFFLE_FETCH_RETRIES";
 inline constexpr const char* kShuffleRawBytes = "SHUFFLE_RAW_BYTES";
 inline constexpr const char* kShuffleCompressedBytes =
     "SHUFFLE_COMPRESSED_BYTES";
+/// Pipelined shuffle (slowstart < 1.0): runs/bytes fetched while the map
+/// phase was still running, and runs discarded + re-fetched because a
+/// completion-feed invalidation (speculative win, lost tracker, map
+/// re-execution) made them stale.
+inline constexpr const char* kShufflePipelinedRuns = "SHUFFLE_PIPELINED_RUNS";
+inline constexpr const char* kShufflePipelinedBytes =
+    "SHUFFLE_PIPELINED_BYTES";
+inline constexpr const char* kShufflePipelinedRefetches =
+    "SHUFFLE_PIPELINED_REFETCHES";
 }  // namespace counters
 
 }  // namespace mh::mr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 
 #include "mh/common/error.h"
@@ -364,6 +365,43 @@ bool JobTracker::allMapsDoneLocked(const JobInProgress& job) const {
   });
 }
 
+bool JobTracker::reduceLaunchableLocked(const JobInProgress& job) const {
+  if (job.maps.empty()) return true;  // nothing to wait for
+  double slowstart = conf_.getDouble(
+      "mapred.reduce.slowstart.completed.maps", 0.05);
+  if (job.spec->conf.getRaw("mapred.reduce.slowstart.completed.maps")) {
+    slowstart = job.spec->conf.getDouble(
+        "mapred.reduce.slowstart.completed.maps", slowstart);
+  }
+  slowstart = std::clamp(slowstart, 0.0, 1.0);
+  size_t completed = 0;
+  for (const auto& t : job.maps) {
+    if (t.state == TaskState::kSucceeded) ++completed;
+  }
+  // At least one map must have finished (a reduce with zero known
+  // locations would just spin), and slowstart=1.0 restores the blocking
+  // all-maps-first schedule exactly.
+  const auto threshold = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(slowstart * static_cast<double>(job.maps.size()))));
+  return completed >= threshold;
+}
+
+void JobTracker::emitMapEventLocked(JobInProgress& job, uint32_t map_index,
+                                    bool invalidated) {
+  const TaskInProgress& task = job.maps[map_index];
+  MapCompletionEvent event;
+  event.job = job.id;
+  event.event_id = job.next_event_id++;
+  event.map_index = map_index;
+  event.invalidated = invalidated;
+  if (!invalidated) {
+    event.host = task.tracker;
+    event.map_generation = task.output_generation;
+  }
+  job.map_events.push_back(std::move(event));
+}
+
 void JobTracker::processReportLocked(const std::string& tracker_host,
                                      const TaskStatusReport& report) {
   const auto job_it = jobs_.find(report.job);
@@ -402,6 +440,8 @@ void JobTracker::processReportLocked(const std::string& tracker_host,
     task.contributed = Counters::fromSnapshot(report.counters);
     job.counters.merge(task.contributed);
     if (report.is_map) {
+      ++task.output_generation;
+      emitMapEventLocked(job, report.task_index, /*invalidated=*/false);
       job.map_millis += report.millis;
       const char* locality_counter = counters::kRemoteMaps;
       if (task.locality == Locality::kNodeLocal) {
@@ -475,6 +515,7 @@ void JobTracker::processReportLocked(const std::string& tracker_host,
           job.maps[map_index].tracker == bad_host) {
         job.maps[map_index].state = TaskState::kPending;
         job.maps[map_index].tracker.clear();
+        emitMapEventLocked(job, map_index, /*invalidated=*/true);
         logWarn(kLog) << "re-executing map " << map_index << " of job "
                       << job.id << " (output lost on " << bad_host << ")";
       }
@@ -558,11 +599,15 @@ void JobTracker::assignTasksLocked(const std::string& tracker_host,
     assignSpeculativeLocked(tracker_host, free_map_slots, out);
   }
 
-  // Reduce tasks: only once every map of the job has succeeded (slowstart =
-  // 1.0), so the full shuffle location list is known.
+  // Reduce tasks: launched once the job's succeeded-map count reaches the
+  // slowstart threshold (mapred.reduce.slowstart.completed.maps, default
+  // 0.05). The assignment carries the location list known NOW plus the
+  // event-feed cursor it is current through; locations for maps that
+  // finish later ride the heartbeat map-completion feed, so the reduce's
+  // shuffle overlaps the rest of the map wave.
   for (auto& [id, job] : jobs_) {
     if (job.state != JobState::kRunning) continue;
-    if (!allMapsDoneLocked(job)) continue;
+    if (!reduceLaunchableLocked(job)) continue;
     for (size_t i = 0; i < job.reduces.size() && free_reduce_slots > 0; ++i) {
       TaskInProgress& task = job.reduces[i];
       if (task.state != TaskState::kPending) continue;
@@ -580,8 +625,11 @@ void JobTracker::assignTasksLocked(const std::string& tracker_host,
       assignment.attempt = task.running_attempt;
       assignment.trace_id = job.trace_id;
       assignment.parent_span_id = job.root_span_id;
+      assignment.total_maps = static_cast<uint32_t>(job.maps.size());
+      assignment.event_cursor = job.next_event_id - 1;
       assignment.map_outputs.reserve(job.maps.size());
       for (size_t m = 0; m < job.maps.size(); ++m) {
+        if (job.maps[m].state != TaskState::kSucceeded) continue;
         assignment.map_outputs.push_back(
             {static_cast<uint32_t>(m), job.maps[m].tracker});
       }
@@ -643,7 +691,8 @@ void JobTracker::assignSpeculativeLocked(const std::string& tracker_host,
 
 TrackerHeartbeatReply JobTracker::trackerHeartbeat(
     const std::string& host, uint32_t free_map_slots,
-    uint32_t free_reduce_slots, const std::vector<TaskStatusReport>& reports) {
+    uint32_t free_reduce_slots, const std::vector<TaskStatusReport>& reports,
+    const std::vector<ShuffleEventCursor>& cursors) {
   std::lock_guard<std::mutex> guard(lock_);
   TrackerHeartbeatReply reply;
   const auto it = trackers_.find(host);
@@ -661,10 +710,29 @@ TrackerHeartbeatReply JobTracker::trackerHeartbeat(
   assignTasksLocked(host, free_map_slots, free_reduce_slots,
                     reply.assignments);
 
+  // Answer the tracker's event-feed subscriptions: everything newer than
+  // its per-job cursor, replayed from the job's in-memory log (heartbeat
+  // loss only delays delivery — the tracker re-presents the same cursor).
+  for (const auto& cursor : cursors) {
+    const auto job_it = jobs_.find(cursor.job);
+    if (job_it == jobs_.end()) continue;
+    for (const auto& event : job_it->second.map_events) {
+      if (event.event_id > cursor.after) reply.map_events.push_back(event);
+    }
+  }
+
   for (const auto& [id, job] : jobs_) {
     if (job.state != JobState::kRunning) reply.purge_jobs.push_back(id);
   }
   return reply;
+}
+
+std::string JobTracker::mapLocation(JobId job, uint32_t map_index) const {
+  std::lock_guard<std::mutex> guard(lock_);
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end() || map_index >= it->second.maps.size()) return "";
+  const TaskInProgress& task = it->second.maps[map_index];
+  return task.state == TaskState::kSucceeded ? task.tracker : "";
 }
 
 void JobTracker::runMonitorOnce() {
@@ -692,7 +760,8 @@ void JobTracker::expireTrackersLocked() {
           record.error = "tracker lost";
         }
       }
-      for (auto& task : job.maps) {
+      for (size_t i = 0; i < job.maps.size(); ++i) {
+        TaskInProgress& task = job.maps[i];
         // Running tasks die with the tracker; succeeded maps lose their
         // outputs (they live in the tracker's MapOutputStore).
         if (task.has_speculative && task.speculative_tracker == host) {
@@ -707,8 +776,15 @@ void JobTracker::expireTrackersLocked() {
             task.has_speculative = false;
             task.speculative_tracker.clear();
           } else {
+            const bool was_succeeded = task.state == TaskState::kSucceeded;
             task.state = TaskState::kPending;
             task.tracker.clear();
+            if (was_succeeded) {
+              // An announced output just vanished: pipelined reducers
+              // holding its fetched run must discard and re-fetch.
+              emitMapEventLocked(job, static_cast<uint32_t>(i),
+                                 /*invalidated=*/true);
+            }
           }
         }
       }
@@ -792,10 +868,12 @@ void JobTracker::installRpc() {
       return {};
     }
     if (req.method == "heartbeat") {
-      const auto [host, free_maps, free_reduces, reports] =
+      const auto [host, free_maps, free_reduces, reports, cursors] =
           unpack<std::string, uint32_t, uint32_t,
-                 std::vector<TaskStatusReport>>(req.body);
-      return pack(trackerHeartbeat(host, free_maps, free_reduces, reports));
+                 std::vector<TaskStatusReport>,
+                 std::vector<ShuffleEventCursor>>(req.body);
+      return pack(
+          trackerHeartbeat(host, free_maps, free_reduces, reports, cursors));
     }
     throw InvalidArgumentError("jobtracker: unknown RPC method " + req.method);
   });

@@ -86,4 +86,161 @@ bool KvRunMerger::nextGroup() {
   return true;
 }
 
+// ------------------------------------------------------ IncrementalMerger
+
+void IncrementalMerger::addRun(std::vector<uint32_t> maps, BufferView run) {
+  if (maps.empty()) {
+    throw InvalidArgumentError("IncrementalMerger::addRun: empty cover");
+  }
+  // A cover intersecting pending runs replaces them (stale-generation
+  // delivery); intersecting a folded segment means the caller skipped the
+  // invalidate() that should have dissolved it.
+  for (auto it = items_.begin(); it != items_.end();) {
+    const Item& item = it->second;
+    const bool intersects = std::any_of(
+        maps.begin(), maps.end(), [&](uint32_t m) {
+          return std::binary_search(item.cover.begin(), item.cover.end(), m);
+        });
+    if (!intersects) {
+      ++it;
+      continue;
+    }
+    if (item.segment) {
+      throw InvalidArgumentError(
+          "IncrementalMerger::addRun: cover intersects folded segment "
+          "(invalidate first)");
+    }
+    held_bytes_ -= static_cast<int64_t>(item.data.size());
+    it = items_.erase(it);
+  }
+  held_bytes_ += static_cast<int64_t>(run.size());
+  const uint32_t key = maps.front();
+  items_[key] = Item{std::move(maps), std::move(run), /*segment=*/false};
+}
+
+bool IncrementalMerger::covers(uint32_t map) const {
+  for (const auto& [key, item] : items_) {
+    if (std::binary_search(item.cover.begin(), item.cover.end(), map)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<uint32_t> IncrementalMerger::invalidate(uint32_t map) {
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    const Item& item = it->second;
+    if (!std::binary_search(item.cover.begin(), item.cover.end(), map)) {
+      continue;
+    }
+    std::vector<uint32_t> collateral;
+    collateral.reserve(item.cover.size() - 1);
+    for (const uint32_t m : item.cover) {
+      if (m != map) collateral.push_back(m);
+    }
+    held_bytes_ -= static_cast<int64_t>(item.data.size());
+    items_.erase(it);
+    return collateral;
+  }
+  return {};
+}
+
+bool IncrementalMerger::foldOnce() {
+  if (opts_.fold_fanin < 2) return false;
+  // Collect maximal foldable chains of pending runs, in canonical order.
+  std::vector<std::vector<const Item*>> chains;
+  std::vector<const Item*> chain;
+  const Item* prev = nullptr;
+  const auto flush = [&] {
+    if (chain.size() >= opts_.fold_fanin) chains.push_back(chain);
+    chain.clear();
+  };
+  for (const auto& [key, item] : items_) {
+    if (item.segment) {
+      flush();
+      prev = nullptr;
+      continue;
+    }
+    // adjacent_only: the chain must stay a gap-free map-index range — a
+    // hole could still be filled by a later-arriving run that canonically
+    // sorts inside the block, which would break merge-order identity.
+    if (prev != nullptr && opts_.adjacent_only &&
+        item.cover.front() != prev->cover.back() + 1) {
+      flush();
+    }
+    chain.push_back(&item);
+    prev = &item;
+  }
+  flush();
+  if (chains.empty()) return false;
+
+  struct Folded {
+    std::vector<uint32_t> cover;
+    Bytes data;
+  };
+  std::vector<Folded> folded;
+  folded.reserve(chains.size());
+  for (const auto& block : chains) {
+    Folded f;
+    for (const Item* item : block) {
+      f.cover.insert(f.cover.end(), item->cover.begin(), item->cover.end());
+    }
+    std::sort(f.cover.begin(), f.cover.end());
+    f.data = foldBlock(block);
+    folded.push_back(std::move(f));
+  }
+  for (const auto& block : chains) {
+    for (const Item* item : block) {
+      held_bytes_ -= static_cast<int64_t>(item->data.size());
+      items_.erase(item->cover.front());
+    }
+  }
+  for (Folded& f : folded) {
+    const uint32_t key = f.cover.front();
+    BufferView segment(Buffer::fromString(std::move(f.data)));
+    held_bytes_ += static_cast<int64_t>(segment.size());
+    items_[key] = Item{std::move(f.cover), std::move(segment),
+                       /*segment=*/true};
+  }
+  return true;
+}
+
+Bytes IncrementalMerger::foldBlock(
+    const std::vector<const Item*>& block) const {
+  std::vector<BufferView> runs;
+  runs.reserve(block.size());
+  for (const Item* item : block) runs.push_back(item->data);
+  const DecodedRunSet decoded(runs, opts_.allow_decode, opts_.metrics,
+                              opts_.trace, opts_.component);
+  KvRunMerger merger(decoded.views());
+  Bytes out;
+  KvWriter writer(out);
+  while (merger.nextGroup()) {
+    const std::string_view key = merger.key();
+    while (const auto value = merger.values().next()) {
+      writer.write(key, *value);
+    }
+  }
+  return out;
+}
+
+std::vector<BufferView> IncrementalMerger::assemble() const {
+  std::vector<BufferView> out;
+  out.reserve(items_.size());
+  for (const auto& [key, item] : items_) out.push_back(item.data);
+  return out;
+}
+
+size_t IncrementalMerger::pendingRuns() const {
+  size_t n = 0;
+  for (const auto& [key, item] : items_) {
+    if (!item.segment) ++n;
+  }
+  return n;
+}
+
+size_t IncrementalMerger::segmentCount() const {
+  return items_.size() - pendingRuns();
+}
+
 }  // namespace mh::mr

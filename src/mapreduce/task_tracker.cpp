@@ -8,8 +8,10 @@
 #include "mh/common/codec.h"
 #include "mh/common/error.h"
 #include "mh/common/log.h"
+#include "mh/common/rng.h"
 #include "mh/common/stopwatch.h"
 #include "mh/hdfs/dfs_client.h"
+#include "mh/mr/merge.h"
 #include "mh/mr/task_runner.h"
 
 namespace mh::mr {
@@ -53,21 +55,31 @@ uint32_t attributedMap(const FetchUnit& unit, const std::string& error) {
   return unit.lowest;
 }
 
-}  // namespace
+/// The map index a thrown fetch-failure blames ("fetch-failure host=<h>
+/// map=<i>: ..."); UINT32_MAX when the message names none.
+uint32_t parseFetchFailureMap(std::string_view error) {
+  const std::string_view tag = "map=";
+  const size_t pos = error.find(tag);
+  if (pos == std::string_view::npos) return UINT32_MAX;
+  uint64_t value = 0;
+  bool any = false;
+  for (size_t i = pos + tag.size();
+       i < error.size() && error[i] >= '0' && error[i] <= '9'; ++i) {
+    value = value * 10 + static_cast<uint64_t>(error[i] - '0');
+    any = true;
+  }
+  return any ? static_cast<uint32_t>(value) : UINT32_MAX;
+}
 
-std::vector<BufferView> fetchShuffleRuns(net::Network& network,
-                                         const std::string& host,
-                                         const TaskAssignment& assignment,
-                                         const Config& conf,
-                                         Counters& shuffle_counters,
-                                         const JobSpec* spec) {
-  const bool innode = spec != nullptr && spec->combiner != nullptr &&
-                      spec->conf.getBool("mapred.innode.combine", false);
+/// Groups locations into fetch units: one per map, or (in-node combining)
+/// one per host in first-appearance order. The grouping is a pure function
+/// of the location list, so the pipelined shuffle can rebuild the exact
+/// units fetchShuffleRuns derived from a batch it handed over.
+std::vector<FetchUnit> buildFetchUnits(
+    const std::vector<MapOutputLocation>& locations, bool innode) {
   std::vector<FetchUnit> units;
-  for (const MapOutputLocation& location : assignment.map_outputs) {
+  for (const MapOutputLocation& location : locations) {
     if (innode && !units.empty()) {
-      // Group by host in first-appearance order; the serving tracker merges
-      // the whole group through the combiner into one run.
       const auto it = std::find_if(
           units.begin(), units.end(),
           [&](const FetchUnit& unit) { return unit.host == location.host; });
@@ -79,6 +91,36 @@ std::vector<BufferView> fetchShuffleRuns(net::Network& network,
     }
     units.push_back({location.host, {location.map_index}, location.map_index});
   }
+  return units;
+}
+
+/// Root seed for a reduce attempt's fetch-side randomness (host visit order,
+/// backoff jitter). Derived by hashing stable task identity — never from
+/// global state or the clock — so a chaos run with a given seed replays the
+/// same delays and orders no matter how fetcher threads interleave.
+uint64_t fetchSeed(const TaskAssignment& assignment, uint64_t salt) {
+  uint64_t x = (static_cast<uint64_t>(assignment.job) << 40) ^
+               (static_cast<uint64_t>(assignment.task_index) << 20) ^
+               static_cast<uint64_t>(assignment.attempt) ^ salt;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<BufferView> fetchShuffleRuns(net::Network& network,
+                                         const std::string& host,
+                                         const TaskAssignment& assignment,
+                                         const Config& conf,
+                                         Counters& shuffle_counters,
+                                         const JobSpec* spec) {
+  const bool innode = spec != nullptr && spec->combiner != nullptr &&
+                      spec->conf.getBool("mapred.innode.combine", false);
+  // In in-node mode maps are grouped by host in first-appearance order; the
+  // serving tracker merges the whole group through the combiner into one run.
+  const std::vector<FetchUnit> units =
+      buildFetchUnits(assignment.map_outputs, innode);
   const size_t n = units.size();
   std::vector<BufferView> runs(n);
   if (n == 0) return runs;
@@ -103,13 +145,25 @@ std::vector<BufferView> fetchShuffleRuns(net::Network& network,
   // are written by distinct fetches, so no lock is needed.
   std::vector<std::unique_ptr<std::string>> errors(n);
   std::atomic<size_t> next{0};
+  // Visit units in a job-seeded random order: a wave of reducers starting
+  // together would otherwise all hammer the first map host before moving on
+  // in lockstep. Deterministic per seed, and results land at their
+  // canonical slot regardless of visit order, so outputs are unchanged.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  Rng order_rng(fetchSeed(assignment, /*salt=*/0x0bdeu));
+  for (size_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[order_rng.uniform(i + 1)]);
+  }
   // The SHUFFLE_FETCH span is ambient on this thread; carry its context
   // into the parallel fetcher threads so getMapOutput calls (and any
   // faults injected into them) stay inside the reduce's trace subtree.
   const TraceContext fetch_ctx = currentTraceContext();
   const auto fetch_loop = [&] {
     const TraceContextScope trace_scope(fetch_ctx);
-    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+    for (size_t slot = next.fetch_add(1); slot < n;
+         slot = next.fetch_add(1)) {
+      const size_t i = order[slot];
       const FetchUnit& unit = units[i];
       for (size_t attempt = 0; attempt < attempts; ++attempt) {
         try {
@@ -135,8 +189,18 @@ std::vector<BufferView> fetchShuffleRuns(net::Network& network,
           errors[i] = std::make_unique<std::string>(e.what());
           if (attempt + 1 == attempts) break;
           retries.fetch_add(1, std::memory_order_relaxed);
-          const int64_t delay = std::min(
+          // Full jitter: sleep uniform in [0, capped exponential backoff],
+          // decorrelating retry storms when many reducers lose the same
+          // host at once. Seeded per (task identity, unit, retry) so a
+          // chaos seed replays the same delays.
+          const int64_t cap = std::min(
               backoff_max_ms, backoff_ms << std::min<size_t>(attempt, 20));
+          Rng jitter(fetchSeed(assignment, /*salt=*/0x8acc0ffull) ^
+                     (static_cast<uint64_t>(i) << 32) ^ attempt);
+          const int64_t delay =
+              cap > 0 ? static_cast<int64_t>(
+                            jitter.uniform(static_cast<uint64_t>(cap) + 1))
+                      : 0;
           if (delay > 0) {
             std::this_thread::sleep_for(std::chrono::milliseconds(delay));
           }
@@ -229,6 +293,9 @@ TaskTracker::TaskTracker(Config conf, std::shared_ptr<net::Network> network,
   spilled_records_ = &metrics_->counter("spilled_records");
   shuffle_raw_bytes_ = &metrics_->counter("shuffle.raw.bytes");
   shuffle_compressed_bytes_ = &metrics_->counter("shuffle.compressed.bytes");
+  pipelined_runs_ = &metrics_->counter("shuffle.pipelined.runs");
+  pipelined_bytes_ = &metrics_->counter("shuffle.pipelined.bytes");
+  pipelined_refetches_ = &metrics_->counter("shuffle.pipelined.refetches");
   map_micros_ = &metrics_->histogram("task.map.micros");
   reduce_micros_ = &metrics_->histogram("task.reduce.micros");
   map_sort_micros_ = &metrics_->histogram("map.sort.micros");
@@ -288,7 +355,11 @@ void TaskTracker::stop() {
     heartbeat_thread_.request_stop();
     heartbeat_thread_.join();
   }
-  // Drain task pools (tasks may fail fast since the host may be down).
+  // Wake pipelined reduces waiting for completion events, then drain the
+  // task pools (tasks may fail fast since the host may be down). Order
+  // matters: the pool destructors join, and a reduce parked on its event
+  // inbox would never return without the abort.
+  abortPipelinedShuffles(0);
   map_pool_.reset();
   reduce_pool_.reset();
   if (port_bound_) {
@@ -305,6 +376,7 @@ void TaskTracker::abandon() {
     heartbeat_thread_.request_stop();
     heartbeat_thread_.join();
   }
+  abortPipelinedShuffles(0);
   map_pool_.reset();
   reduce_pool_.reset();
   logWarn(kLog) << host_ << " abandoned (port still bound)";
@@ -318,6 +390,7 @@ void TaskTracker::crash() {
     heartbeat_thread_.request_stop();
     heartbeat_thread_.join();
   }
+  abortPipelinedShuffles(0);
   map_pool_.reset();
   reduce_pool_.reset();
   outputs_.clear();  // the process died; its map outputs are gone
@@ -350,11 +423,30 @@ void TaskTracker::heartbeatOnce() {
   const uint32_t free_reduces =
       reduce_slots_ - std::min(reduce_slots_, busy_reduces_.load());
 
+  // Pipelined reduces subscribe to their job's map-completion feed: present
+  // one cursor per job — the minimum across this tracker's active shuffles,
+  // so no subscriber misses an event another already consumed.
+  std::vector<ShuffleEventCursor> cursors;
+  {
+    std::lock_guard<std::mutex> lock(shuffles_mutex_);
+    for (const auto& shuffle : shuffles_) {
+      std::lock_guard<std::mutex> state_lock(shuffle->mutex);
+      const auto it = std::find_if(
+          cursors.begin(), cursors.end(),
+          [&](const ShuffleEventCursor& c) { return c.job == shuffle->job; });
+      if (it == cursors.end()) {
+        cursors.push_back({shuffle->job, shuffle->cursor});
+      } else {
+        it->after = std::min(it->after, shuffle->cursor);
+      }
+    }
+  }
+
   TrackerHeartbeatReply reply;
   try {
     const Bytes raw = network_->call(
         host_, jobtracker_host_, kJobTrackerPort, "heartbeat",
-        pack(host_, free_maps, free_reduces, reports));
+        pack(host_, free_maps, free_reduces, reports, cursors));
     reply = std::get<0>(unpack<TrackerHeartbeatReply>(raw));
   } catch (...) {
     // Re-queue the reports so they are not lost.
@@ -371,11 +463,51 @@ void TaskTracker::heartbeatOnce() {
                         conf_.get("dfs.datanode.rack", "/default-rack")));
     return;
   }
+  if (!reply.map_events.empty()) {
+    // The reply concatenates replays for every cursor we presented; with
+    // two subscribers at different positions the same job's ids can arrive
+    // out of order. Sort so each inbox consumes ids ascending and the
+    // `event_id > cursor` dedup below stays exact.
+    std::vector<MapCompletionEvent> events(reply.map_events.begin(),
+                                           reply.map_events.end());
+    std::sort(events.begin(), events.end(),
+              [](const MapCompletionEvent& a, const MapCompletionEvent& b) {
+                return a.job != b.job ? a.job < b.job
+                                      : a.event_id < b.event_id;
+              });
+    std::lock_guard<std::mutex> lock(shuffles_mutex_);
+    for (const auto& shuffle : shuffles_) {
+      std::lock_guard<std::mutex> state_lock(shuffle->mutex);
+      bool delivered = false;
+      for (const MapCompletionEvent& event : events) {
+        if (event.job != shuffle->job || event.event_id <= shuffle->cursor) {
+          continue;
+        }
+        shuffle->inbox.push_back(event);
+        shuffle->cursor = event.event_id;
+        delivered = true;
+      }
+      if (delivered) shuffle->cv.notify_all();
+    }
+  }
   for (const JobId job : reply.purge_jobs) {
+    // A purged job is finished; a pipelined reduce still shuffling for it
+    // (the job failed under it) will never complete — wake and abort it.
+    abortPipelinedShuffles(job);
     outputs_.purgeJob(job);
   }
   for (const auto& assignment : reply.assignments) {
     runAssignment(assignment);
+  }
+}
+
+void TaskTracker::abortPipelinedShuffles(JobId job) {
+  std::lock_guard<std::mutex> lock(shuffles_mutex_);
+  for (const auto& shuffle : shuffles_) {
+    if (job != 0 && shuffle->job != job) continue;
+    std::lock_guard<std::mutex> state_lock(shuffle->mutex);
+    shuffle->aborted = true;
+    shuffle->cv.notify_all();
   }
 }
 
@@ -521,25 +653,36 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
     const auto spec = registry_->get(assignment.job);
     Counters shuffle_counters;
 
-    // Shuffle: pull this partition's run from every map's tracker, several
-    // fetches in flight at once.
-    const std::vector<BufferView> runs = fetchShuffleRuns(
-        *network_, host_, assignment, conf_, shuffle_counters, spec.get());
-
     // The fetched runs are the reduce task's working set; charge them
     // against the tracker memory budget while the streaming merge runs.
     // Unlike user allocateHeap() leaks, these buffers really are freed when
     // the task ends, so the charge is released even on failure.
-    int64_t shuffle_heap = 0;
-    for (const BufferView& run : runs) {
-      shuffle_heap += static_cast<int64_t>(run.size());
-    }
     struct ShuffleHeapGuard {
       TaskTracker* tracker;
       int64_t amount;
       ~ShuffleHeapGuard() { tracker->heap_used_.fetch_sub(amount); }
-    } guard{this, shuffle_heap};
-    chargeHeap(shuffle_heap);
+    } guard{this, 0};
+
+    // Shuffle: pull this partition's run from every map's tracker, several
+    // fetches in flight at once. An assignment whose location list is still
+    // partial (slowstart fired before every map finished) takes the
+    // pipelined path, fetching incrementally as completion events arrive;
+    // a complete list — including every pre-slowstart assignment, which has
+    // total_maps == 0 — takes the classic blocking path unchanged.
+    std::vector<BufferView> runs;
+    if (assignment.total_maps > assignment.map_outputs.size()) {
+      runs = runPipelinedShuffle(assignment, *spec, shuffle_counters,
+                                 guard.amount);
+    } else {
+      runs = fetchShuffleRuns(*network_, host_, assignment, conf_,
+                              shuffle_counters, spec.get());
+      int64_t shuffle_heap = 0;
+      for (const BufferView& run : runs) {
+        shuffle_heap += static_cast<int64_t>(run.size());
+      }
+      guard.amount = shuffle_heap;
+      chargeHeap(shuffle_heap);
+    }
 
     hdfs::DfsClient dfs(conf_, network_, host_, namenode_host_);
     HdfsFs fs(std::move(dfs));
@@ -570,6 +713,205 @@ void TaskTracker::runReduceAssignment(const TaskAssignment& assignment) {
     span.arg("error", e.what());
   }
   queueReport(std::move(report));
+}
+
+std::vector<BufferView> TaskTracker::runPipelinedShuffle(
+    const TaskAssignment& assignment, const JobSpec& spec,
+    Counters& shuffle_counters, int64_t& charged_bytes) {
+  const bool innode = spec.combiner != nullptr &&
+                      spec.conf.getBool("mapred.innode.combine", false);
+  const uint32_t total_maps = assignment.total_maps;
+  const auto fanin = static_cast<size_t>(std::max<int64_t>(
+      2, spec.conf.getInt(
+             "mapred.reduce.merge.fold.fanin",
+             conf_.getInt("mapred.reduce.merge.fold.fanin", 8))));
+  const std::string component = "tasktracker." + host_;
+  const std::string task_tag = "r" + std::to_string(assignment.task_index) +
+                               " a" + std::to_string(assignment.attempt);
+
+  // Subscribe to the job's completion-event feed from the assignment's
+  // snapshot cursor; the heartbeat thread routes events into the inbox.
+  auto state = std::make_shared<PipelinedShuffleState>();
+  state->job = assignment.job;
+  state->task_index = assignment.task_index;
+  state->cursor = assignment.event_cursor;
+  {
+    std::lock_guard<std::mutex> lock(shuffles_mutex_);
+    shuffles_.push_back(state);
+  }
+  struct Unsubscribe {
+    TaskTracker* tracker;
+    const std::shared_ptr<PipelinedShuffleState>& state;
+    ~Unsubscribe() {
+      std::lock_guard<std::mutex> lock(tracker->shuffles_mutex_);
+      std::erase(tracker->shuffles_, state);
+    }
+  } unsubscribe{this, state};
+
+  // What this reducer knows about each map output. `epoch` counts
+  // invalidations; a batch launched before an invalidation is recognized by
+  // its stale epoch on arrival and discarded, never merged.
+  struct MapSource {
+    bool known = false;    ///< a location has been announced
+    bool fetched = false;  ///< accepted into the merger
+    std::string host;
+    uint64_t epoch = 0;
+    uint64_t generation = 0;  ///< last announced output generation
+  };
+  std::vector<MapSource> sources(total_maps);
+  for (const MapOutputLocation& location : assignment.map_outputs) {
+    sources[location.map_index].known = true;
+    sources[location.map_index].host = location.host;
+  }
+
+  IncrementalMerger merger(IncrementalMerger::Options{
+      .fold_fanin = fanin,
+      // In-node covers are host-grouped, not contiguous map ranges, so they
+      // fold freely; classic runs fold adjacent-only to stay byte-identical
+      // with the one-shot merge (see merge.h).
+      .adjacent_only = !innode,
+      .allow_decode =
+          codecFromName(spec.conf.get("mapred.shuffle.compression",
+                                      "none")) != CodecKind::kNone,
+      .metrics = metrics_,
+      .trace = tracer_,
+      .component = component});
+
+  const auto charge = [&](int64_t delta) {
+    // Count before chargeHeap: an OOM throw has already grown heap_used_,
+    // and the caller's guard must release exactly what was charged.
+    charged_bytes += delta;
+    chargeHeap(delta);
+  };
+
+  const auto drain_inbox = [&] {
+    std::deque<MapCompletionEvent> events;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (state->aborted || !running_.load()) {
+        throw IoError("pipelined shuffle aborted (tracker stopping or job "
+                      "purged), job=" + std::to_string(assignment.job));
+      }
+      events.swap(state->inbox);
+    }
+    for (const MapCompletionEvent& event : events) {
+      if (event.map_index >= total_maps) continue;
+      MapSource& source = sources[event.map_index];
+      if (event.invalidated) {
+        ++source.epoch;
+        source.known = false;
+        source.fetched = false;
+        if (merger.covers(event.map_index)) {
+          // Discard the stale run. In in-node mode the whole host run goes
+          // with it, and its surviving members must be fetched again.
+          for (const uint32_t m : merger.invalidate(event.map_index)) {
+            sources[m].fetched = false;
+          }
+          pipelined_refetches_->add();
+          shuffle_counters.increment(counters::kShuffleGroup,
+                                     counters::kShufflePipelinedRefetches, 1);
+        }
+      } else if (event.map_generation >= source.generation) {
+        source.known = true;
+        source.host = event.host;
+        source.generation = event.map_generation;
+      }
+    }
+  };
+
+  while (true) {
+    drain_inbox();
+    std::vector<MapOutputLocation> ready;
+    for (uint32_t m = 0; m < total_maps; ++m) {
+      if (sources[m].known && !sources[m].fetched) {
+        ready.push_back({m, sources[m].host});
+      }
+    }
+    if (!ready.empty()) {
+      std::vector<uint64_t> launch_epoch(total_maps, 0);
+      for (const MapOutputLocation& location : ready) {
+        launch_epoch[location.map_index] = sources[location.map_index].epoch;
+      }
+      TaskAssignment batch = assignment;
+      batch.map_outputs = ready;
+      std::vector<BufferView> runs;
+      try {
+        runs = fetchShuffleRuns(*network_, host_, batch, conf_,
+                                shuffle_counters, &spec);
+      } catch (const IoError& e) {
+        // A stale location fails exactly like a genuine fetch-failure. When
+        // an invalidation for the blamed map raced in during the batch, the
+        // feed will re-announce it — retry quietly instead of failing the
+        // attempt and making the JobTracker re-execute a healthy map.
+        drain_inbox();
+        const uint32_t failed = parseFetchFailureMap(e.what());
+        if (failed >= total_maps ||
+            sources[failed].epoch == launch_epoch[failed]) {
+          throw;
+        }
+        continue;
+      }
+      drain_inbox();
+      const std::vector<FetchUnit> units = buildFetchUnits(ready, innode);
+      for (size_t i = 0; i < units.size(); ++i) {
+        const FetchUnit& unit = units[i];
+        const bool stale = std::any_of(
+            unit.maps.begin(), unit.maps.end(), [&](uint32_t m) {
+              return sources[m].epoch != launch_epoch[m];
+            });
+        if (stale) {
+          // Fetched, then invalidated before it could merge: drop the unit
+          // (surviving members re-fetch next round alongside the feed's
+          // re-announced generation).
+          pipelined_refetches_->add();
+          shuffle_counters.increment(counters::kShuffleGroup,
+                                     counters::kShufflePipelinedRefetches, 1);
+          continue;
+        }
+        const auto bytes = static_cast<int64_t>(runs[i].size());
+        merger.addRun(unit.maps, runs[i]);
+        charge(bytes);
+        pipelined_runs_->add();
+        pipelined_bytes_->add(bytes);
+        shuffle_counters.increment(counters::kShuffleGroup,
+                                   counters::kShufflePipelinedRuns, 1);
+        shuffle_counters.increment(counters::kShuffleGroup,
+                                   counters::kShufflePipelinedBytes, bytes);
+        for (const uint32_t m : unit.maps) sources[m].fetched = true;
+      }
+      if (merger.pendingRuns() >= fanin) {
+        const int64_t held_before = merger.heldBytes();
+        TraceSpan fold_span(tracer_, component, "MERGE_FOLD " + task_tag);
+        merger.foldOnce();
+        fold_span.arg("segments", std::to_string(merger.segmentCount()));
+        fold_span.arg("pending", std::to_string(merger.pendingRuns()));
+        charge(merger.heldBytes() - held_before);
+      }
+    }
+    uint32_t fetched = 0;
+    bool have_ready = false;
+    for (const MapSource& source : sources) {
+      fetched += source.fetched ? 1 : 0;
+      have_ready = have_ready || (source.known && !source.fetched);
+    }
+    if (fetched == total_maps) break;
+    if (have_ready) continue;
+    // Membership incomplete and nothing fetchable: the map phase is ahead
+    // of us. One REDUCE_SHUFFLE_WAIT span per wait episode (not per poll)
+    // keeps the trace ring small while still attributing the overlap.
+    TraceSpan wait_span(tracer_, component,
+                        "REDUCE_SHUFFLE_WAIT " + task_tag);
+    wait_span.arg("job", std::to_string(assignment.job));
+    wait_span.arg("fetched", std::to_string(fetched));
+    wait_span.arg("total", std::to_string(total_maps));
+    std::unique_lock<std::mutex> lock(state->mutex);
+    // The timeout is a backstop for wake-ups with no notifier (e.g. a
+    // crash-tracker OOM elsewhere flips running_ without an abort).
+    while (state->inbox.empty() && !state->aborted && running_.load()) {
+      state->cv.wait_for(lock, std::chrono::milliseconds(20));
+    }
+  }
+  return merger.assemble();
 }
 
 void TaskTracker::installRpc() {

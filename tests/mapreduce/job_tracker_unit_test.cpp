@@ -37,12 +37,18 @@ class JobTrackerHarness : public ::testing::Test {
     jt_->stop();
   }
 
-  /// Writes a file that splits into `blocks` map tasks.
-  JobId submitJob(int blocks, uint32_t reducers = 1) {
+  /// Writes a file that splits into `blocks` map tasks. `slowstart` is the
+  /// job's mapred.reduce.slowstart.completed.maps ("" keeps the default).
+  JobId submitJob(int blocks, uint32_t reducers = 1,
+                  const std::string& slowstart = "") {
     dfs_->client().writeFile("/in/f" + std::to_string(next_file_++),
                              Bytes(static_cast<size_t>(blocks) * 1024, 'x'));
-    return jt_->submit(wordCountSpec(
-        {"/in"}, "/out" + std::to_string(next_file_), false, reducers));
+    JobSpec spec = wordCountSpec(
+        {"/in"}, "/out" + std::to_string(next_file_), false, reducers);
+    if (!slowstart.empty()) {
+      spec.conf.set("mapred.reduce.slowstart.completed.maps", slowstart);
+    }
+    return jt_->submit(std::move(spec));
   }
 
   TrackerHeartbeatReply beat(const std::string& host, uint32_t maps,
@@ -94,9 +100,10 @@ TEST_F(JobTrackerHarness, UnknownTrackerToldToReregister) {
   EXPECT_TRUE(beat("stranger", 2, 1).reregister);
 }
 
-TEST_F(JobTrackerHarness, ReducesWaitForAllMaps) {
+TEST_F(JobTrackerHarness, ReducesWaitForAllMapsWithSlowstartOff) {
   jt_->registerTracker("tt1", 4, 1);
-  const JobId id = submitJob(2);
+  // slowstart = 1.0 restores the blocking all-maps-first schedule.
+  const JobId id = submitJob(2, 1, "1.0");
   auto reply = beat("tt1", 4, 1);
   ASSERT_EQ(reply.assignments.size(), 2u);  // maps only, no reduce yet
   // Complete one map: still no reduce.
@@ -107,12 +114,76 @@ TEST_F(JobTrackerHarness, ReducesWaitForAllMaps) {
   ASSERT_EQ(third.assignments.size(), 1u);
   EXPECT_EQ(third.assignments[0].kind, AssignmentKind::kReduce);
   ASSERT_EQ(third.assignments[0].map_outputs.size(), 2u);
+  EXPECT_EQ(third.assignments[0].total_maps, 2u);
   for (const auto& location : third.assignments[0].map_outputs) {
     EXPECT_EQ(location.host, "tt1");
   }
   // Finish the reduce: job succeeds.
   beat("tt1", 2, 1, {success(third.assignments[0])});
   EXPECT_EQ(jt_->status(id).state, JobState::kSucceeded);
+}
+
+TEST_F(JobTrackerHarness, SlowstartLaunchesReduceWithPartialLocations) {
+  jt_->registerTracker("tt1", 4, 1);
+  const JobId id = submitJob(4, 1, "0.5");  // threshold: 2 of 4 maps
+  auto reply = beat("tt1", 4, 1);
+  ASSERT_EQ(reply.assignments.size(), 4u);
+  // One map done: below the 0.5 threshold, no reduce yet.
+  auto second = beat("tt1", 1, 1, {success(reply.assignments[0])});
+  EXPECT_TRUE(second.assignments.empty());
+  // Second map done: the reduce launches with the two known locations, the
+  // job's map total, and the event-feed cursor the snapshot is current
+  // through — the other two locations will ride the completion feed.
+  auto third = beat("tt1", 1, 1, {success(reply.assignments[1])});
+  ASSERT_EQ(third.assignments.size(), 1u);
+  const TaskAssignment& reduce = third.assignments[0];
+  EXPECT_EQ(reduce.kind, AssignmentKind::kReduce);
+  EXPECT_EQ(reduce.total_maps, 4u);
+  ASSERT_EQ(reduce.map_outputs.size(), 2u);
+
+  // Finish the remaining maps; their success events replay from the
+  // reduce's cursor on the next heartbeat that presents it.
+  beat("tt1", 2, 0,
+       {success(reply.assignments[2]), success(reply.assignments[3])});
+  const auto events =
+      jt_->trackerHeartbeat("tt1", 0, 0, {}, {{id, reduce.event_cursor}})
+          .map_events;
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& event : events) {
+    EXPECT_FALSE(event.invalidated);
+    EXPECT_EQ(event.host, "tt1");
+    EXPECT_GT(event.event_id, reduce.event_cursor);
+  }
+  EXPECT_EQ(jt_->mapLocation(id, events[0].map_index), "tt1");
+
+  beat("tt1", 4, 1, {success(reduce)});
+  EXPECT_EQ(jt_->status(id).state, JobState::kSucceeded);
+}
+
+TEST_F(JobTrackerHarness, LostTrackerEmitsInvalidationEvents) {
+  jt_->registerTracker("tt1", 2, 1);
+  jt_->registerTracker("tt2", 2, 1);
+  const JobId id = submitJob(2, 1, "0.5");
+  const auto maps = beat("tt1", 2, 0).assignments;
+  ASSERT_EQ(maps.size(), 2u);
+  beat("tt1", 0, 0, {success(maps[0]), success(maps[1])});
+  const auto reduce = beat("tt2", 0, 1).assignments;
+  ASSERT_EQ(reduce.size(), 1u);
+  const uint64_t cursor = reduce[0].event_cursor;
+
+  // tt1 expires; both announced outputs die with it. The feed must carry
+  // one invalidation per lost map past the reduce's cursor.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  beat("tt2", 0, 0);
+  jt_->runMonitorOnce();
+  const auto events =
+      jt_->trackerHeartbeat("tt2", 0, 0, {}, {{id, cursor}}).map_events;
+  size_t invalidations = 0;
+  for (const auto& event : events) {
+    if (event.event_id > cursor && event.invalidated) ++invalidations;
+  }
+  EXPECT_EQ(invalidations, 2u);
+  EXPECT_EQ(jt_->mapLocation(id, 0), "");
 }
 
 TEST_F(JobTrackerHarness, FailedAttemptRetriesWithFreshAttemptNumber) {

@@ -62,6 +62,10 @@ Config chaosConf(uint64_t seed) {
   conf.setInt("mapred.shuffle.fetch.retries", 2);
   conf.setInt("mapred.shuffle.fetch.backoff.ms", 5);
   conf.setInt("mapred.reduce.parallel.copies", 1);
+  // Pipelined shuffle on (the production default): reduces launch after the
+  // first map success, fetch through the completion-event feed, and must
+  // survive every invalidation chaos throws at them — byte-identically.
+  conf.set("mapred.reduce.slowstart.completed.maps", "0.05");
   conf.setInt("dfs.client.retries", 3);
   conf.setInt("dfs.client.retry.backoff.ms", 5);
   // One seed runs with short-circuit local reads on — same faults, same

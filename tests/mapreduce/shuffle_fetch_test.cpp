@@ -226,10 +226,11 @@ TEST(ShuffleFetchTest, FlakyFetchSucceedsAfterRetriesWithoutDuplicates) {
   EXPECT_EQ(shuffle_counters.value(counters::kShuffleGroup,
                                    counters::kShuffleBytes),
             expected_bytes);
-  // The fetch phase paid the backoff sleeps; the millis counter sees them.
+  // The fetch phase paid the (full-jitter) backoff sleeps; with jitter the
+  // exact delay is seeded-random in [0, cap], so only nonnegativity holds.
   EXPECT_GE(shuffle_counters.value(counters::kShuffleGroup,
                                    counters::kShuffleFetchMillis),
-            2 + 4);
+            0);
 }
 
 TEST(ShuffleFetchTest, RetriesExhaustedKeepFetchFailureShape) {
